@@ -1,0 +1,162 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. TFF-tree initial-state policy (rounding-bias cancellation)
+//   2. soft-threshold sweep on the SC dot product
+//   3. unipolar pos/neg weight split vs bipolar XNOR arithmetic
+//   4. asynchronous vs synchronous stochastic-to-binary counters
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "sc/adder_tree.h"
+#include "sc/counter.h"
+#include "sc/dot_product.h"
+#include "sc/gates.h"
+#include "sc/lowdisc.h"
+#include "sc/sng.h"
+
+namespace {
+
+using namespace scbnn::sc;
+
+std::vector<Bitstream> random_inputs(std::size_t k, std::size_t n,
+                                     std::mt19937_64& rng) {
+  std::vector<Bitstream> v;
+  std::uniform_real_distribution<double> pd(0.0, 1.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::bernoulli_distribution bit(pd(rng));
+    Bitstream s(n);
+    for (std::size_t t = 0; t < n; ++t) s.set_bit(t, bit(rng));
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+void ablate_init_policy() {
+  std::printf("[1] TFF-tree initial-state policy (32-leaf tree, N=256, 200 "
+              "trials)\n");
+  std::mt19937_64 rng(5);
+  double bias[3] = {0, 0, 0};
+  double mse[3] = {0, 0, 0};
+  const TffInitPolicy policies[] = {TffInitPolicy::kAllZero,
+                                    TffInitPolicy::kAllOne,
+                                    TffInitPolicy::kAlternating};
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto inputs = random_inputs(32, 256, rng);
+    double exact = 0.0;
+    for (const auto& s : inputs) exact += s.unipolar();
+    exact /= 32.0;
+    for (int p = 0; p < 3; ++p) {
+      const double got = tff_adder_tree(inputs, policies[p]).unipolar();
+      bias[p] += got - exact;
+      mse[p] += (got - exact) * (got - exact);
+    }
+  }
+  const char* names[] = {"all-zero", "all-one", "alternating"};
+  for (int p = 0; p < 3; ++p) {
+    std::printf("  %-12s bias=%+.3e  mse=%.3e\n", names[p], bias[p] / trials,
+                mse[p] / trials);
+  }
+  std::printf("  -> alternating initial states cancel the systematic "
+              "rounding bias of deep trees.\n\n");
+}
+
+void ablate_soft_threshold() {
+  std::printf("[2] Soft-threshold sweep: sign-decision error rate of the "
+              "4-bit proposed dot product\n");
+  const unsigned bits = 4;
+  StochasticDotProduct dp(bits, 25, DotProductStyle::kProposed);
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> wd(-16, 16);
+  std::uniform_int_distribution<std::uint32_t> xd(0, 16);
+  for (double tau : {0.0, 0.15, 0.3, 0.6, 1.2}) {
+    int wrong = 0, zeroed = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<int> w(25);
+      std::vector<std::uint32_t> x(25);
+      for (auto& v : w) v = wd(rng);
+      for (auto& v : x) v = xd(rng);
+      dp.set_weights(w);
+      double exact = 0.0;
+      for (int i = 0; i < 25; ++i) exact += (x[i] / 16.0) * (w[i] / 16.0);
+      const int want = exact > tau ? 1 : (exact < -tau ? -1 : 0);
+      const int got = dp.run(x, tau).sign;
+      if (got != want) ++wrong;
+      if (got == 0) ++zeroed;
+    }
+    std::printf("  tau=%.2f  sign errors=%5.1f%%  outputs zeroed=%5.1f%%\n",
+                tau, 100.0 * wrong / trials, 100.0 * zeroed / trials);
+  }
+  std::printf("  -> a moderate dead zone suppresses noisy near-zero "
+              "decisions (Kim et al. [16]).\n\n");
+}
+
+void ablate_bipolar() {
+  std::printf("[3] Bipolar XNOR multiply vs unipolar pos/neg split "
+              "(8-bit values, N=256)\n");
+  // Multiply x in [0,1] by w in [-1,1] and compare error of (a) bipolar
+  // XNOR with both operands bipolar-encoded, (b) unipolar AND against the
+  // split |w| with the sign tracked separately (this work).
+  VanDerCorputSource vdc(8);
+  double err_bipolar = 0.0, err_split = 0.0;
+  int cases = 0;
+  for (std::uint32_t xb = 0; xb <= 256; xb += 16) {
+    for (int wl = -256; wl <= 256; wl += 32) {
+      const double xv = xb / 256.0;
+      const double wv = wl / 256.0;
+      // Bipolar: encode x and w as bipolar streams, XNOR-multiply.
+      // bipolar level of value v is (v+1)/2 * 256.
+      const auto xlevel =
+          static_cast<std::uint32_t>(std::lround((xv + 1.0) / 2.0 * 256.0));
+      const auto wlevel =
+          static_cast<std::uint32_t>(std::lround((wv + 1.0) / 2.0 * 256.0));
+      const Bitstream xs = Bitstream::prefix_ones(256, xlevel);
+      vdc.reset();
+      const Bitstream ws = generate_stream(vdc, wlevel, 256);
+      err_bipolar +=
+          std::pow(xnor_multiply_bipolar(xs, ws).bipolar() - xv * wv, 2);
+      // Split: unipolar x stream AND unipolar |w| stream, sign reattached.
+      const Bitstream xu = Bitstream::prefix_ones(256, xb);
+      vdc.reset();
+      const Bitstream wu = generate_stream(
+          vdc, static_cast<std::uint32_t>(std::abs(wl)), 256);
+      const double mag = and_multiply(xu, wu).unipolar();
+      err_split += std::pow((wl < 0 ? -mag : mag) - xv * wv, 2);
+      ++cases;
+    }
+  }
+  std::printf("  bipolar XNOR        mse = %.3e\n", err_bipolar / cases);
+  std::printf("  unipolar pos/neg    mse = %.3e\n", err_split / cases);
+  std::printf("  -> the unipolar split avoids the bipolar encoding's "
+              "variance blow-up near zero (Section IV.B).\n\n");
+}
+
+void ablate_counters() {
+  std::printf("[4] Async vs sync stochastic-to-binary counters (9-bit, "
+              "stage delay 1.2 ns, SC clock 500 MHz)\n");
+  const Bitstream root = Bitstream::prefix_ones(256, 180);
+  for (double period_ns : {2.0, 4.0, 8.0, 12.0}) {
+    const auto async_count = run_async_counter(root, 9, 1.2, period_ns);
+    const auto sync_count = run_sync_counter(root, 9, 1.2, period_ns);
+    std::printf("  clock period %5.1f ns: async=%3llu/180  sync=%3llu/180\n",
+                period_ns,
+                static_cast<unsigned long long>(async_count),
+                static_cast<unsigned long long>(sync_count));
+  }
+  std::printf("  -> the ripple counter is exact at the SC clock rate; the "
+              "synchronous counter drops pulses\n     until the clock is "
+              "slowed ~5x (Section II.A).\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation studies of the paper's design choices\n\n");
+  ablate_init_policy();
+  ablate_soft_threshold();
+  ablate_bipolar();
+  ablate_counters();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks of the simulation kernels: how fast the
+// bit-exact SC substrate itself runs on the host (simulation throughput,
+// not modeled silicon performance — that is table3_power_energy_area).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "data/synthetic_mnist.h"
+#include "hybrid/binary_first_layer.h"
+#include "hybrid/sc_first_layer.h"
+#include "nn/conv2d.h"
+#include "nn/quantize.h"
+#include "sc/adder_tree.h"
+#include "sc/mse.h"
+#include "sc/tff.h"
+
+namespace {
+
+using namespace scbnn;
+
+sc::Bitstream random_stream(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  sc::Bitstream s(n);
+  for (std::size_t i = 0; i < n; ++i) s.set_bit(i, (rng() & 1u) != 0);
+  return s;
+}
+
+void BM_TffAddSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_stream(n, 1), y = random_stream(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::tff_add_serial(x, y, false));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TffAddSerial)->Arg(256)->Arg(4096);
+
+void BM_TffAddPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_stream(n, 1), y = random_stream(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::tff_add(x, y, false));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TffAddPacked)->Arg(256)->Arg(4096);
+
+void BM_TffAddWordsHot(benchmark::State& state) {
+  // The allocation-free inner loop used by the convolution engine.
+  constexpr std::size_t kWords = 4;  // N = 256
+  std::uint64_t x[kWords], y[kWords], z[kWords];
+  std::mt19937_64 rng(3);
+  for (auto& w : x) w = rng();
+  for (auto& w : y) w = rng();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::tff_add_words(x, y, z, kWords, false));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TffAddWordsHot);
+
+void BM_TffAdderTree32(benchmark::State& state) {
+  std::vector<sc::Bitstream> inputs;
+  for (int i = 0; i < 32; ++i) inputs.push_back(random_stream(256, i + 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sc::tff_adder_tree(inputs, sc::TffInitPolicy::kAlternating));
+  }
+}
+BENCHMARK(BM_TffAdderTree32);
+
+void BM_AdderMseExhaustive4Bit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::adder_mse(sc::AddScheme::kTffAdder, 4));
+  }
+}
+BENCHMARK(BM_AdderMseExhaustive4Bit);
+
+void BM_ScFirstLayerImage(benchmark::State& state) {
+  const auto bits = static_cast<unsigned>(state.range(0));
+  nn::Rng rng(1);
+  nn::Tensor w({32, 1, 5, 5});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.normal(0.0f, 0.3f);
+  const auto qw = nn::quantize_conv_weights(w, bits);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = bits;
+  hybrid::StochasticFirstLayer engine(
+      hybrid::StochasticFirstLayer::Style::kProposed, qw, cfg);
+  const nn::Tensor img = data::render_digit(3, 0);
+  std::vector<float> out(32 * 28 * 28);
+  for (auto _ : state) {
+    engine.compute(img.data(), out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel("bit-exact 32-kernel stochastic conv, one 28x28 image");
+}
+BENCHMARK(BM_ScFirstLayerImage)->Arg(4)->Arg(8);
+
+void BM_BinaryFirstLayerImage(benchmark::State& state) {
+  nn::Rng rng(1);
+  nn::Tensor w({32, 1, 5, 5});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.normal(0.0f, 0.3f);
+  const auto qw = nn::quantize_conv_weights(w, 8);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 8;
+  hybrid::BinaryFirstLayer engine(qw, cfg);
+  const nn::Tensor img = data::render_digit(3, 0);
+  std::vector<float> out(32 * 28 * 28);
+  for (auto _ : state) {
+    engine.compute(img.data(), out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_BinaryFirstLayerImage);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  nn::Rng rng(2);
+  nn::Conv2D conv(1, 32, 5, 2, rng);
+  nn::Tensor x({8, 1, 28, 28});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+  state.SetLabel("batch of 8");
+}
+BENCHMARK(BM_Conv2DForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

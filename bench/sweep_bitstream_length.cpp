@@ -1,0 +1,42 @@
+// Figure-style sweep the paper describes in the text: arithmetic error vs
+// bit-stream length N. Each added bit of precision doubles N ("each bit of
+// additional precision requires a doubling of bit-stream length", Section
+// II.A); the proposed adder's error falls quadratically while the MUX
+// adder's falls only linearly in 1/N.
+#include <cstdio>
+
+#include "sc/mse.h"
+
+int main() {
+  using namespace scbnn::sc;
+
+  std::printf("MSE vs bit-stream length N (8-bit input values; N >= 256 so "
+              "the deterministic sources\ncover the full value grid — a "
+              "shorter stream cannot represent 8-bit values)\n\n");
+  std::printf("%8s %16s %16s %16s %16s\n", "N", "mux(rand+lfsr)",
+              "mux(lfsr+tff)", "tff adder", "mult(ramp+ld)");
+  for (std::size_t n = 256; n <= 4096; n *= 2) {
+    const double mux_rand =
+        adder_mse(AddScheme::kMuxRandomDataLfsrSelect, 8, n).mse;
+    const double mux_lfsr =
+        adder_mse(AddScheme::kMuxLfsrDataTffSelect, 8, n).mse;
+    const double tff = adder_mse(AddScheme::kTffAdder, 8, n).mse;
+    const double mult =
+        multiplier_mse(MultScheme::kRampPlusLowDiscrepancy, 8, n).mse;
+    std::printf("%8zu %16.3e %16.3e %16.3e %16.3e\n", n, mux_rand, mux_lfsr,
+                tff, mult);
+  }
+
+  std::printf("\nPer-precision view (N = 2^bits, the operating points of "
+              "Table 3):\n");
+  std::printf("%6s %8s %16s %16s %10s\n", "bits", "N", "old adder", "new adder",
+              "ratio");
+  for (unsigned bits = 2; bits <= 10; ++bits) {
+    const double old_mse = adder_mse(AddScheme::kMuxLfsrDataTffSelect, bits).mse;
+    const double new_mse = adder_mse(AddScheme::kTffAdder, bits).mse;
+    std::printf("%6u %8zu %16.3e %16.3e %9.0fx\n", bits,
+                std::size_t{1} << bits, old_mse, new_mse,
+                old_mse / new_mse);
+  }
+  return 0;
+}

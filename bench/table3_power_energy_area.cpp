@@ -1,0 +1,72 @@
+// Reproduces Table 3 (bottom): throughput-normalized power, energy
+// efficiency, and area of the binary and stochastic convolution designs,
+// from the 65nm-calibrated gate-level model (see DESIGN.md substitution 3).
+#include <cstdio>
+
+#include "hw/binary_design.h"
+#include "hw/report.h"
+#include "hw/stochastic_design.h"
+
+int main() {
+  using namespace scbnn::hw;
+
+  std::printf("Table 3 (power / energy / area): binary vs proposed "
+              "stochastic convolution design\n");
+  std::printf("Gate-level model calibrated to 65nm (SC clock 500 MHz); "
+              "paper values in parentheses.\n\n");
+
+  auto row = [](const char* label, auto model_fn, const double* paper) {
+    std::printf("%-26s", label);
+    for (int i = 0; i < 7; ++i) {
+      const unsigned bits = PaperTable3::kBits[static_cast<std::size_t>(i)];
+      std::printf(" %8.2f(%8.2f)", model_fn(bits), paper[i]);
+    }
+    std::printf("\n");
+  };
+
+  std::printf("%-26s", "precision");
+  for (unsigned bits : PaperTable3::kBits) std::printf(" %8u bits        ", bits);
+  std::printf("\n");
+
+  row("Binary power (mW)",
+      [](unsigned bits) {
+        StochasticConvDesign sc(bits);
+        return BinaryConvDesign(bits).normalized_power_w(sc) * 1e3;
+      },
+      PaperTable3::kBinaryPowerMw.data());
+  row("This-work power (mW)",
+      [](unsigned bits) { return StochasticConvDesign(bits).power_w() * 1e3; },
+      PaperTable3::kThisWorkPowerMw.data());
+  row("Binary energy (nJ/frame)",
+      [](unsigned bits) {
+        return BinaryConvDesign(bits).energy_per_frame_j() * 1e9;
+      },
+      PaperTable3::kBinaryEnergyNj.data());
+  row("This-work energy (nJ/fr)",
+      [](unsigned bits) {
+        return StochasticConvDesign(bits).energy_per_frame_j() * 1e9;
+      },
+      PaperTable3::kThisWorkEnergyNj.data());
+  row("Binary area (mm^2)",
+      [](unsigned bits) { return BinaryConvDesign(bits).area_mm2(); },
+      PaperTable3::kBinaryAreaMm2.data());
+  row("This-work area (mm^2)",
+      [](unsigned bits) { return StochasticConvDesign(bits).area_mm2(); },
+      PaperTable3::kThisWorkAreaMm2.data());
+
+  // Headline claims.
+  StochasticConvDesign sc8(8), sc4(4);
+  BinaryConvDesign bin8(8), bin4(4);
+  std::printf("\nHeadline claims:\n");
+  std::printf("  energy ratio binary/SC @8-bit: %.2fx  (paper: 1.23x — "
+              "'breaks even at 8-bit')\n",
+              bin8.energy_per_frame_j() / sc8.energy_per_frame_j());
+  std::printf("  energy ratio binary/SC @4-bit: %.1fx  (paper: 9.8x)\n",
+              bin4.energy_per_frame_j() / sc4.energy_per_frame_j());
+  std::printf("  area ratio SC/binary   @4-bit: %.2fx (paper: ~2x)\n",
+              sc4.area_mm2() / bin4.area_mm2());
+  std::printf("  binary clock needed to match SC throughput @4-bit: "
+              "%.0f MHz (per %d engines)\n",
+              bin4.required_clock_hz(sc4) / 1e6, bin4.engines());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Compare all the stochastic adders in this library on the same inputs:
+// the conventional MUX adder (three select-stream configurations), the
+// approximate OR adder, and the proposed TFF adder — then sweep precision
+// to show where each design becomes usable.
+#include <cmath>
+#include <cstdio>
+
+#include "sc/gates.h"
+#include "sc/lfsr.h"
+#include "sc/mse.h"
+#include "sc/sng.h"
+#include "sc/tff.h"
+
+int main() {
+  using namespace scbnn::sc;
+
+  std::printf("One addition, every adder: 0.5 * (0.70 + 0.20), N = 32\n\n");
+  const Bitstream x = analog_to_stochastic(0.70, 5, 32);
+  Lfsr ylf(5, 9);
+  const Bitstream y = generate_stream(ylf, static_cast<std::uint32_t>(0.20 * 32), 32);
+  const double exact = 0.5 * (x.unipolar() + y.unipolar());
+
+  Lfsr sel_lfsr(5, 3);
+  const Bitstream sel = generate_stream(sel_lfsr, 16, 32);
+  Bitstream alt(32);
+  for (std::size_t i = 1; i < 32; i += 2) alt.set_bit(i, true);
+
+  struct Row {
+    const char* name;
+    Bitstream z;
+  };
+  const Row rows[] = {
+      {"MUX + LFSR select", mux_add(x, y, sel)},
+      {"MUX + TFF select", mux_add(x, y, alt)},
+      {"OR (approximate)", or_add(x, y)},
+      {"TFF adder (this work)", tff_add(x, y, false)},
+  };
+  std::printf("%-24s %-34s %8s %8s\n", "adder", "output stream", "value",
+              "error");
+  for (const auto& r : rows) {
+    const double err = r.name[0] == 'O'
+                           ? r.z.unipolar() - (x.unipolar() + y.unipolar() -
+                                               x.unipolar() * y.unipolar())
+                           : r.z.unipolar() - exact;
+    std::printf("%-24s %-34s %8.4f %+8.4f\n", r.name,
+                r.z.to_string().c_str(), r.z.unipolar(), err);
+  }
+  std::printf("(the OR adder's 'error' is against its own target "
+              "px + py - px*py — it approximates\naddition only near "
+              "zero)\n\n");
+
+  std::printf("Exhaustive MSE sweep across precision (old = MUX LFSR+TFF, "
+              "new = TFF adder):\n");
+  std::printf("%6s %14s %14s %26s\n", "bits", "old adder", "new adder",
+              "bits gained by new adder");
+  for (unsigned bits = 3; bits <= 9; ++bits) {
+    const double old_mse = adder_mse(AddScheme::kMuxLfsrDataTffSelect, bits).mse;
+    const double new_mse = adder_mse(AddScheme::kTffAdder, bits).mse;
+    // RMS error halves per extra bit, so MSE ratio 4x ~= 1 bit.
+    const double bits_gained = 0.5 * std::log2(old_mse / new_mse);
+    std::printf("%6u %14.3e %14.3e %26.1f\n", bits, old_mse, new_mse,
+                bits_gained);
+  }
+  std::printf("\nReading: at equal stream length the TFF adder is worth "
+              "several extra bits of precision,\nwhich is exactly why the "
+              "hybrid design can shorten streams (and run time) so "
+              "aggressively.\n");
+  return 0;
+}

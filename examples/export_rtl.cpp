@@ -1,0 +1,50 @@
+// Export synthesizable Verilog for the paper's circuits.
+//
+// The behavioral simulators in src/sc are bit-for-bit equivalent to these
+// netlists (proven in tests/test_netlist.cpp), so the RTL written here is
+// the hardware the reproduction's numbers describe: the Fig. 2a halver,
+// the Fig. 2b TFF adder, and the 32-leaf scaled adder tree used by each of
+// the 784 dot-product units.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "hw/netlist.h"
+
+namespace {
+
+void write_module(const scbnn::hw::Netlist& nl, const std::string& name,
+                  const std::filesystem::path& dir) {
+  const std::filesystem::path path = dir / (name + ".v");
+  std::ofstream f(path);
+  f << nl.to_verilog(name);
+  std::printf("  %-18s -> %s  (%zu gates, %.1f GE, %zu TFFs)\n", name.c_str(),
+              path.string().c_str(), nl.gate_count(), nl.gate_equivalents(),
+              nl.count(scbnn::hw::GateOp::kTff));
+}
+
+}  // namespace
+
+int main() {
+  using namespace scbnn::hw;
+  const std::filesystem::path dir = "rtl";
+  std::filesystem::create_directories(dir);
+  std::printf("Writing synthesizable Verilog to %s/:\n",
+              dir.string().c_str());
+  write_module(build_tff_halver_netlist(), "tff_halver", dir);
+  write_module(build_tff_adder_netlist(), "tff_adder", dir);
+  write_module(build_mux_adder_netlist(), "mux_adder", dir);
+  write_module(build_tff_tree_netlist(8), "tff_tree8", dir);
+  write_module(build_tff_tree_netlist(32), "tff_tree32", dir);
+  // The complete Fig. 3 dot-product unit: 32 taps (25 used + 7 padded),
+  // 9-bit output counters as in the 8-bit-precision design point.
+  write_module(build_dot_unit_netlist(32, 9), "sc_dot_unit32", dir);
+
+  std::printf("\nPreview of tff_adder.v:\n\n%s",
+              build_tff_adder_netlist().to_verilog("tff_adder").c_str());
+  std::printf("\nEvery module here is cycle-accurate-equivalent to the "
+              "behavioral model (see\ntests/test_netlist.cpp); tff_tree32 "
+              "is the reduction network inside each of the 784\n"
+              "stochastic dot-product units of Fig. 3.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Near-sensor system pipeline (Fig. 3 of the paper, middle row).
+//
+// Simulates a camera producing frames: each frame passes through the
+// ramp-compare analog-to-stochastic converter into the 784-unit stochastic
+// convolution layer, then the binary tail classifies the digit. Per-frame
+// latency and energy come from the calibrated 65nm model; the same stream
+// is also run through the all-binary design for comparison.
+#include <cstdio>
+
+#include "hw/binary_design.h"
+#include "hw/stochastic_design.h"
+#include "hybrid/experiment.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace scbnn;
+  constexpr unsigned kBits = 6;
+  constexpr int kFrames = 16;
+
+  hybrid::ExperimentConfig cfg;
+  cfg.train_n = 1500;
+  cfg.test_n = 400;
+  cfg.base_epochs = 5;
+  cfg.retrain_epochs = 2;
+  cfg.cache_path = "scbnn_example_model_cache.bin";
+  cfg.apply_env_overrides();
+
+  std::printf("Preparing the hybrid network (%u-bit stochastic first "
+              "layer)...\n\n", kBits);
+  hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
+
+  // Assemble the deployed pipeline: proposed SC engine + retrained tail.
+  const auto qw =
+      nn::quantize_conv_weights(hybrid::base_conv1_weights(prep.base), kBits);
+  hybrid::FirstLayerConfig flc;
+  flc.bits = kBits;
+  flc.soft_threshold = cfg.sc_soft_threshold;
+  auto engine = hybrid::make_first_layer_engine(
+      hybrid::FirstLayerDesign::kScProposed, qw, flc);
+  nn::Rng rng(cfg.seed + 1);
+  nn::Network tail = hybrid::build_tail(cfg.lenet, rng);
+  hybrid::copy_tail_params(prep.base, tail);
+  hybrid::HybridNetwork net(std::move(engine), std::move(tail));
+
+  nn::Tensor train_feat = net.features(prep.data.train.images);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.retrain_epochs;
+  tc.batch_size = cfg.batch_size;
+  (void)net.retrain(train_feat, prep.data.train.labels, tc, cfg.retrain_lr);
+
+  // "Sensor" stream = the first frames of the test split.
+  const data::Dataset frames = data::head(prep.data.test, kFrames);
+  const auto predictions = net.predict(frames.images);
+
+  hw::StochasticConvDesign sc(kBits);
+  hw::BinaryConvDesign bin(kBits);
+  const double frame_us = sc.frame_time_s() * 1e6;
+  const double frame_nj = sc.energy_per_frame_j() * 1e9;
+
+  std::printf("frame | truth | predicted | first-layer latency | energy "
+              "(this work vs binary)\n");
+  int correct = 0;
+  double total_nj = 0.0;
+  for (int i = 0; i < kFrames; ++i) {
+    const bool ok = predictions[static_cast<std::size_t>(i)] ==
+                    frames.labels[static_cast<std::size_t>(i)];
+    correct += ok ? 1 : 0;
+    total_nj += frame_nj;
+    std::printf("%5d | %5d | %9d | %16.2f us | %6.1f nJ vs %6.1f nJ %s\n", i,
+                frames.labels[static_cast<std::size_t>(i)],
+                predictions[static_cast<std::size_t>(i)], frame_us, frame_nj,
+                bin.energy_per_frame_j() * 1e9, ok ? "" : "  <- miss");
+  }
+
+  std::printf("\nstream accuracy: %d/%d\n", correct, kFrames);
+  std::printf("stochastic first layer: %.2f us and %.1f nJ per frame "
+              "(32 kernel passes x %zu cycles @ 500 MHz)\n",
+              frame_us, frame_nj, std::size_t{1} << kBits);
+  std::printf("total first-layer energy for the stream: %.2f uJ (binary "
+              "design: %.2f uJ, %.1fx more)\n",
+              total_nj * 1e-3, bin.energy_per_frame_j() * 1e9 * kFrames * 1e-3,
+              bin.energy_per_frame_j() / sc.energy_per_frame_j());
+  std::printf("\nNote: sensor conversion energy is excluded, as in the "
+              "paper (Section IV.A) — prior work\nputs ramp-compare "
+              "conversion at ~100 pJ/frame, negligible next to "
+              "computation.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "data/mnist.h"
+#include "data/synthetic_mnist.h"
+
+namespace scbnn::data {
+
+Dataset head(const Dataset& d, std::size_t n) {
+  n = std::min(n, d.size());
+  Dataset out;
+  std::vector<int> shape = d.images.shape();
+  shape[0] = static_cast<int>(n);
+  out.images = nn::Tensor(shape);
+  const std::size_t stride =
+      d.images.size() / static_cast<std::size_t>(d.images.dim(0));
+  std::copy(d.images.data(), d.images.data() + n * stride, out.images.data());
+  out.labels.assign(d.labels.begin(),
+                    d.labels.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+std::vector<int> class_histogram(const Dataset& d) {
+  std::vector<int> hist(10, 0);
+  for (int y : d.labels) {
+    if (y >= 0 && y < 10) ++hist[static_cast<std::size_t>(y)];
+  }
+  return hist;
+}
+
+ResolvedData resolve_dataset(std::size_t train_n, std::size_t test_n,
+                             std::uint64_t seed) {
+  ResolvedData out;
+  if (const char* dir = std::getenv("MNIST_DIR"); dir != nullptr) {
+    if (auto split = try_load_mnist_idx(dir)) {
+      out.split.train = head(split->train, train_n);
+      out.split.test = head(split->test, test_n);
+      out.real_mnist = true;
+      return out;
+    }
+  }
+  out.split = generate_synthetic_mnist(train_n, test_n, seed);
+  out.real_mnist = false;
+  return out;
+}
+
+}  // namespace scbnn::data

@@ -1,0 +1,43 @@
+// Labeled image dataset containers shared by training and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace scbnn::data {
+
+/// Images are [N, 1, 28, 28] floats in [0, 1] (unipolar pixel intensities,
+/// matching the sensor model); labels are digit classes 0..9.
+struct Dataset {
+  nn::Tensor images;
+  std::vector<int> labels;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+struct DataSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// First `n` samples of a dataset (n clamped to size).
+[[nodiscard]] Dataset head(const Dataset& d, std::size_t n);
+
+/// Count of samples per class (length 10) — used by distribution tests.
+[[nodiscard]] std::vector<int> class_histogram(const Dataset& d);
+
+/// Resolve the experiment dataset: real MNIST from $MNIST_DIR if the IDX
+/// files are present there, otherwise the synthetic generator (seeded by
+/// `seed`). The returned flag says which one was used.
+struct ResolvedData {
+  DataSplit split;
+  bool real_mnist = false;
+};
+[[nodiscard]] ResolvedData resolve_dataset(std::size_t train_n,
+                                           std::size_t test_n,
+                                           std::uint64_t seed = 7);
+
+}  // namespace scbnn::data

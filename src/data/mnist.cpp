@@ -1,0 +1,90 @@
+#include "data/mnist.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace scbnn::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& f) {
+  unsigned char b[4];
+  f.read(reinterpret_cast<char*>(b), 4);
+  if (!f) throw std::runtime_error("IDX: truncated header");
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+}  // namespace
+
+Dataset load_idx_pair(const std::string& images_path,
+                      const std::string& labels_path) {
+  std::ifstream fi(images_path, std::ios::binary);
+  std::ifstream fl(labels_path, std::ios::binary);
+  if (!fi) throw std::runtime_error("IDX: cannot open " + images_path);
+  if (!fl) throw std::runtime_error("IDX: cannot open " + labels_path);
+
+  const std::uint32_t magic_i = read_be32(fi);
+  if (magic_i != 0x00000803) {
+    throw std::runtime_error("IDX: bad image magic in " + images_path);
+  }
+  const std::uint32_t n = read_be32(fi);
+  const std::uint32_t rows = read_be32(fi);
+  const std::uint32_t cols = read_be32(fi);
+  if (rows != 28 || cols != 28) {
+    throw std::runtime_error("IDX: expected 28x28 images");
+  }
+
+  const std::uint32_t magic_l = read_be32(fl);
+  if (magic_l != 0x00000801) {
+    throw std::runtime_error("IDX: bad label magic in " + labels_path);
+  }
+  const std::uint32_t nl = read_be32(fl);
+  if (nl != n) throw std::runtime_error("IDX: image/label count mismatch");
+
+  Dataset d;
+  d.images = nn::Tensor({static_cast<int>(n), 1, 28, 28});
+  d.labels.resize(n);
+
+  std::vector<unsigned char> buf(28 * 28);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fi.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (!fi) throw std::runtime_error("IDX: truncated image data");
+    float* dst = d.images.data() + static_cast<std::size_t>(i) * 28 * 28;
+    for (std::size_t p = 0; p < buf.size(); ++p) {
+      dst[p] = static_cast<float>(buf[p]) / 255.0f;
+    }
+    unsigned char lab = 0;
+    fl.read(reinterpret_cast<char*>(&lab), 1);
+    if (!fl) throw std::runtime_error("IDX: truncated label data");
+    d.labels[i] = static_cast<int>(lab);
+  }
+  return d;
+}
+
+std::optional<DataSplit> try_load_mnist_idx(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path base(dir);
+  const fs::path ti = base / "train-images-idx3-ubyte";
+  const fs::path tl = base / "train-labels-idx1-ubyte";
+  const fs::path vi = base / "t10k-images-idx3-ubyte";
+  const fs::path vl = base / "t10k-labels-idx1-ubyte";
+  if (!fs::exists(ti) || !fs::exists(tl) || !fs::exists(vi) ||
+      !fs::exists(vl)) {
+    return std::nullopt;
+  }
+  try {
+    DataSplit split;
+    split.train = load_idx_pair(ti.string(), tl.string());
+    split.test = load_idx_pair(vi.string(), vl.string());
+    return split;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace scbnn::data

@@ -1,0 +1,27 @@
+// Loader for the MNIST IDX file format (LeCun et al. [18]).
+//
+// Looks for the canonical four files (train-images-idx3-ubyte,
+// train-labels-idx1-ubyte, t10k-images-idx3-ubyte, t10k-labels-idx1-ubyte)
+// in a directory. The reproduction environment has no network access, so
+// when these files are absent the experiments fall back to the synthetic
+// generator (see DESIGN.md §4 substitution 1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace scbnn::data {
+
+/// Load both splits from `dir`; returns std::nullopt if any file is missing
+/// or malformed.
+[[nodiscard]] std::optional<DataSplit> try_load_mnist_idx(
+    const std::string& dir);
+
+/// Load one images/labels IDX pair. Throws std::runtime_error on format
+/// errors (bad magic, size mismatch).
+[[nodiscard]] Dataset load_idx_pair(const std::string& images_path,
+                                    const std::string& labels_path);
+
+}  // namespace scbnn::data

@@ -1,0 +1,201 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+namespace scbnn::data {
+
+namespace {
+
+struct Point {
+  float x, y;
+};
+
+using Polyline = std::vector<Point>;
+
+/// Sample an elliptical arc (angles in radians, y axis pointing down) into a
+/// polyline. a0 < a1 sweeps with increasing angle.
+Polyline arc(float cx, float cy, float rx, float ry, float a0, float a1,
+             int segments = 24) {
+  Polyline p;
+  p.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const float a = a0 + (a1 - a0) * static_cast<float>(i) /
+                             static_cast<float>(segments);
+    p.push_back({cx + rx * std::cos(a), cy + ry * std::sin(a)});
+  }
+  return p;
+}
+
+Polyline line(float x0, float y0, float x1, float y1) {
+  return {{x0, y0}, {x1, y1}};
+}
+
+constexpr float kPi = std::numbers::pi_v<float>;
+constexpr float kDeg = kPi / 180.0f;
+
+/// Stroke-skeleton glyphs in unit coordinates (x right, y down; glyph body
+/// roughly inside [0.25, 0.75] x [0.15, 0.85]). `style` in [0,1) selects
+/// discrete per-class variants (e.g. crossed vs plain 7).
+std::vector<Polyline> digit_glyph(int digit, float style) {
+  switch (digit) {
+    case 0:
+      return {arc(0.50f, 0.50f, 0.20f, 0.31f, 0.0f, 2.0f * kPi, 40)};
+    case 1: {
+      std::vector<Polyline> g = {line(0.52f, 0.16f, 0.52f, 0.84f),
+                                 line(0.40f, 0.30f, 0.52f, 0.16f)};
+      if (style < 0.4f) g.push_back(line(0.38f, 0.84f, 0.66f, 0.84f));
+      return g;
+    }
+    case 2:
+      return {arc(0.50f, 0.33f, 0.18f, 0.16f, 180.0f * kDeg, 380.0f * kDeg),
+              line(0.662f, 0.385f, 0.30f, 0.82f),
+              line(0.30f, 0.82f, 0.72f, 0.82f)};
+    case 3:
+      return {arc(0.48f, 0.335f, 0.17f, 0.17f, 225.0f * kDeg, 450.0f * kDeg),
+              arc(0.48f, 0.665f, 0.18f, 0.18f, 270.0f * kDeg, 495.0f * kDeg)};
+    case 4:
+      return {line(0.62f, 0.16f, 0.30f, 0.58f), line(0.30f, 0.58f, 0.74f, 0.58f),
+              line(0.62f, 0.16f, 0.62f, 0.84f)};
+    case 5:
+      return {line(0.68f, 0.18f, 0.34f, 0.18f), line(0.34f, 0.18f, 0.34f, 0.48f),
+              arc(0.46f, 0.64f, 0.20f, 0.18f, 245.0f * kDeg, 500.0f * kDeg)};
+    case 6:
+      return {Polyline{{0.62f, 0.17f}, {0.46f, 0.34f}, {0.37f, 0.52f},
+                       {0.34f, 0.66f}},
+              arc(0.48f, 0.68f, 0.15f, 0.15f, 0.0f, 2.0f * kPi, 32)};
+    case 7: {
+      std::vector<Polyline> g = {line(0.28f, 0.20f, 0.72f, 0.20f),
+                                 line(0.72f, 0.20f, 0.42f, 0.84f)};
+      if (style < 0.35f) g.push_back(line(0.40f, 0.52f, 0.64f, 0.52f));
+      return g;
+    }
+    case 8:
+      return {arc(0.50f, 0.33f, 0.145f, 0.15f, 0.0f, 2.0f * kPi, 32),
+              arc(0.50f, 0.67f, 0.18f, 0.17f, 0.0f, 2.0f * kPi, 32)};
+    case 9:
+      return {arc(0.52f, 0.345f, 0.16f, 0.165f, 0.0f, 2.0f * kPi, 32),
+              Polyline{{0.68f, 0.36f}, {0.66f, 0.58f}, {0.56f, 0.84f}}};
+    default:
+      return {};
+  }
+}
+
+float point_segment_distance(Point p, Point a, Point b) {
+  const float vx = b.x - a.x, vy = b.y - a.y;
+  const float wx = p.x - a.x, wy = p.y - a.y;
+  const float vv = vx * vx + vy * vy;
+  float t = vv > 0.0f ? (wx * vx + wy * vy) / vv : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float dx = p.x - (a.x + t * vx);
+  const float dy = p.y - (a.y + t * vy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+nn::Tensor render_digit(int digit, std::uint64_t instance,
+                        const SyntheticConfig& config) {
+  // Independent deterministic stream per (seed, digit, instance).
+  std::seed_seq seq{static_cast<std::uint64_t>(config.seed),
+                    static_cast<std::uint64_t>(digit) + 100,
+                    instance + 1};
+  std::mt19937 rng(seq);
+  auto uniform = [&rng](float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(rng);
+  };
+  auto normal = [&rng](float stddev) {
+    return std::normal_distribution<float>(0.0f, stddev)(rng);
+  };
+
+  const float style = uniform(0.0f, 1.0f);
+  std::vector<Polyline> glyph = digit_glyph(digit, style);
+
+  // Random affine about the glyph center (0.5, 0.5).
+  const float theta = uniform(-config.rotation_range, config.rotation_range);
+  const float scale = uniform(config.scale_min, config.scale_max);
+  const float shear = uniform(-config.shear_range, config.shear_range);
+  const float tx = uniform(-config.translate_px, config.translate_px) / 28.0f;
+  const float ty = uniform(-config.translate_px, config.translate_px) / 28.0f;
+  const float c = std::cos(theta), s = std::sin(theta);
+
+  for (auto& pl : glyph) {
+    for (auto& p : pl) {
+      float x = p.x - 0.5f + normal(config.point_jitter);
+      float y = p.y - 0.5f + normal(config.point_jitter);
+      x += shear * y;  // horizontal shear (slant)
+      const float xr = scale * (c * x - s * y);
+      const float yr = scale * (s * x + c * y);
+      p.x = xr + 0.5f + tx;
+      p.y = yr + 0.5f + ty;
+    }
+  }
+
+  const float stroke_r =
+      uniform(config.stroke_min_px, config.stroke_max_px) / 28.0f;
+  const float aa = std::max(config.blur_px, 0.2f) / 28.0f;
+  const float ink = uniform(0.80f, 1.0f);
+
+  nn::Tensor img({1, 1, 28, 28});
+  for (int py = 0; py < 28; ++py) {
+    for (int px = 0; px < 28; ++px) {
+      const Point pc{(static_cast<float>(px) + 0.5f) / 28.0f,
+                     (static_cast<float>(py) + 0.5f) / 28.0f};
+      float d = 1e9f;
+      for (const auto& pl : glyph) {
+        for (std::size_t i = 0; i + 1 < pl.size(); ++i) {
+          d = std::min(d, point_segment_distance(pc, pl[i], pl[i + 1]));
+        }
+      }
+      float v = std::clamp((stroke_r + aa - d) / aa, 0.0f, 1.0f) * ink;
+      v += normal(config.noise_stddev);
+      // Black-level subtraction, then the sensor's 8-bit quantization.
+      if (v < config.black_level) v = 0.0f;
+      v = std::clamp(v, 0.0f, 1.0f);
+      v = std::round(v * 255.0f) / 255.0f;
+      img.at4(0, 0, py, px) = v;
+    }
+  }
+  return img;
+}
+
+DataSplit generate_synthetic_mnist(std::size_t train_n, std::size_t test_n,
+                                   std::uint64_t seed,
+                                   const SyntheticConfig& config) {
+  SyntheticConfig cfg = config;
+  cfg.seed = seed;
+
+  auto make = [&cfg](std::size_t n, std::uint64_t instance_base) {
+    Dataset d;
+    d.images = nn::Tensor({static_cast<int>(n), 1, 28, 28});
+    d.labels.resize(n);
+    // Balanced classes, then a deterministic shuffle.
+    std::vector<int> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+    std::mt19937_64 shuffle_rng(cfg.seed ^ (instance_base * 0x9E3779B9ull));
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      const auto slot = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+      const int digit = static_cast<int>(slot % 10);
+      const std::uint64_t instance = instance_base + slot / 10;
+      const nn::Tensor img = render_digit(digit, instance, cfg);
+      std::copy(img.data(), img.data() + 28 * 28,
+                d.images.data() + static_cast<std::size_t>(i) * 28 * 28);
+      d.labels[static_cast<std::size_t>(i)] = digit;
+    }
+    return d;
+  };
+
+  DataSplit split;
+  split.train = make(train_n, 0);
+  // Test instances start far beyond any train instance index.
+  split.test = make(test_n, 1u << 24);
+  return split;
+}
+
+}  // namespace scbnn::data

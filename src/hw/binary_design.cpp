@@ -1,0 +1,51 @@
+#include "hw/binary_design.h"
+
+#include <stdexcept>
+
+namespace scbnn::hw {
+
+BinaryConvDesign::BinaryConvDesign(unsigned bits, int engines,
+                                   ConvGeometry geometry,
+                                   TechnologyParams tech)
+    : bits_(bits), engines_(engines), geo_(geometry), tech_(tech) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("BinaryConvDesign: bits must be in [2,16]");
+  }
+  if (engines <= 0) {
+    throw std::invalid_argument("BinaryConvDesign: engines must be > 0");
+  }
+}
+
+CostSheet BinaryConvDesign::sheet() const {
+  CostSheet total;
+  const CostSheet engine = binary_window_engine(bits_, geo_);
+  for (const auto& c : engine.items()) {
+    total.add(c.name, c.unit_ges, c.count * engines_, c.activity);
+  }
+  return total;
+}
+
+double BinaryConvDesign::area_mm2() const { return sheet().area_mm2(tech_); }
+
+double BinaryConvDesign::energy_per_frame_j() const {
+  // One engine computes one window per cycle; energy scales with windows,
+  // not with how fast they are clocked.
+  const CostSheet engine = binary_window_engine(bits_, geo_);
+  const double window_energy =
+      engine.energy_per_cycle_j(tech_) * tech_.binary_energy_overhead;
+  return window_energy * static_cast<double>(geo_.windows_per_frame());
+}
+
+double BinaryConvDesign::normalized_power_w(
+    const StochasticConvDesign& sc) const {
+  return energy_per_frame_j() / sc.frame_time_s();
+}
+
+double BinaryConvDesign::required_clock_hz(
+    const StochasticConvDesign& sc) const {
+  const double windows_per_engine =
+      static_cast<double>(geo_.windows_per_frame()) / engines_;
+  return windows_per_engine / sc.frame_time_s();
+}
+
+}  // namespace scbnn::hw

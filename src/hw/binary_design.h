@@ -1,0 +1,52 @@
+// Full-chip cost model of the all-binary baseline convolution design.
+//
+// A bank of sliding-window engines [23] with a fixed structure whose
+// datapath width follows the precision. Throughput normalization follows
+// the paper (Section VI): the binary design must deliver a frame in the
+// same time the stochastic design takes (32 * 2^bits SC cycles), which at
+// low precision forces exponentially higher operating frequency; since
+// dynamic energy per operation is frequency-independent, normalized power
+// is energy/frame divided by the stochastic frame time.
+#pragma once
+
+#include "hw/components.h"
+#include "hw/stochastic_design.h"
+
+namespace scbnn::hw {
+
+class BinaryConvDesign {
+ public:
+  /// `engines`: parallel window engines; 46 reproduces the paper's 8-bit
+  /// area and stays fixed across precisions (the paper scales frequency,
+  /// not structure).
+  explicit BinaryConvDesign(unsigned bits, int engines = 46,
+                            ConvGeometry geometry = {},
+                            TechnologyParams tech = {});
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] int engines() const noexcept { return engines_; }
+
+  [[nodiscard]] CostSheet sheet() const;
+  [[nodiscard]] double area_mm2() const;
+
+  /// Energy for one full frame (784 x 32 windows), including the fitted
+  /// clock/glitch/interconnect overhead.
+  [[nodiscard]] double energy_per_frame_j() const;
+
+  /// Throughput-normalized power against a stochastic design at the same
+  /// precision: energy/frame over the SC frame time.
+  [[nodiscard]] double normalized_power_w(
+      const StochasticConvDesign& sc) const;
+
+  /// Clock frequency required to match the SC design's frame rate.
+  [[nodiscard]] double required_clock_hz(
+      const StochasticConvDesign& sc) const;
+
+ private:
+  unsigned bits_;
+  int engines_;
+  ConvGeometry geo_;
+  TechnologyParams tech_;
+};
+
+}  // namespace scbnn::hw

@@ -1,0 +1,51 @@
+#include "hw/components.h"
+
+namespace scbnn::hw {
+
+CostSheet stochastic_dot_unit(unsigned bits, const ConvGeometry& g) {
+  CostSheet s;
+  const unsigned cnt_w = bits + 1;  // counts up to 2^bits ones
+  // SC streams toggle heavily; 0.176 average activity is the calibrated
+  // datapath figure (EXPERIMENTS.md).
+  const double sc_act = 0.176;
+  s.add("and-multipliers", ge::kAnd2, 2.0 * g.fan_in, sc_act);
+  s.add("tff-adder-trees", ge::tff_adder_node(), 2.0 * g.tree_nodes(), sc_act);
+  // Ripple counters: stage i toggles every 2^i inputs, so total toggles per
+  // cycle ~ 1 regardless of width -> activity 1/width keeps power flat
+  // while area grows with precision.
+  s.add("async-counters", ge::async_counter(cnt_w), 2.0, 1.0 / cnt_w);
+  s.add("result-latches", ge::reg(cnt_w), 2.0, 0.05);
+  s.add("sign-comparator", ge::comparator(cnt_w), 1.0, 0.10);
+  // Stream routing / pipeline staging between the converter bank and the
+  // unit (mostly wires and repeaters: area-heavy, activity-light).
+  s.add("routing-staging", 100.0, 1.0, 0.10);
+  return s;
+}
+
+CostSheet stochastic_sng_bank(unsigned bits, const ConvGeometry& g) {
+  CostSheet s;
+  // Low-discrepancy source: counter + (free) bit-reversal wiring.
+  s.add("ld-counter", ge::reg(bits) + ge::kHalfAdder * bits, 1.0, 0.5);
+  // One comparator + one weight register per tap per polarity.
+  s.add("weight-comparators", ge::comparator(bits), 2.0 * g.fan_in, 0.3);
+  s.add("weight-registers", ge::reg(bits), 2.0 * g.fan_in, 0.0);
+  return s;
+}
+
+CostSheet binary_window_engine(unsigned bits, const ConvGeometry& g) {
+  CostSheet s;
+  const unsigned acc_w = 2 * bits + 5;  // product width + tree growth
+  // Array multipliers are area-dominant but only a minority of their cells
+  // toggle per cycle on image data (activity 0.15 calibrated): the paper's
+  // binary energy is near-linear in precision, i.e. dominated by the
+  // datapath movement (tree + registers), not the multiplier array.
+  s.add("multipliers", ge::array_multiplier(bits), g.fan_in, 0.15);
+  s.add("adder-tree", ge::ripple_adder(acc_w), g.fan_in - 1.0, 1.0);
+  // 4 line buffers x 28 pixels + 5x5 window registers, shifting each cycle.
+  s.add("line-buffers", ge::reg(bits), 4.0 * 28.0, 1.0);
+  s.add("window-registers", ge::reg(bits), 25.0, 1.0);
+  s.add("control", 500.0, 1.0, 1.0);
+  return s;
+}
+
+}  // namespace scbnn::hw

@@ -1,0 +1,39 @@
+// Mid-level hardware components shared by the two convolution designs.
+#pragma once
+
+#include "hw/gate_model.h"
+
+namespace scbnn::hw {
+
+/// Geometry shared by both designs (the paper's Fig. 3 system).
+struct ConvGeometry {
+  int units = 784;      ///< parallel stochastic dot-product units (28x28)
+  int kernels = 32;     ///< first-layer kernels (passes per frame)
+  int fan_in = 25;      ///< 5x5 window
+  int tree_leaves = 32; ///< adder-tree leaves (fan_in padded to power of 2)
+
+  [[nodiscard]] int tree_nodes() const { return tree_leaves - 1; }
+  [[nodiscard]] long windows_per_frame() const {
+    return static_cast<long>(units) * kernels;
+  }
+};
+
+/// One stochastic dot-product unit (Fig. 3 top): 2*fan_in AND multipliers
+/// (w_pos and w_neg paths), two TFF adder trees, two asynchronous output
+/// counters with result latches, and the sign comparator.
+[[nodiscard]] CostSheet stochastic_dot_unit(unsigned bits,
+                                            const ConvGeometry& g);
+
+/// The shared SNG bank: low-discrepancy counter plus per-tap weight
+/// comparators and weight registers (w_pos and w_neg), amortized across all
+/// dot-product units.
+[[nodiscard]] CostSheet stochastic_sng_bank(unsigned bits,
+                                            const ConvGeometry& g);
+
+/// One binary sliding-window convolution engine (the baseline [23]): 25
+/// n x n multipliers, a 24-node adder tree, line buffers and window
+/// registers, and fixed control.
+[[nodiscard]] CostSheet binary_window_engine(unsigned bits,
+                                             const ConvGeometry& g);
+
+}  // namespace scbnn::hw

@@ -1,0 +1,83 @@
+#include "hw/design_space.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hw/binary_design.h"
+#include "hw/report.h"
+#include "hw/stochastic_design.h"
+
+namespace scbnn::hw {
+
+std::vector<OperatingPoint> sweep_design_space(
+    std::span<const unsigned> bits, std::span<const double> miscl_this_work,
+    std::span<const double> miscl_binary) {
+  if (bits.size() != miscl_this_work.size() ||
+      bits.size() != miscl_binary.size()) {
+    throw std::invalid_argument("sweep_design_space: length mismatch");
+  }
+  std::vector<OperatingPoint> points;
+  points.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    StochasticConvDesign sc(bits[i]);
+    BinaryConvDesign bin(bits[i]);
+    OperatingPoint p;
+    p.bits = bits[i];
+    p.sc_power_mw = sc.power_w() * 1e3;
+    p.bin_power_mw = bin.normalized_power_w(sc) * 1e3;
+    p.sc_energy_nj = sc.energy_per_frame_j() * 1e9;
+    p.bin_energy_nj = bin.energy_per_frame_j() * 1e9;
+    p.sc_area_mm2 = sc.area_mm2();
+    p.bin_area_mm2 = bin.area_mm2();
+    p.energy_ratio = p.bin_energy_nj / p.sc_energy_nj;
+    p.miscl_this_work_pct = miscl_this_work[i];
+    p.miscl_binary_pct = miscl_binary[i];
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<OperatingPoint> sweep_design_space_paper() {
+  return sweep_design_space(PaperTable3::kBits,
+                            PaperTable3::kThisWorkMiscl,
+                            PaperTable3::kBinaryMiscl);
+}
+
+std::vector<OperatingPoint> pareto_frontier(
+    std::span<const OperatingPoint> points) {
+  std::vector<OperatingPoint> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              return a.sc_energy_nj < b.sc_energy_nj;
+            });
+  std::vector<OperatingPoint> frontier;
+  double best_miscl = 1e18;
+  // Ascending energy: a point joins the frontier iff it improves accuracy
+  // over every cheaper point.
+  for (const auto& p : sorted) {
+    if (p.miscl_this_work_pct < best_miscl) {
+      frontier.push_back(p);
+      best_miscl = p.miscl_this_work_pct;
+    }
+  }
+  std::reverse(frontier.begin(), frontier.end());  // cheap -> accurate? keep
+  std::sort(frontier.begin(), frontier.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              return a.sc_energy_nj < b.sc_energy_nj;
+            });
+  return frontier;
+}
+
+std::optional<OperatingPoint> select_operating_point(
+    std::span<const OperatingPoint> points, double max_miscl_pct) {
+  std::optional<OperatingPoint> best;
+  for (const auto& p : points) {
+    if (p.miscl_this_work_pct <= max_miscl_pct &&
+        (!best || p.sc_energy_nj < best->sc_energy_nj)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace scbnn::hw

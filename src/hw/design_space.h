@@ -1,0 +1,52 @@
+// Design-space exploration over first-layer precision: joins the hardware
+// cost models with accuracy results (measured, or the paper's Table 3 by
+// default) to answer the deployment question the paper's conclusion poses —
+// which precision to run near the sensor for a given accuracy budget.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace scbnn::hw {
+
+struct OperatingPoint {
+  unsigned bits = 8;
+  double sc_power_mw = 0.0;
+  double bin_power_mw = 0.0;
+  double sc_energy_nj = 0.0;
+  double bin_energy_nj = 0.0;
+  double sc_area_mm2 = 0.0;
+  double bin_area_mm2 = 0.0;
+  double energy_ratio = 0.0;      ///< binary / stochastic energy per frame
+  double miscl_this_work_pct = 0.0;
+  double miscl_binary_pct = 0.0;
+
+  /// Accuracy cost of the hybrid design vs the all-binary design at the
+  /// same precision (percentage points; can be negative).
+  [[nodiscard]] double accuracy_penalty_pct() const {
+    return miscl_this_work_pct - miscl_binary_pct;
+  }
+};
+
+/// Evaluate the model at each precision. `miscl_this_work` /
+/// `miscl_binary` must be parallel to `bits`; pass the paper's Table 3
+/// rows (see PaperTable3) or your own measurements from table3_accuracy.
+[[nodiscard]] std::vector<OperatingPoint> sweep_design_space(
+    std::span<const unsigned> bits, std::span<const double> miscl_this_work,
+    std::span<const double> miscl_binary);
+
+/// Convenience: the sweep at the paper's published accuracy numbers.
+[[nodiscard]] std::vector<OperatingPoint> sweep_design_space_paper();
+
+/// Pareto-optimal points over (sc_energy_nj minimized, miscl_this_work_pct
+/// minimized), in ascending energy order.
+[[nodiscard]] std::vector<OperatingPoint> pareto_frontier(
+    std::span<const OperatingPoint> points);
+
+/// Lowest-energy point whose misclassification stays within
+/// `max_miscl_pct`; nullopt if none qualifies.
+[[nodiscard]] std::optional<OperatingPoint> select_operating_point(
+    std::span<const OperatingPoint> points, double max_miscl_pct);
+
+}  // namespace scbnn::hw

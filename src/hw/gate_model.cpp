@@ -1,0 +1,55 @@
+#include "hw/gate_model.h"
+
+namespace scbnn::hw {
+
+namespace ge {
+
+double comparator(unsigned n) { return 3.0 * n; }
+
+double lfsr(unsigned n) { return kDff * n + 2.5; }
+
+double async_counter(unsigned n) { return kTff * n; }
+
+double reg(unsigned n) { return kDff * n; }
+
+double array_multiplier(unsigned n) {
+  // n^2 partial-product ANDs + ~n(n-1) carry-save adder cells.
+  return kAnd2 * n * n + kFullAdder * n * (n - 1.0);
+}
+
+double ripple_adder(unsigned n) { return kFullAdder * n; }
+
+double tff_adder_node() { return kXor2 + kMux2 + kTff; }
+
+double mux_adder_node() { return kMux2; }
+
+}  // namespace ge
+
+void CostSheet::add(std::string name, double unit_ges, double count,
+                    double activity) {
+  items_.push_back(
+      {std::move(name), unit_ges, count, activity});
+}
+
+double CostSheet::total_ges() const {
+  double t = 0.0;
+  for (const auto& c : items_) t += c.total_ges();
+  return t;
+}
+
+double CostSheet::area_mm2(const TechnologyParams& tech) const {
+  return total_ges() * tech.gate_area_um2 * 1e-6;  // um^2 -> mm^2
+}
+
+double CostSheet::energy_per_cycle_j(const TechnologyParams& tech) const {
+  double weighted = 0.0;
+  for (const auto& c : items_) weighted += c.total_ges() * c.activity;
+  return weighted * tech.gate_energy_fj * 1e-15;
+}
+
+double CostSheet::dynamic_power_w(const TechnologyParams& tech,
+                                  double clock_hz) const {
+  return energy_per_cycle_j(tech) * clock_hz;
+}
+
+}  // namespace scbnn::hw

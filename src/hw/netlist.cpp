@@ -1,0 +1,403 @@
+#include "hw/netlist.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/gate_model.h"
+
+namespace scbnn::hw {
+
+int Netlist::add_input(std::string name) {
+  const int idx = static_cast<int>(gates_.size());
+  gates_.push_back({GateOp::kInput, {}, std::move(name), false});
+  inputs_.push_back(idx);
+  return idx;
+}
+
+int Netlist::add_gate(GateOp op, std::vector<int> inputs, std::string name,
+                      bool init_state) {
+  const auto arity = [op]() -> std::size_t {
+    switch (op) {
+      case GateOp::kInput:
+      case GateOp::kConst0:
+      case GateOp::kConst1: return 0;
+      case GateOp::kNot:
+      case GateOp::kDff:
+      case GateOp::kTff: return 1;
+      case GateOp::kAnd:
+      case GateOp::kOr:
+      case GateOp::kXor: return 2;
+      case GateOp::kMux: return 3;
+    }
+    return 0;
+  }();
+  if (inputs.size() != arity) {
+    throw std::invalid_argument("Netlist::add_gate: wrong arity");
+  }
+  for (int in : inputs) {
+    if (in < 0 || in >= static_cast<int>(gates_.size())) {
+      throw std::invalid_argument("Netlist::add_gate: bad input index");
+    }
+  }
+  if (name.empty()) {
+    name = "n" + std::to_string(gates_.size());
+  }
+  const int idx = static_cast<int>(gates_.size());
+  gates_.push_back({op, std::move(inputs), std::move(name), init_state});
+  return idx;
+}
+
+void Netlist::mark_output(int gate, std::string name) {
+  if (gate < 0 || gate >= static_cast<int>(gates_.size())) {
+    throw std::invalid_argument("Netlist::mark_output: bad gate index");
+  }
+  outputs_.emplace_back(gate, std::move(name));
+}
+
+std::size_t Netlist::count(GateOp op) const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.op == op) ++n;
+  }
+  return n;
+}
+
+double Netlist::gate_equivalents() const {
+  double total = 0.0;
+  for (const auto& g : gates_) {
+    switch (g.op) {
+      case GateOp::kAnd:
+      case GateOp::kOr: total += ge::kAnd2; break;
+      case GateOp::kXor: total += ge::kXor2; break;
+      case GateOp::kNot: total += 0.5; break;
+      case GateOp::kMux: total += ge::kMux2; break;
+      case GateOp::kDff: total += ge::kDff; break;
+      case GateOp::kTff: total += ge::kTff; break;
+      default: break;  // inputs/constants are free
+    }
+  }
+  return total;
+}
+
+std::string Netlist::to_verilog(const std::string& module_name) const {
+  std::ostringstream os;
+  os << "module " << module_name << "(\n  input wire clk,\n"
+     << "  input wire rst_n";
+  for (int idx : inputs_) {
+    os << ",\n  input wire " << gates_[static_cast<std::size_t>(idx)].name;
+  }
+  for (const auto& [gate, name] : outputs_) {
+    (void)gate;
+    os << ",\n  output wire " << name;
+  }
+  os << "\n);\n\n";
+
+  // Wire declarations for every non-input gate.
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.op == GateOp::kInput) continue;
+    if (g.op == GateOp::kDff || g.op == GateOp::kTff) {
+      os << "  reg " << g.name << ";\n";
+    } else {
+      os << "  wire " << g.name << ";\n";
+    }
+  }
+  os << "\n";
+
+  auto wire = [this](int idx) -> const std::string& {
+    return gates_[static_cast<std::size_t>(idx)].name;
+  };
+
+  for (const Gate& g : gates_) {
+    switch (g.op) {
+      case GateOp::kConst0:
+        os << "  assign " << g.name << " = 1'b0;\n";
+        break;
+      case GateOp::kConst1:
+        os << "  assign " << g.name << " = 1'b1;\n";
+        break;
+      case GateOp::kAnd:
+        os << "  assign " << g.name << " = " << wire(g.inputs[0]) << " & "
+           << wire(g.inputs[1]) << ";\n";
+        break;
+      case GateOp::kOr:
+        os << "  assign " << g.name << " = " << wire(g.inputs[0]) << " | "
+           << wire(g.inputs[1]) << ";\n";
+        break;
+      case GateOp::kXor:
+        os << "  assign " << g.name << " = " << wire(g.inputs[0]) << " ^ "
+           << wire(g.inputs[1]) << ";\n";
+        break;
+      case GateOp::kNot:
+        os << "  assign " << g.name << " = ~" << wire(g.inputs[0]) << ";\n";
+        break;
+      case GateOp::kMux:
+        os << "  assign " << g.name << " = " << wire(g.inputs[0]) << " ? "
+           << wire(g.inputs[2]) << " : " << wire(g.inputs[1]) << ";\n";
+        break;
+      case GateOp::kDff:
+        os << "  always @(posedge clk or negedge rst_n)\n"
+           << "    if (!rst_n) " << g.name << " <= 1'b"
+           << (g.init_state ? 1 : 0) << ";\n"
+           << "    else " << g.name << " <= " << wire(g.inputs[0]) << ";\n";
+        break;
+      case GateOp::kTff:
+        os << "  always @(posedge clk or negedge rst_n)\n"
+           << "    if (!rst_n) " << g.name << " <= 1'b"
+           << (g.init_state ? 1 : 0) << ";\n"
+           << "    else " << g.name << " <= " << g.name << " ^ "
+           << wire(g.inputs[0]) << ";\n";
+        break;
+      case GateOp::kInput:
+        break;
+    }
+  }
+  os << "\n";
+  for (const auto& [gate, name] : outputs_) {
+    os << "  assign " << name << " = " << wire(gate) << ";\n";
+  }
+  os << "\nendmodule\n";
+  return os.str();
+}
+
+NetlistSimulator::NetlistSimulator(const Netlist& netlist)
+    : nl_(netlist),
+      state_(netlist.gates_.size(), false),
+      value_(netlist.gates_.size(), false) {
+  reset();
+}
+
+void NetlistSimulator::reset() {
+  for (std::size_t i = 0; i < nl_.gates_.size(); ++i) {
+    state_[i] = nl_.gates_[i].init_state;
+  }
+}
+
+std::vector<bool> NetlistSimulator::step(const std::vector<bool>& inputs) {
+  if (inputs.size() != nl_.inputs_.size()) {
+    throw std::invalid_argument("NetlistSimulator::step: input count");
+  }
+  // Phase 1: combinational evaluation in topological (insertion) order;
+  // register outputs present their current state.
+  std::size_t in_cursor = 0;
+  for (std::size_t i = 0; i < nl_.gates_.size(); ++i) {
+    const Gate& g = nl_.gates_[i];
+    switch (g.op) {
+      case GateOp::kInput: value_[i] = inputs[in_cursor++]; break;
+      case GateOp::kConst0: value_[i] = false; break;
+      case GateOp::kConst1: value_[i] = true; break;
+      case GateOp::kAnd:
+        value_[i] = value_[static_cast<std::size_t>(g.inputs[0])] &&
+                    value_[static_cast<std::size_t>(g.inputs[1])];
+        break;
+      case GateOp::kOr:
+        value_[i] = value_[static_cast<std::size_t>(g.inputs[0])] ||
+                    value_[static_cast<std::size_t>(g.inputs[1])];
+        break;
+      case GateOp::kXor:
+        value_[i] = value_[static_cast<std::size_t>(g.inputs[0])] !=
+                    value_[static_cast<std::size_t>(g.inputs[1])];
+        break;
+      case GateOp::kNot:
+        value_[i] = !value_[static_cast<std::size_t>(g.inputs[0])];
+        break;
+      case GateOp::kMux:
+        value_[i] = value_[static_cast<std::size_t>(g.inputs[0])]
+                        ? value_[static_cast<std::size_t>(g.inputs[2])]
+                        : value_[static_cast<std::size_t>(g.inputs[1])];
+        break;
+      case GateOp::kDff:
+      case GateOp::kTff:
+        value_[i] = state_[i];
+        break;
+    }
+  }
+  // Phase 2: register update (nonblocking semantics).
+  for (std::size_t i = 0; i < nl_.gates_.size(); ++i) {
+    const Gate& g = nl_.gates_[i];
+    if (g.op == GateOp::kDff) {
+      state_[i] = value_[static_cast<std::size_t>(g.inputs[0])];
+    } else if (g.op == GateOp::kTff) {
+      if (value_[static_cast<std::size_t>(g.inputs[0])]) {
+        state_[i] = !state_[i];
+      }
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(nl_.outputs_.size());
+  for (const auto& [gate, name] : nl_.outputs_) {
+    (void)name;
+    out.push_back(value_[static_cast<std::size_t>(gate)]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Append one Fig. 2b adder over existing gates `x` and `y`; returns the
+/// output gate index.
+int append_tff_adder(Netlist& nl, int x, int y, bool s0,
+                     const std::string& prefix) {
+  const int m = nl.add_gate(GateOp::kXor, {x, y}, prefix + "_m");
+  const int q = nl.add_gate(GateOp::kTff, {m}, prefix + "_q", s0);
+  // x == y ? x : q  ==  mux(sel = m, a = x, b = q).
+  return nl.add_gate(GateOp::kMux, {m, x, q}, prefix + "_z");
+}
+
+}  // namespace
+
+Netlist build_tff_adder_netlist(bool s0) {
+  Netlist nl;
+  const int x = nl.add_input("x");
+  const int y = nl.add_input("y");
+  const int z = append_tff_adder(nl, x, y, s0, "add0");
+  nl.mark_output(z, "z");
+  return nl;
+}
+
+Netlist build_tff_halver_netlist(bool s0) {
+  Netlist nl;
+  const int a = nl.add_input("a");
+  const int q = nl.add_gate(GateOp::kTff, {a}, "q", s0);
+  const int c = nl.add_gate(GateOp::kAnd, {a, q}, "c");
+  nl.mark_output(c, "c");
+  return nl;
+}
+
+Netlist build_tff_tree_netlist(unsigned leaves) {
+  if (leaves < 2 || (leaves & (leaves - 1)) != 0) {
+    throw std::invalid_argument(
+        "build_tff_tree_netlist: leaves must be a power of two >= 2");
+  }
+  Netlist nl;
+  std::vector<int> level;
+  for (unsigned i = 0; i < leaves; ++i) {
+    level.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  unsigned node = 0;
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2, ++node) {
+      next.push_back(append_tff_adder(nl, level[i], level[i + 1],
+                                      (node % 2) != 0,
+                                      "add" + std::to_string(node)));
+    }
+    level = std::move(next);
+  }
+  nl.mark_output(level.front(), "z");
+  return nl;
+}
+
+Netlist build_mux_adder_netlist() {
+  Netlist nl;
+  const int x = nl.add_input("x");
+  const int y = nl.add_input("y");
+  const int sel = nl.add_input("sel");
+  const int z = nl.add_gate(GateOp::kMux, {sel, x, y}, "z_mux");
+  nl.mark_output(z, "z");
+  return nl;
+}
+
+namespace {
+
+/// Append a `width`-bit increment-on-pulse counter; returns the register
+/// indices (LSB first). Each bit is a TFF toggled by the ripple carry
+/// (q_i toggles when all lower bits are 1 and a pulse arrives) — the
+/// synchronous-equivalent of the asynchronous ripple counter the paper's
+/// converter uses, with identical settled counts.
+std::vector<int> append_counter(Netlist& nl, int pulse, unsigned width,
+                                const std::string& prefix) {
+  std::vector<int> bits(width);
+  int carry = pulse;
+  for (unsigned i = 0; i < width; ++i) {
+    const std::string nm = prefix + "_b" + std::to_string(i);
+    const int q = nl.add_gate(GateOp::kTff, {carry}, nm, false);
+    bits[i] = q;
+    if (i + 1 < width) {
+      carry = nl.add_gate(GateOp::kAnd, {q, carry}, nm + "_cy");
+    }
+  }
+  return bits;
+}
+
+/// Append an unsigned magnitude comparator (a > b) over equal-width bit
+/// vectors (LSB first); returns the gt signal.
+int append_gt_comparator(Netlist& nl, const std::vector<int>& a,
+                         const std::vector<int>& b,
+                         const std::string& prefix) {
+  int gt = nl.add_gate(GateOp::kConst0, {}, prefix + "_gt_init");
+  int eq = nl.add_gate(GateOp::kConst1, {}, prefix + "_eq_init");
+  for (std::size_t i = a.size(); i-- > 0;) {  // MSB downward
+    const std::string nm = prefix + "_s" + std::to_string(i);
+    const int nb = nl.add_gate(GateOp::kNot, {b[i]}, nm + "_nb");
+    const int a_gt_b = nl.add_gate(GateOp::kAnd, {a[i], nb}, nm + "_agtb");
+    const int here = nl.add_gate(GateOp::kAnd, {eq, a_gt_b}, nm + "_here");
+    gt = nl.add_gate(GateOp::kOr, {gt, here}, nm + "_gt");
+    const int diff = nl.add_gate(GateOp::kXor, {a[i], b[i]}, nm + "_diff");
+    const int ndiff = nl.add_gate(GateOp::kNot, {diff}, nm + "_ndiff");
+    eq = nl.add_gate(GateOp::kAnd, {eq, ndiff}, nm + "_eq");
+  }
+  return gt;
+}
+
+}  // namespace
+
+Netlist build_dot_unit_netlist(unsigned fan_in, unsigned count_bits) {
+  if (fan_in < 2 || (fan_in & (fan_in - 1)) != 0) {
+    throw std::invalid_argument(
+        "build_dot_unit_netlist: fan_in must be a power of two >= 2");
+  }
+  if (count_bits == 0 || count_bits > 16) {
+    throw std::invalid_argument(
+        "build_dot_unit_netlist: count_bits must be in [1,16]");
+  }
+  Netlist nl;
+  std::vector<int> x(fan_in), wp(fan_in), wn(fan_in);
+  for (unsigned i = 0; i < fan_in; ++i) {
+    x[i] = nl.add_input("x" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < fan_in; ++i) {
+    wp[i] = nl.add_input("wp" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < fan_in; ++i) {
+    wn[i] = nl.add_input("wn" + std::to_string(i));
+  }
+
+  auto build_path = [&](const std::vector<int>& w, const std::string& tag) {
+    // AND multipliers.
+    std::vector<int> level(fan_in);
+    for (unsigned i = 0; i < fan_in; ++i) {
+      level[i] = nl.add_gate(GateOp::kAnd, {x[i], w[i]},
+                             tag + "_p" + std::to_string(i));
+    }
+    // TFF adder tree with the alternating initial-state policy.
+    unsigned node = 0;
+    while (level.size() > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2, ++node) {
+        next.push_back(append_tff_adder(
+            nl, level[i], level[i + 1], (node % 2) != 0,
+            tag + "_add" + std::to_string(node)));
+      }
+      level = std::move(next);
+    }
+    // Binary output counter (the asynchronous counter's settled value).
+    return append_counter(nl, level.front(), count_bits, tag + "_cnt");
+  };
+
+  const std::vector<int> pos_bits = build_path(wp, "pos");
+  const std::vector<int> neg_bits = build_path(wn, "neg");
+  const int pos_gt = append_gt_comparator(nl, pos_bits, neg_bits, "cmp_pos");
+  const int neg_gt = append_gt_comparator(nl, neg_bits, pos_bits, "cmp_neg");
+  nl.mark_output(pos_gt, "pos_gt");
+  nl.mark_output(neg_gt, "neg_gt");
+  for (unsigned i = 0; i < count_bits; ++i) {
+    nl.mark_output(pos_bits[i], "pos_c" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < count_bits; ++i) {
+    nl.mark_output(neg_bits[i], "neg_c" + std::to_string(i));
+  }
+  return nl;
+}
+
+}  // namespace scbnn::hw

@@ -1,0 +1,124 @@
+// Structural gate-level netlists of the paper's circuits, with a
+// cycle-accurate simulator and Verilog export.
+//
+// The behavioral models in src/sc are the fast path; this module provides
+// the hardware view: the Fig. 2b TFF adder and the scaled adder trees as
+// explicit gate graphs. The simulator lets tests prove BEHAVIORAL ==
+// STRUCTURAL bit-for-bit (the equivalence check a tape-out flow would run),
+// and to_verilog() emits synthesizable RTL for the proposed adder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scbnn::hw {
+
+enum class GateOp {
+  kInput,   ///< primary input (value supplied per cycle)
+  kConst0,
+  kConst1,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kMux,     ///< inputs: {sel, a, b} -> sel ? b : a
+  kDff,     ///< inputs: {d}; output is the registered value
+  kTff,     ///< inputs: {t}; output is the current state (pre-toggle)
+};
+
+struct Gate {
+  GateOp op = GateOp::kInput;
+  std::vector<int> inputs;  ///< indices of driving gates
+  std::string name;         ///< for Verilog export / debugging
+  bool init_state = false;  ///< initial register state (kDff / kTff)
+};
+
+/// A combinational-plus-registers gate graph. Gates must be appended in
+/// topological order for the combinational part (register outputs may be
+/// read by any gate — they carry last cycle's state).
+class Netlist {
+ public:
+  /// Append a primary input; returns its gate index.
+  int add_input(std::string name);
+  /// Append a gate; `inputs` must reference existing gates.
+  int add_gate(GateOp op, std::vector<int> inputs, std::string name = "",
+               bool init_state = false);
+  /// Mark a gate as a primary output.
+  void mark_output(int gate, std::string name);
+
+  [[nodiscard]] std::size_t gate_count() const noexcept {
+    return gates_.size();
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return inputs_.size();
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return outputs_.size();
+  }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept {
+    return gates_;
+  }
+
+  /// Count of gates of one kind (area/reporting).
+  [[nodiscard]] std::size_t count(GateOp op) const;
+
+  /// Gate-equivalent estimate using the cost tables in gate_model.h.
+  [[nodiscard]] double gate_equivalents() const;
+
+  /// Synthesizable Verilog-2001 of the whole netlist.
+  [[nodiscard]] std::string to_verilog(const std::string& module_name) const;
+
+  friend class NetlistSimulator;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<std::pair<int, std::string>> outputs_;
+};
+
+/// Cycle-accurate two-phase simulator: combinational evaluation, then
+/// register update — matching an RTL simulator's nonblocking semantics.
+class NetlistSimulator {
+ public:
+  explicit NetlistSimulator(const Netlist& netlist);
+
+  /// Evaluate one clock cycle; `inputs` in add_input() order. Returns the
+  /// primary outputs in mark_output() order.
+  std::vector<bool> step(const std::vector<bool>& inputs);
+
+  /// Restore all registers to their initial states.
+  void reset();
+
+ private:
+  const Netlist& nl_;
+  std::vector<bool> state_;   // per-gate register state (kDff/kTff only)
+  std::vector<bool> value_;   // per-gate combinational value this cycle
+};
+
+/// Fig. 2b: the proposed TFF adder. Inputs {x, y}, output {z}.
+[[nodiscard]] Netlist build_tff_adder_netlist(bool s0 = false);
+
+/// Fig. 2a: the TFF halver (pC = pA/2). Inputs {a}, output {c}.
+[[nodiscard]] Netlist build_tff_halver_netlist(bool s0 = false);
+
+/// Scaled adder tree of TFF adders over `leaves` inputs (power of two),
+/// with the alternating initial-state policy. Inputs {x0..}, output {z}.
+[[nodiscard]] Netlist build_tff_tree_netlist(unsigned leaves);
+
+/// Conventional MUX scaled adder (Fig. 1b). Inputs {x, y, sel}, output {z}.
+[[nodiscard]] Netlist build_mux_adder_netlist();
+
+/// The complete stochastic dot-product unit of Fig. 3 (top): per tap, two
+/// AND multipliers (x & w_pos, x & w_neg); two `fan_in`-leaf TFF adder
+/// trees (alternating initial states); two `count_bits`-bit binary
+/// counters; and a magnitude comparator producing the sign activation.
+///
+/// Inputs (per cycle): {x0..x(f-1), wp0..wp(f-1), wn0..wn(f-1)}.
+/// Outputs: {pos_gt, neg_gt} (sign = +1 / -1 / 0 when both low), then the
+/// counter bits {pos_c0.., neg_c0..} (LSB first) for test visibility.
+/// `fan_in` must be a power of two (pad externally as the conv engine does).
+[[nodiscard]] Netlist build_dot_unit_netlist(unsigned fan_in,
+                                             unsigned count_bits);
+
+}  // namespace scbnn::hw

@@ -1,0 +1,52 @@
+#include "hw/report.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace scbnn::hw {
+
+TableWriter::TableWriter(std::vector<std::string> headers,
+                         std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (headers_.size() != widths_.size()) {
+    throw std::invalid_argument("TableWriter: headers/widths mismatch");
+  }
+}
+
+void TableWriter::print_header() const {
+  print_rule();
+  print_row(headers_);
+  print_rule();
+}
+
+void TableWriter::print_row(const std::vector<std::string>& cells) const {
+  std::printf("|");
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    const std::string cell = i < cells.size() ? cells[i] : "";
+    std::printf(" %-*s |", widths_[i], cell.c_str());
+  }
+  std::printf("\n");
+}
+
+void TableWriter::print_rule() const {
+  std::printf("+");
+  for (int w : widths_) {
+    for (int i = 0; i < w + 2; ++i) std::printf("-");
+    std::printf("+");
+  }
+  std::printf("\n");
+}
+
+std::string TableWriter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+}  // namespace scbnn::hw

@@ -1,0 +1,48 @@
+#include "hw/stochastic_design.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scbnn::hw {
+
+StochasticConvDesign::StochasticConvDesign(unsigned bits, ConvGeometry geometry,
+                                           TechnologyParams tech)
+    : bits_(bits), geo_(geometry), tech_(tech) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("StochasticConvDesign: bits must be in [2,16]");
+  }
+}
+
+CostSheet StochasticConvDesign::sheet() const {
+  CostSheet total;
+  const CostSheet unit = stochastic_dot_unit(bits_, geo_);
+  for (const auto& c : unit.items()) {
+    total.add(c.name, c.unit_ges, c.count * geo_.units, c.activity);
+  }
+  const CostSheet bank = stochastic_sng_bank(bits_, geo_);
+  for (const auto& c : bank.items()) {
+    total.add("sng." + c.name, c.unit_ges, c.count, c.activity);
+  }
+  return total;
+}
+
+double StochasticConvDesign::area_mm2() const { return sheet().area_mm2(tech_); }
+
+double StochasticConvDesign::power_w() const {
+  return sheet().dynamic_power_w(tech_, tech_.sc_clock_hz);
+}
+
+double StochasticConvDesign::cycles_per_frame() const {
+  return static_cast<double>(geo_.kernels) *
+         std::ldexp(1.0, static_cast<int>(bits_));
+}
+
+double StochasticConvDesign::frame_time_s() const {
+  return cycles_per_frame() / tech_.sc_clock_hz;
+}
+
+double StochasticConvDesign::energy_per_frame_j() const {
+  return power_w() * frame_time_s();
+}
+
+}  // namespace scbnn::hw

@@ -1,0 +1,35 @@
+// Full-chip cost model of the proposed stochastic convolution design.
+#pragma once
+
+#include "hw/components.h"
+
+namespace scbnn::hw {
+
+class StochasticConvDesign {
+ public:
+  explicit StochasticConvDesign(unsigned bits, ConvGeometry geometry = {},
+                                TechnologyParams tech = {});
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] const ConvGeometry& geometry() const noexcept { return geo_; }
+  [[nodiscard]] const TechnologyParams& tech() const noexcept { return tech_; }
+
+  /// Complete design: `units` dot-product units + the shared SNG bank.
+  [[nodiscard]] CostSheet sheet() const;
+
+  [[nodiscard]] double area_mm2() const;
+  /// Dynamic power at the SC clock.
+  [[nodiscard]] double power_w() const;
+  /// Cycles per frame: kernels passes x 2^bits cycles each (the 784 units
+  /// cover all window positions in parallel).
+  [[nodiscard]] double cycles_per_frame() const;
+  [[nodiscard]] double frame_time_s() const;
+  [[nodiscard]] double energy_per_frame_j() const;
+
+ private:
+  unsigned bits_;
+  ConvGeometry geo_;
+  TechnologyParams tech_;
+};
+
+}  // namespace scbnn::hw

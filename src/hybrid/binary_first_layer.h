@@ -1,0 +1,32 @@
+// Quantized all-binary first layer (the paper's baseline design).
+//
+// Exact n-bit integer arithmetic: inputs quantized to [0, 2^n], weights to
+// [-2^n, 2^n] (per-kernel scaled), dot products in 64-bit integers, sign
+// activation. This is what a conventional fixed-point sliding-window
+// convolution engine [23] computes.
+#pragma once
+
+#include <vector>
+
+#include "hybrid/first_layer.h"
+
+namespace scbnn::hybrid {
+
+class BinaryFirstLayer final : public FirstLayerEngine {
+ public:
+  BinaryFirstLayer(const nn::QuantizedConvWeights& weights,
+                   const FirstLayerConfig& config);
+
+  void compute(const float* image, float* out) const override;
+  [[nodiscard]] std::string name() const override { return "binary-quantized"; }
+  [[nodiscard]] int kernels() const noexcept override {
+    return static_cast<int>(levels_.size());
+  }
+
+ private:
+  unsigned bits_;
+  double soft_threshold_;
+  std::vector<std::vector<int>> levels_;  // [kernel][tap] signed weight levels
+};
+
+}  // namespace scbnn::hybrid

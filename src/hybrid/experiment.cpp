@@ -1,0 +1,158 @@
+#include "hybrid/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+
+namespace scbnn::hybrid {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name); v != nullptr) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+void ExperimentConfig::apply_env_overrides() {
+  train_n = env_size("SCBNN_TRAIN_N", train_n);
+  test_n = env_size("SCBNN_TEST_N", test_n);
+  base_epochs = static_cast<int>(env_size("SCBNN_BASE_EPOCHS",
+                                          static_cast<std::size_t>(base_epochs)));
+  retrain_epochs = static_cast<int>(env_size(
+      "SCBNN_RETRAIN_EPOCHS", static_cast<std::size_t>(retrain_epochs)));
+  if (env_flag("SCBNN_QUICK")) {
+    train_n = 1500;
+    test_n = 500;
+    base_epochs = 3;
+    retrain_epochs = 1;
+    lenet.conv2_kernels = 16;
+    lenet.dense_units = 64;
+  }
+  if (env_flag("SCBNN_FULL")) {
+    train_n = 12000;
+    test_n = 2000;
+    base_epochs = 10;
+    retrain_epochs = 3;
+    lenet.conv2_kernels = 64;
+    lenet.dense_units = 256;
+  }
+  if (env_flag("SCBNN_VERBOSE")) verbose = true;
+}
+
+PreparedExperiment prepare_experiment(const ExperimentConfig& config) {
+  PreparedExperiment prep;
+  auto resolved = data::resolve_dataset(config.train_n, config.test_n,
+                                        config.seed);
+  prep.data = std::move(resolved.split);
+  prep.real_mnist = resolved.real_mnist;
+
+  nn::Rng rng(config.seed);
+  prep.base = build_lenet(config.lenet, rng);
+
+  if (!config.cache_path.empty() &&
+      nn::params_file_valid(config.cache_path)) {
+    try {
+      nn::load_params(prep.base, config.cache_path);
+      prep.base_from_cache = true;
+    } catch (const std::exception&) {
+      prep.base_from_cache = false;  // shape changed: retrain below
+    }
+  }
+
+  if (!prep.base_from_cache) {
+    nn::Adam opt(config.base_lr);
+    nn::TrainConfig tc;
+    tc.epochs = config.base_epochs;
+    tc.batch_size = config.batch_size;
+    tc.verbose = config.verbose;
+    tc.shuffle_seed = config.seed;
+    (void)nn::fit(prep.base, opt, prep.data.train.images,
+                  prep.data.train.labels, tc);
+    if (!config.cache_path.empty()) {
+      nn::save_params(prep.base, config.cache_path);
+    }
+  }
+
+  prep.float_accuracy = nn::evaluate_accuracy(
+      prep.base, prep.data.test.images, prep.data.test.labels);
+  return prep;
+}
+
+DesignPointResult evaluate_design_point(PreparedExperiment& prep,
+                                        const ExperimentConfig& config,
+                                        FirstLayerDesign design,
+                                        unsigned bits) {
+  DesignPointResult result;
+  result.design = design;
+  result.bits = bits;
+
+  const nn::QuantizedConvWeights qw =
+      nn::quantize_conv_weights(base_conv1_weights(prep.base), bits);
+
+  FirstLayerConfig flc;
+  flc.bits = bits;
+  // Soft thresholding mitigates SC's inaccuracy near the zero crossing
+  // (Kim et al. [16]); the exact binary design does not need it.
+  flc.soft_threshold = design == FirstLayerDesign::kBinaryQuantized
+                           ? 0.0
+                           : config.sc_soft_threshold;
+  flc.seed = static_cast<std::uint32_t>(config.seed | 1u);
+
+  auto engine = make_first_layer_engine(design, qw, flc);
+  nn::Tensor train_feat = engine->compute_batch(prep.data.train.images);
+  nn::Tensor test_feat = engine->compute_batch(prep.data.test.images);
+
+  // Feature-level agreement against the exact quantized-binary reference
+  // (how much noise SC injects before any retraining).
+  if (design != FirstLayerDesign::kBinaryQuantized) {
+    // Same soft threshold on the reference so the metric measures SC
+    // arithmetic noise, not the intentional dead zone.
+    auto ref = make_first_layer_engine(FirstLayerDesign::kBinaryQuantized, qw,
+                                       flc);
+    nn::Tensor ref_feat = ref->compute_batch(prep.data.test.images);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < ref_feat.size(); ++i) {
+      if (ref_feat[i] == test_feat[i]) ++same;
+    }
+    result.feature_agreement_vs_binary =
+        static_cast<double>(same) / static_cast<double>(ref_feat.size());
+  }
+
+  // Tail initialized from the trained base model (= paper's retraining
+  // starting point), evaluated before and after retraining.
+  nn::Rng rng(config.seed + 1);
+  nn::Network tail = build_tail(config.lenet, rng);
+  copy_tail_params(prep.base, tail);
+  HybridNetwork hybrid(std::move(engine), std::move(tail));
+
+  result.before_retrain_pct = misclassification_pct(
+      hybrid.evaluate(test_feat, prep.data.test.labels));
+
+  nn::TrainConfig tc;
+  tc.epochs = config.retrain_epochs;
+  tc.batch_size = config.batch_size;
+  tc.verbose = config.verbose;
+  tc.shuffle_seed = config.seed + bits;
+  (void)hybrid.retrain(train_feat, prep.data.train.labels, tc,
+                       config.retrain_lr);
+
+  result.misclassification_pct = misclassification_pct(
+      hybrid.evaluate(test_feat, prep.data.test.labels));
+  return result;
+}
+
+}  // namespace scbnn::hybrid

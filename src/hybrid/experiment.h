@@ -1,0 +1,65 @@
+// Experiment orchestration for the Table 3 accuracy study and the examples.
+//
+// Encapsulates the paper's evaluation flow: resolve dataset -> train float
+// base model (cached) -> per (design, precision): quantize first layer,
+// compute frozen features, retrain the binary tail, measure test
+// misclassification. Scale knobs allow CPU-budget runs; the comparison
+// structure is identical at any scale because all designs share the same
+// base model, dataset, and tail-training recipe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hybrid/first_layer.h"
+#include "hybrid/hybrid_network.h"
+
+namespace scbnn::hybrid {
+
+struct ExperimentConfig {
+  std::size_t train_n = 4000;
+  std::size_t test_n = 1000;
+  LeNetConfig lenet{32, 24, 96, 0.25f};  ///< CPU-scaled LeNet-5 variant
+  int base_epochs = 6;
+  int retrain_epochs = 3;
+  float base_lr = 1e-3f;
+  float retrain_lr = 5e-4f;
+  int batch_size = 64;
+  double sc_soft_threshold = 0.30;  ///< dead zone for SC engines only
+  std::uint64_t seed = 7;
+  std::string cache_path;  ///< base-model parameter cache ("" = no cache)
+  bool verbose = false;
+
+  /// Read scale overrides from SCBNN_* environment variables
+  /// (SCBNN_TRAIN_N, SCBNN_TEST_N, SCBNN_BASE_EPOCHS, SCBNN_RETRAIN_EPOCHS,
+  /// SCBNN_QUICK, SCBNN_FULL, SCBNN_VERBOSE).
+  void apply_env_overrides();
+};
+
+struct PreparedExperiment {
+  data::DataSplit data;
+  bool real_mnist = false;
+  nn::Network base;             ///< trained float base model
+  double float_accuracy = 0.0;  ///< base model test accuracy
+  bool base_from_cache = false;
+};
+
+/// Resolve data and train (or load) the float base model.
+[[nodiscard]] PreparedExperiment prepare_experiment(
+    const ExperimentConfig& config);
+
+struct DesignPointResult {
+  FirstLayerDesign design{};
+  unsigned bits = 8;
+  double misclassification_pct = 0.0;         ///< after tail retraining
+  double before_retrain_pct = 0.0;            ///< frozen layer, original tail
+  double feature_agreement_vs_binary = 1.0;   ///< SC-vs-binary feature match
+};
+
+/// Run one (design, precision) cell of Table 3.
+[[nodiscard]] DesignPointResult evaluate_design_point(
+    PreparedExperiment& prep, const ExperimentConfig& config,
+    FirstLayerDesign design, unsigned bits);
+
+}  // namespace scbnn::hybrid

@@ -1,0 +1,35 @@
+#include "hybrid/first_layer.h"
+
+#include <stdexcept>
+
+#include "hybrid/binary_first_layer.h"
+#include "hybrid/sc_first_layer.h"
+
+namespace scbnn::hybrid {
+
+std::string to_string(FirstLayerDesign d) {
+  switch (d) {
+    case FirstLayerDesign::kBinaryQuantized: return "Binary";
+    case FirstLayerDesign::kScProposed: return "This Work";
+    case FirstLayerDesign::kScConventional: return "Old SC";
+  }
+  return "?";
+}
+
+std::unique_ptr<FirstLayerEngine> make_first_layer_engine(
+    FirstLayerDesign design, const nn::QuantizedConvWeights& weights,
+    const FirstLayerConfig& config) {
+  switch (design) {
+    case FirstLayerDesign::kBinaryQuantized:
+      return std::make_unique<BinaryFirstLayer>(weights, config);
+    case FirstLayerDesign::kScProposed:
+      return std::make_unique<StochasticFirstLayer>(
+          StochasticFirstLayer::Style::kProposed, weights, config);
+    case FirstLayerDesign::kScConventional:
+      return std::make_unique<StochasticFirstLayer>(
+          StochasticFirstLayer::Style::kConventional, weights, config);
+  }
+  throw std::invalid_argument("make_first_layer_engine: unknown design");
+}
+
+}  // namespace scbnn::hybrid

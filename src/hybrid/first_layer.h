@@ -1,0 +1,62 @@
+// First-layer engine interface for the hybrid stochastic-binary network.
+//
+// The paper's system (Fig. 3) computes the first LeNet-5 convolution layer
+// near the sensor: 784 dot-product units evaluate a 5x5 kernel over every
+// (same-padded) position of the 28x28 input, 32 kernel passes per image,
+// with a sign(x . w) activation in {-1, 0, +1}. Everything after this layer
+// runs in the binary domain. An engine maps an input image to those ternary
+// feature maps; implementations differ in the arithmetic used (exact
+// quantized binary vs bit-exact stochastic simulation, old or new design).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/quantize.h"
+#include "nn/tensor.h"
+
+namespace scbnn::hybrid {
+
+/// LeNet-5 first-layer geometry (Keras variant used in the paper's Fig. 3).
+inline constexpr int kImageSize = 28;
+inline constexpr int kKernelSize = 5;
+inline constexpr int kPad = 2;                      // 'same' padding
+inline constexpr int kFanIn = kKernelSize * kKernelSize;
+inline constexpr int kOutputsPerKernel = kImageSize * kImageSize;  // 784 units
+
+struct FirstLayerConfig {
+  unsigned bits = 8;           ///< stream/weight precision (2..8 in the paper)
+  double soft_threshold = 0.0; ///< dead zone in normalized dot-product units
+  std::uint32_t seed = 1;      ///< LFSR seeding for the conventional design
+};
+
+class FirstLayerEngine {
+ public:
+  virtual ~FirstLayerEngine();
+
+  /// image: 28x28 floats in [0,1]; out: kernels x 28 x 28 floats in
+  /// {-1, 0, +1} (row-major, kernel-major).
+  virtual void compute(const float* image, float* out) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int kernels() const noexcept = 0;
+
+  /// Batch wrapper, OpenMP-parallel over images.
+  /// images: [N,1,28,28] -> features [N, kernels, 28, 28].
+  [[nodiscard]] nn::Tensor compute_batch(const nn::Tensor& images) const;
+};
+
+enum class FirstLayerDesign {
+  kBinaryQuantized,   ///< n-bit integer arithmetic + sign (paper's "Binary")
+  kScProposed,        ///< ramp + low-discrepancy + TFF tree ("This Work")
+  kScConventional,    ///< LFSR SNGs + MUX tree ("Old SC")
+};
+
+[[nodiscard]] std::string to_string(FirstLayerDesign d);
+
+/// Build an engine over quantized first-layer weights.
+[[nodiscard]] std::unique_ptr<FirstLayerEngine> make_first_layer_engine(
+    FirstLayerDesign design, const nn::QuantizedConvWeights& weights,
+    const FirstLayerConfig& config);
+
+}  // namespace scbnn::hybrid

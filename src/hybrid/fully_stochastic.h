@@ -1,0 +1,96 @@
+// Fully-stochastic MLP baseline — the class of prior designs the paper's
+// hybrid organization argues against (Section II.B: [6][7][15][16]).
+//
+// Every multiplication runs in the bipolar stochastic domain (XNOR gates on
+// streams). Two accumulator styles are modeled:
+//
+//   * kMuxTree — the classic scaled MUX adder tree + Brown-Card stanh FSM
+//     [7][15]. The 1/fan-in scale factor followed by FSM re-amplification
+//     blows up variance for wide layers: "the scale factor can lead to
+//     severe loss of precision" (Section II.A). Kept as an ablation.
+//   * kApc — accumulative parallel counter: product bits are counted into a
+//     binary register each cycle and the activation is applied in binary,
+//     re-encoding for the next layer [6][16]. This is what let prior
+//     fully-stochastic NNs reach 1.95-2.41% on MNIST — at N = 256..1024
+//     cycles per *layer*.
+//
+// Either way, per-layer SC errors COMPOUND across layers (quantified by
+// `infer` vs `reference`), which is why the paper runs only the first layer
+// stochastically and finishes in binary.
+//
+// Topology: 784 -> hidden (tanh) -> 10, fully connected, matching the
+// fully-connected networks of [6][16]. Biases fold in as an extra
+// always-one input; weights clamp to the bipolar range.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace scbnn::hybrid {
+
+enum class ScAccumulator {
+  kMuxTree,  ///< scaled adder tree + stanh FSM (severe precision loss)
+  kApc,      ///< parallel-counter binary accumulation [6][16]
+};
+
+struct FullyStochasticConfig {
+  unsigned log2_n = 10;        ///< stream length N = 2^log2_n (paper: 256..1024)
+  ScAccumulator accumulator = ScAccumulator::kApc;
+  std::uint32_t seed = 1;      ///< LFSR seeding of the SNG banks
+};
+
+class FullyStochasticMlp {
+ public:
+  /// `w1` [H, 784], `b1` [H], `w2` [10, H], `b2` [10] — trained float
+  /// parameters (tanh hidden activation). Values are clamped to [-1, 1]
+  /// for bipolar encoding; the reference path uses the same clamped
+  /// weights so comparisons isolate SC arithmetic error.
+  FullyStochasticMlp(const nn::Tensor& w1, const nn::Tensor& b1,
+                     const nn::Tensor& w2, const nn::Tensor& b2,
+                     const FullyStochasticConfig& config);
+
+  struct Result {
+    std::vector<double> hidden;   ///< bipolar hidden activations
+    std::array<double, 10> logits{};
+    int predicted = -1;
+  };
+
+  /// Bit-exact stochastic inference on a 28x28 image in [0,1].
+  [[nodiscard]] Result infer(const float* image) const;
+
+  /// Float reference with the same clamped weights — what the stochastic
+  /// network computes in the limit of error-free streams.
+  [[nodiscard]] Result reference(const float* image) const;
+
+  /// RMS error of the stochastic hidden layer vs the reference — the
+  /// layer-1 compounding input.
+  [[nodiscard]] static double hidden_rms_error(const Result& sc,
+                                               const Result& ref);
+  /// RMS error of the logits — after error has propagated through layer 2.
+  [[nodiscard]] static double logit_rms_error(const Result& sc,
+                                              const Result& ref);
+
+  [[nodiscard]] std::size_t stream_length() const noexcept { return n_; }
+  [[nodiscard]] int hidden_units() const noexcept { return hidden_; }
+  [[nodiscard]] ScAccumulator accumulator() const noexcept {
+    return accumulator_;
+  }
+
+ private:
+  static constexpr int kInputs = 784;
+
+  unsigned log2_n_;
+  std::size_t n_;
+  int hidden_;
+  ScAccumulator accumulator_;
+  std::uint32_t seed_;
+  /// Clamped, per-neuron-scaled weight copies plus the scales to undo
+  /// (weight scaling per Kim et al. [16]).
+  std::vector<float> w1_, b1_, w2_, b2_;
+  std::vector<float> scale1_, scale2_;
+};
+
+}  // namespace scbnn::hybrid

@@ -1,0 +1,123 @@
+#include "hybrid/hybrid_network.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/maxpool.h"
+#include "nn/optimizer.h"
+
+namespace scbnn::hybrid {
+
+nn::Network build_lenet(const LeNetConfig& cfg, nn::Rng& rng) {
+  nn::Network net;
+  net.add<nn::Conv2D>(1, cfg.conv1_kernels, kKernelSize, kPad, rng);
+  net.add<nn::ReLU>();
+  // Tail (shared shape with build_tail from here on):
+  net.add<nn::MaxPool2>();
+  net.add<nn::Conv2D>(cfg.conv1_kernels, cfg.conv2_kernels, kKernelSize, 0,
+                      rng);
+  net.add<nn::ReLU>();
+  net.add<nn::MaxPool2>();
+  const int flat = cfg.conv2_kernels * 5 * 5;  // 14x14 -> 10x10 -> 5x5
+  net.add<nn::Dense>(flat, cfg.dense_units, rng);
+  net.add<nn::ReLU>();
+  net.add<nn::Dropout>(cfg.dropout);
+  net.add<nn::Dense>(cfg.dense_units, 10, rng);
+  return net;
+}
+
+nn::Network build_tail(const LeNetConfig& cfg, nn::Rng& rng) {
+  nn::Network net;
+  net.add<nn::MaxPool2>();
+  net.add<nn::Conv2D>(cfg.conv1_kernels, cfg.conv2_kernels, kKernelSize, 0,
+                      rng);
+  net.add<nn::ReLU>();
+  net.add<nn::MaxPool2>();
+  const int flat = cfg.conv2_kernels * 5 * 5;
+  net.add<nn::Dense>(flat, cfg.dense_units, rng);
+  net.add<nn::ReLU>();
+  net.add<nn::Dropout>(cfg.dropout);
+  net.add<nn::Dense>(cfg.dense_units, 10, rng);
+  return net;
+}
+
+void copy_tail_params(nn::Network& base, nn::Network& tail) {
+  const auto bp = base.params();
+  const auto tp = tail.params();
+  // The base model's first two params (conv1 w, b) have no counterpart.
+  if (bp.size() != tp.size() + 2) {
+    throw std::invalid_argument("copy_tail_params: structure mismatch");
+  }
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    const nn::Tensor& src = *bp[i + 2].value;
+    nn::Tensor& dst = *tp[i].value;
+    if (src.shape() != dst.shape()) {
+      throw std::invalid_argument("copy_tail_params: shape mismatch at " +
+                                  tp[i].name);
+    }
+    std::copy(src.data(), src.data() + src.size(), dst.data());
+  }
+}
+
+const nn::Tensor& base_conv1_weights(nn::Network& base) {
+  auto* conv1 = dynamic_cast<nn::Conv2D*>(&base.layer(0));
+  if (conv1 == nullptr) {
+    throw std::invalid_argument("base_conv1_weights: layer 0 is not Conv2D");
+  }
+  return conv1->weights();
+}
+
+FirstLayerEngine::~FirstLayerEngine() = default;
+
+nn::Tensor FirstLayerEngine::compute_batch(const nn::Tensor& images) const {
+  if (images.rank() != 4 || images.dim(1) != 1 ||
+      images.dim(2) != kImageSize || images.dim(3) != kImageSize) {
+    throw std::invalid_argument("compute_batch: expected [N,1,28,28], got " +
+                                images.shape_string());
+  }
+  const int n = images.dim(0);
+  const int k = kernels();
+  nn::Tensor out({n, k, kImageSize, kImageSize});
+  const std::size_t in_stride = kImageSize * kImageSize;
+  const std::size_t out_stride =
+      static_cast<std::size_t>(k) * kImageSize * kImageSize;
+#pragma omp parallel for schedule(dynamic, 8)
+  for (int i = 0; i < n; ++i) {
+    compute(images.data() + static_cast<std::size_t>(i) * in_stride,
+            out.data() + static_cast<std::size_t>(i) * out_stride);
+  }
+  return out;
+}
+
+HybridNetwork::HybridNetwork(std::unique_ptr<FirstLayerEngine> first_layer,
+                             nn::Network tail)
+    : first_(std::move(first_layer)), tail_(std::move(tail)) {
+  if (!first_) {
+    throw std::invalid_argument("HybridNetwork: null first layer");
+  }
+}
+
+nn::Tensor HybridNetwork::features(const nn::Tensor& images) const {
+  return first_->compute_batch(images);
+}
+
+std::vector<nn::EpochStats> HybridNetwork::retrain(
+    const nn::Tensor& train_features, std::span<const int> labels,
+    const nn::TrainConfig& config, float lr) {
+  nn::Adam opt(lr);
+  return nn::fit(tail_, opt, train_features, labels, config);
+}
+
+double HybridNetwork::evaluate(const nn::Tensor& test_features,
+                               std::span<const int> labels) {
+  return nn::evaluate_accuracy(tail_, test_features, labels);
+}
+
+std::vector<int> HybridNetwork::predict(const nn::Tensor& images) {
+  return tail_.predict(features(images));
+}
+
+}  // namespace scbnn::hybrid

@@ -1,0 +1,65 @@
+#include "hybrid/progressive.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace scbnn::hybrid {
+
+ProgressiveClassifier::ProgressiveClassifier(std::vector<PrecisionRung> rungs,
+                                             double confidence_margin)
+    : rungs_(std::move(rungs)), confidence_margin_(confidence_margin) {
+  if (rungs_.empty()) {
+    throw std::invalid_argument("ProgressiveClassifier: no rungs");
+  }
+  for (std::size_t i = 1; i < rungs_.size(); ++i) {
+    if (rungs_[i].bits <= rungs_[i - 1].bits) {
+      throw std::invalid_argument(
+          "ProgressiveClassifier: rungs must have increasing precision");
+    }
+  }
+  if (confidence_margin < 0.0 || confidence_margin > 1.0) {
+    throw std::invalid_argument(
+        "ProgressiveClassifier: margin must be in [0,1]");
+  }
+}
+
+double ProgressiveClassifier::fixed_cycles(unsigned bits, int kernels) {
+  return static_cast<double>(kernels) *
+         std::ldexp(1.0, static_cast<int>(bits));
+}
+
+ProgressiveClassifier::Outcome ProgressiveClassifier::classify(
+    const float* image) {
+  Outcome out;
+  for (std::size_t r = 0; r < rungs_.size(); ++r) {
+    auto& rung = rungs_[r];
+    const int k = rung.engine->kernels();
+    nn::Tensor features({1, k, kImageSize, kImageSize});
+    rung.engine->compute(image, features.data());
+    nn::Tensor logits = rung.tail.forward(features, /*training=*/false);
+    nn::Tensor probs = nn::softmax(logits);
+
+    int best = 0, second = 1;
+    if (probs.at2(0, second) > probs.at2(0, best)) std::swap(best, second);
+    for (int c = 2; c < probs.dim(1); ++c) {
+      if (probs.at2(0, c) > probs.at2(0, best)) {
+        second = best;
+        best = c;
+      } else if (probs.at2(0, c) > probs.at2(0, second)) {
+        second = c;
+      }
+    }
+    out.cycles += fixed_cycles(rung.bits, k);
+    out.predicted = best;
+    out.bits_used = rung.bits;
+    out.margin =
+        static_cast<double>(probs.at2(0, best)) - probs.at2(0, second);
+    const bool confident = out.margin >= confidence_margin_;
+    if (confident || r + 1 == rungs_.size()) break;
+  }
+  return out;
+}
+
+}  // namespace scbnn::hybrid

@@ -1,0 +1,60 @@
+// Progressive-precision classification — the dynamic energy-accuracy
+// trade-off of Kim et al. [16] applied to the paper's hybrid design.
+//
+// The stochastic first layer's run time is 32 * 2^bits cycles, so a 3-bit
+// pass costs 1/32 of an 8-bit pass. A progressive classifier tries the
+// cheapest precision first and escalates only when the classification is
+// uncertain (small softmax margin), so easy inputs — most of them — pay the
+// low-precision energy and hard inputs still get high-precision treatment.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hybrid/first_layer.h"
+#include "nn/network.h"
+
+namespace scbnn::hybrid {
+
+/// One precision rung: a frozen first-layer engine and the binary tail
+/// retrained for that precision.
+struct PrecisionRung {
+  unsigned bits = 8;
+  std::unique_ptr<FirstLayerEngine> engine;
+  nn::Network tail;
+};
+
+class ProgressiveClassifier {
+ public:
+  /// Rungs must be ordered from cheapest (lowest bits) to most precise.
+  /// `confidence_margin`: minimum softmax top1-top2 gap to accept a rung's
+  /// verdict without escalating.
+  ProgressiveClassifier(std::vector<PrecisionRung> rungs,
+                        double confidence_margin);
+
+  struct Outcome {
+    int predicted = -1;
+    unsigned bits_used = 0;     ///< precision of the accepted rung
+    double margin = 0.0;        ///< softmax margin at acceptance
+    double cycles = 0.0;        ///< total SC cycles spent (all rungs tried)
+  };
+
+  /// Classify one 28x28 image in [0,1].
+  [[nodiscard]] Outcome classify(const float* image);
+
+  /// Cycles a fixed single-rung classifier at `bits` would spend.
+  [[nodiscard]] static double fixed_cycles(unsigned bits, int kernels = 32);
+
+  [[nodiscard]] std::size_t rung_count() const noexcept {
+    return rungs_.size();
+  }
+  [[nodiscard]] double confidence_margin() const noexcept {
+    return confidence_margin_;
+  }
+
+ private:
+  std::vector<PrecisionRung> rungs_;
+  double confidence_margin_;
+};
+
+}  // namespace scbnn::hybrid

@@ -1,0 +1,207 @@
+#include "hybrid/sc_first_layer.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/lfsr.h"
+#include "sc/lowdisc.h"
+#include "sc/packed.h"
+#include "sc/rng_source.h"
+#include "sc/sng.h"
+#include "sc/tff.h"
+
+namespace scbnn::hybrid {
+
+namespace {
+
+/// Pack a comparator-SNG level table into raw words: entry b holds the
+/// stream for level b (bit t set iff seq[t] < b).
+std::vector<std::uint64_t> packed_level_table(sc::NumberSource& src,
+                                              std::size_t n,
+                                              std::size_t words,
+                                              std::uint32_t levels) {
+  std::vector<std::uint32_t> seq(n);
+  src.reset();
+  for (std::size_t t = 0; t < n; ++t) seq[t] = src.next();
+  std::vector<std::uint64_t> table(static_cast<std::size_t>(levels) * words,
+                                   0u);
+  for (std::uint32_t b = 0; b < levels; ++b) {
+    std::uint64_t* dst = table.data() + static_cast<std::size_t>(b) * words;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (seq[t] < b) dst[t / 64] |= std::uint64_t{1} << (t % 64);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+StochasticFirstLayer::StochasticFirstLayer(
+    Style style, const nn::QuantizedConvWeights& weights,
+    const FirstLayerConfig& config)
+    : style_(style),
+      bits_(config.bits),
+      n_(std::size_t{1} << config.bits),
+      words_((n_ + 63) / 64),
+      kernels_(static_cast<int>(weights.kernels.size())),
+      soft_threshold_(config.soft_threshold) {
+  if (weights.bits != config.bits) {
+    throw std::invalid_argument("StochasticFirstLayer: bits mismatch");
+  }
+  if (weights.kernel_size != kKernelSize || weights.in_channels != 1) {
+    throw std::invalid_argument("StochasticFirstLayer: unsupported geometry");
+  }
+  const auto level_count = static_cast<std::uint32_t>(n_) + 1;
+
+  // Input-side stream table.
+  if (style_ == Style::kProposed) {
+    sc::RampSource ramp(bits_);
+    input_table_ = packed_level_table(ramp, n_, words_, level_count);
+  } else {
+    sc::Lfsr lfsr(bits_, sc::fold_lfsr_seed(bits_, config.seed));
+    input_table_ = packed_level_table(lfsr, n_, words_, level_count);
+  }
+
+  // Weight-side stream table (shared generator, amortized across units).
+  std::vector<std::uint64_t> wtable;
+  if (style_ == Style::kProposed) {
+    sc::VanDerCorputSource vdc(bits_);
+    wtable = packed_level_table(vdc, n_, words_, level_count);
+  } else {
+    sc::Lfsr lfsr(bits_, sc::fold_lfsr_seed(bits_, config.seed * 2 + 3),
+                  sc::maximal_lfsr_taps_alt(bits_));
+    wtable = packed_level_table(lfsr, n_, words_, level_count);
+  }
+
+  wpos_.assign(static_cast<std::size_t>(kernels_) * kFanIn * words_, 0u);
+  wneg_.assign(static_cast<std::size_t>(kernels_) * kFanIn * words_, 0u);
+  for (int k = 0; k < kernels_; ++k) {
+    const auto& lv = weights.kernels[static_cast<std::size_t>(k)].levels;
+    for (int t = 0; t < kFanIn; ++t) {
+      const int w = lv[static_cast<std::size_t>(t)];
+      const std::uint32_t pos = w > 0 ? static_cast<std::uint32_t>(w) : 0;
+      const std::uint32_t neg = w < 0 ? static_cast<std::uint32_t>(-w) : 0;
+      const std::size_t off =
+          (static_cast<std::size_t>(k) * kFanIn + t) * words_;
+      for (std::size_t i = 0; i < words_; ++i) {
+        wpos_[off + i] = wtable[static_cast<std::size_t>(pos) * words_ + i];
+        wneg_[off + i] = wtable[static_cast<std::size_t>(neg) * words_ + i];
+      }
+    }
+  }
+
+  // MUX-tree select streams (p = 1/2), one per tree node, from one wide
+  // LFSR bank — the standard arrangement in prior SC NN hardware.
+  if (style_ == Style::kConventional) {
+    const std::size_t nodes = kSlots - 1;
+    selects_.assign(nodes * words_, 0u);
+    for (std::size_t nd = 0; nd < nodes; ++nd) {
+      sc::Lfsr sel(bits_,
+                   sc::fold_lfsr_seed(bits_, static_cast<std::uint32_t>(
+                                                 config.seed + 31 + 17 * nd)));
+      sel.reset();
+      std::uint64_t* dst = selects_.data() + nd * words_;
+      const std::uint32_t half = std::uint32_t{1} << (bits_ - 1);
+      for (std::size_t t = 0; t < n_; ++t) {
+        if (sel.next() < half) dst[t / 64] |= std::uint64_t{1} << (t % 64);
+      }
+    }
+  }
+}
+
+void StochasticFirstLayer::reduce_tree(std::uint64_t* slots) const {
+  // In-place pairwise reduction of kSlots streams laid out contiguously
+  // (slot s at slots + s*words_). Result lands in slot 0.
+  std::size_t count = kSlots;
+  std::size_t node = 0;
+  while (count > 1) {
+    for (std::size_t i = 0; i + 1 < count; i += 2, ++node) {
+      const std::uint64_t* a = slots + i * words_;
+      const std::uint64_t* b = slots + (i + 1) * words_;
+      std::uint64_t* z = slots + (i / 2) * words_;
+      if (style_ == Style::kProposed) {
+        // TFF adder node; alternating initial states cancel rounding bias.
+        sc::tff_add_words(a, b, z, words_, (node % 2) != 0);
+      } else {
+        const std::uint64_t* sel = selects_.data() + node * words_;
+        for (std::size_t wd = 0; wd < words_; ++wd) {
+          z[wd] = (sel[wd] & b[wd]) | (~sel[wd] & a[wd]);
+        }
+      }
+    }
+    count /= 2;
+  }
+}
+
+void StochasticFirstLayer::compute(const float* image, float* out) const {
+  const auto full = static_cast<double>(n_);
+  // Quantize pixels to levels once per image (the analog-to-stochastic
+  // converter's resolution).
+  std::uint32_t x[kImageSize * kImageSize];
+  for (int i = 0; i < kImageSize * kImageSize; ++i) {
+    const float v = image[i] < 0.0f ? 0.0f : (image[i] > 1.0f ? 1.0f : image[i]);
+    x[i] = static_cast<std::uint32_t>(
+        std::lround(static_cast<double>(v) * full));
+  }
+
+  // Scratch: two banks of kSlots streams (pos and neg trees).
+  std::vector<std::uint64_t> pos_slots(kSlots * words_);
+  std::vector<std::uint64_t> neg_slots(kSlots * words_);
+
+  // Normalized value of one count difference: counts encode dot/(32*N) of
+  // unit-range inputs; multiply back by 32/N to get dot in [-25, 25] units.
+  const double count_to_value = 32.0 / full;
+
+  for (int k = 0; k < kernels_; ++k) {
+    const std::uint64_t* wp =
+        wpos_.data() + static_cast<std::size_t>(k) * kFanIn * words_;
+    const std::uint64_t* wn =
+        wneg_.data() + static_cast<std::size_t>(k) * kFanIn * words_;
+    float* feat = out + static_cast<std::size_t>(k) * kOutputsPerKernel;
+
+    for (int oy = 0; oy < kImageSize; ++oy) {
+      for (int ox = 0; ox < kImageSize; ++ox) {
+        // AND multipliers: product streams into tree slots; out-of-image
+        // taps and the 7 pad slots stay zero.
+        std::fill(pos_slots.begin(), pos_slots.end(), 0u);
+        std::fill(neg_slots.begin(), neg_slots.end(), 0u);
+        for (int ki = 0; ki < kKernelSize; ++ki) {
+          const int iy = oy + ki - kPad;
+          if (iy < 0 || iy >= kImageSize) continue;
+          for (int kj = 0; kj < kKernelSize; ++kj) {
+            const int ix = ox + kj - kPad;
+            if (ix < 0 || ix >= kImageSize) continue;
+            const int tap = ki * kKernelSize + kj;
+            const std::uint64_t* xs =
+                input_table_.data() +
+                static_cast<std::size_t>(x[iy * kImageSize + ix]) * words_;
+            const std::uint64_t* wps = wp + static_cast<std::size_t>(tap) * words_;
+            const std::uint64_t* wns = wn + static_cast<std::size_t>(tap) * words_;
+            std::uint64_t* ps = pos_slots.data() + static_cast<std::size_t>(tap) * words_;
+            std::uint64_t* ns = neg_slots.data() + static_cast<std::size_t>(tap) * words_;
+            for (std::size_t wd = 0; wd < words_; ++wd) {
+              ps[wd] = xs[wd] & wps[wd];
+              ns[wd] = xs[wd] & wns[wd];
+            }
+          }
+        }
+        reduce_tree(pos_slots.data());
+        reduce_tree(neg_slots.data());
+
+        // Asynchronous counters: count the 1s of each root stream.
+        long pos_count = 0, neg_count = 0;
+        for (std::size_t wd = 0; wd < words_; ++wd) {
+          pos_count += std::popcount(pos_slots[wd]);
+          neg_count += std::popcount(neg_slots[wd]);
+        }
+        const double v =
+            static_cast<double>(pos_count - neg_count) * count_to_value;
+        feat[oy * kImageSize + ox] =
+            v > soft_threshold_ ? 1.0f : (v < -soft_threshold_ ? -1.0f : 0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace scbnn::hybrid

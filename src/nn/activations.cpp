@@ -1,0 +1,65 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace scbnn::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  Tensor y(x.shape());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[i] = cached_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool training) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  if (training) cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const float y = cached_output_[i];
+    dx[i] = grad_out[i] * (1.0f - y * y);
+  }
+  return dx;
+}
+
+Tensor SignActivation::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > threshold_) {
+      y[i] = 1.0f;
+    } else if (x[i] < -threshold_) {
+      y[i] = -1.0f;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor SignActivation::backward(const Tensor& grad_out) {
+  // Straight-through estimator, clipped to |x| <= 1 (as in binarized NNs).
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[i] = std::abs(cached_input_[i]) <= 1.0f ? grad_out[i] : 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace scbnn::nn

@@ -1,0 +1,49 @@
+// Activation layers: ReLU (standard LeNet) and the Sign activation that the
+// paper substitutes in the first layer (Section V.B). Sign maps to {-1,0,+1}
+// with an optional dead-zone (the SC soft threshold); its backward pass uses
+// the straight-through estimator so base models *can* be trained through it.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace scbnn::nn {
+
+class ReLU final : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Tanh activation — the float reference for the Brown-Card stochastic
+/// tanh used by the fully-stochastic baseline (prior work [6][7][16]).
+class Tanh final : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class SignActivation final : public Layer {
+ public:
+  /// Values within [-threshold, threshold] output 0.
+  explicit SignActivation(float threshold = 0.0f) : threshold_(threshold) {}
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Sign"; }
+
+  [[nodiscard]] float threshold() const noexcept { return threshold_; }
+
+ private:
+  float threshold_;
+  Tensor cached_input_;
+};
+
+}  // namespace scbnn::nn

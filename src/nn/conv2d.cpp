@@ -1,0 +1,182 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace scbnn::nn {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int pad,
+               Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      pad_(pad),
+      w_({out_channels, in_channels, kernel, kernel}),
+      b_({out_channels}),
+      dw_({out_channels, in_channels, kernel, kernel}),
+      db_({out_channels}) {
+  he_init(w_, in_channels * kernel * kernel, rng);
+}
+
+void Conv2D::im2col(const float* x, int c, int h, int w, int kernel, int pad,
+                    float* col) {
+  const int out_h = h + 2 * pad - kernel + 1;
+  const int out_w = w + 2 * pad - kernel + 1;
+  const int cols = out_h * out_w;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int ki = 0; ki < kernel; ++ki) {
+      for (int kj = 0; kj < kernel; ++kj) {
+        const int row = (ch * kernel + ki) * kernel + kj;
+        float* dst = col + static_cast<std::size_t>(row) * cols;
+        for (int oi = 0; oi < out_h; ++oi) {
+          const int src_i = oi + ki - pad;
+          for (int oj = 0; oj < out_w; ++oj) {
+            const int src_j = oj + kj - pad;
+            const bool in_bounds =
+                src_i >= 0 && src_i < h && src_j >= 0 && src_j < w;
+            dst[oi * out_w + oj] =
+                in_bounds
+                    ? x[(static_cast<std::size_t>(ch) * h + src_i) * w + src_j]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2D::col2im(const float* col, int c, int h, int w, int kernel, int pad,
+                    float* x) {
+  const int out_h = h + 2 * pad - kernel + 1;
+  const int out_w = w + 2 * pad - kernel + 1;
+  const int cols = out_h * out_w;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int ki = 0; ki < kernel; ++ki) {
+      for (int kj = 0; kj < kernel; ++kj) {
+        const int row = (ch * kernel + ki) * kernel + kj;
+        const float* src = col + static_cast<std::size_t>(row) * cols;
+        for (int oi = 0; oi < out_h; ++oi) {
+          const int dst_i = oi + ki - pad;
+          if (dst_i < 0 || dst_i >= h) continue;
+          for (int oj = 0; oj < out_w; ++oj) {
+            const int dst_j = oj + kj - pad;
+            if (dst_j < 0 || dst_j >= w) continue;
+            x[(static_cast<std::size_t>(ch) * h + dst_i) * w + dst_j] +=
+                src[oi * out_w + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool training) {
+  if (x.rank() != 4 || x.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2D::forward: bad input shape " +
+                                x.shape_string());
+  }
+  const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int out_h = h + 2 * pad_ - kernel_ + 1;
+  const int out_w = w + 2 * pad_ - kernel_ + 1;
+  const int krows = in_c_ * kernel_ * kernel_;
+  const int cols = out_h * out_w;
+
+  Tensor y({batch, out_c_, out_h, out_w});
+  if (training) cached_input_ = x;
+
+#pragma omp parallel
+  {
+    std::vector<float> col(static_cast<std::size_t>(krows) * cols);
+#pragma omp for schedule(static)
+    for (int b = 0; b < batch; ++b) {
+      const float* xb =
+          x.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
+      im2col(xb, in_c_, h, w, kernel_, pad_, col.data());
+      float* yb = y.data() + static_cast<std::size_t>(b) * out_c_ * cols;
+      // y[outC, cols] = w[outC, krows] * col[krows, cols]  (serial gemm:
+      // the batch loop already provides the parallelism).
+      for (int oc = 0; oc < out_c_; ++oc) {
+        float* yrow = yb + static_cast<std::size_t>(oc) * cols;
+        const float bias = b_[oc];
+        for (int j = 0; j < cols; ++j) yrow[j] = bias;
+        const float* wrow = w_.data() + static_cast<std::size_t>(oc) * krows;
+        for (int p = 0; p < krows; ++p) {
+          const float wv = wrow[p];
+          if (wv == 0.0f) continue;
+          const float* crow = col.data() + static_cast<std::size_t>(p) * cols;
+          for (int j = 0; j < cols; ++j) yrow[j] += wv * crow[j];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+  const int krows = in_c_ * kernel_ * kernel_;
+  const int cols = out_h * out_w;
+
+  Tensor dx({batch, in_c_, h, w});
+
+#pragma omp parallel
+  {
+    std::vector<float> col(static_cast<std::size_t>(krows) * cols);
+    std::vector<float> dcol(static_cast<std::size_t>(krows) * cols);
+    std::vector<float> dw_local(w_.size(), 0.0f);
+    std::vector<float> db_local(static_cast<std::size_t>(out_c_), 0.0f);
+
+#pragma omp for schedule(static) nowait
+    for (int b = 0; b < batch; ++b) {
+      const float* xb = x.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
+      const float* gb =
+          grad_out.data() + static_cast<std::size_t>(b) * out_c_ * cols;
+      im2col(xb, in_c_, h, w, kernel_, pad_, col.data());
+
+      // dW += g[outC, cols] * col[krows, cols]^T ; db += row sums of g.
+      for (int oc = 0; oc < out_c_; ++oc) {
+        const float* grow = gb + static_cast<std::size_t>(oc) * cols;
+        float bsum = 0.0f;
+        for (int j = 0; j < cols; ++j) bsum += grow[j];
+        db_local[oc] += bsum;
+        float* dwrow = dw_local.data() + static_cast<std::size_t>(oc) * krows;
+        for (int p = 0; p < krows; ++p) {
+          const float* crow = col.data() + static_cast<std::size_t>(p) * cols;
+          float acc = 0.0f;
+          for (int j = 0; j < cols; ++j) acc += grow[j] * crow[j];
+          dwrow[p] += acc;
+        }
+      }
+
+      // dcol[krows, cols] = w^T[krows, outC] * g[outC, cols].
+      std::fill(dcol.begin(), dcol.end(), 0.0f);
+      for (int oc = 0; oc < out_c_; ++oc) {
+        const float* grow = gb + static_cast<std::size_t>(oc) * cols;
+        const float* wrow = w_.data() + static_cast<std::size_t>(oc) * krows;
+        for (int p = 0; p < krows; ++p) {
+          const float wv = wrow[p];
+          if (wv == 0.0f) continue;
+          float* drow = dcol.data() + static_cast<std::size_t>(p) * cols;
+          for (int j = 0; j < cols; ++j) drow[j] += wv * grow[j];
+        }
+      }
+      float* dxb = dx.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
+      col2im(dcol.data(), in_c_, h, w, kernel_, pad_, dxb);
+    }
+
+#pragma omp critical
+    {
+      for (std::size_t i = 0; i < dw_.size(); ++i) dw_[i] += dw_local[i];
+      for (int oc = 0; oc < out_c_; ++oc) db_[oc] += db_local[oc];
+    }
+  }
+  return dx;
+}
+
+std::vector<Param> Conv2D::params() {
+  return {{&w_, &dw_, "conv.w"}, {&b_, &db_, "conv.b"}};
+}
+
+}  // namespace scbnn::nn

@@ -1,0 +1,46 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace scbnn::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), state_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+  if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+}
+
+float Dropout::next_uniform() {
+  // xorshift64* — cheap, reproducible, and local to the layer.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+  return static_cast<float>(r >> 40) / static_cast<float>(1ull << 24);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0f) return x;
+  mask_ = Tensor(x.shape());
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float m = next_uniform() < keep ? scale : 0.0f;
+    mask_[i] = m;
+    y[i] = x[i] * m;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.size() == 0) return grad_out;
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[i] = grad_out[i] * mask_[i];
+  }
+  return dx;
+}
+
+}  // namespace scbnn::nn

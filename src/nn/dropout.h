@@ -1,0 +1,27 @@
+// Inverted dropout (Section II.B: used to prevent overfitting during
+// training and retraining).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace scbnn::nn {
+
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 0x5eed);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  std::uint64_t state_;
+  Tensor mask_;
+
+  [[nodiscard]] float next_uniform();
+};
+
+}  // namespace scbnn::nn

@@ -1,0 +1,18 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace scbnn::nn {
+
+void he_init(Tensor& w, int fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.normal(0.0f, stddev);
+}
+
+void glorot_init(Tensor& w, int fan_in, int fan_out, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.uniform(-limit, limit);
+}
+
+}  // namespace scbnn::nn

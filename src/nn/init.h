@@ -1,0 +1,35 @@
+// Weight initialization and the substrate-wide RNG handle.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nn/tensor.h"
+
+namespace scbnn::nn {
+
+/// Deterministic RNG for reproducible experiments.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] float uniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+  [[nodiscard]] float normal(float mean, float stddev) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// He (Kaiming) normal initialization: stddev = sqrt(2 / fan_in).
+void he_init(Tensor& w, int fan_in, Rng& rng);
+
+/// Glorot (Xavier) uniform initialization.
+void glorot_init(Tensor& w, int fan_in, int fan_out, Rng& rng);
+
+}  // namespace scbnn::nn

@@ -1,0 +1,40 @@
+// Layer interface for the sequential network substrate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace scbnn::nn {
+
+/// A trainable parameter: value plus accumulated gradient, both owned by the
+/// layer; the optimizer mutates `value` in place.
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+class Layer {
+ public:
+  virtual ~Layer();
+
+  /// Compute outputs; must cache whatever backward() needs when
+  /// `training` is true.
+  [[nodiscard]] virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Propagate gradients; accumulates parameter gradients and returns the
+  /// gradient w.r.t. the layer input.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  [[nodiscard]] virtual std::vector<Param> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reset accumulated gradients to zero.
+  void zero_grad();
+};
+
+}  // namespace scbnn::nn

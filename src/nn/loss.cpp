@@ -1,0 +1,62 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scbnn::nn {
+
+Tensor softmax(const Tensor& logits) {
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  Tensor p({batch, classes});
+  for (int b = 0; b < batch; ++b) {
+    float maxv = logits.at2(b, 0);
+    for (int c = 1; c < classes; ++c) maxv = std::max(maxv, logits.at2(b, c));
+    float sum = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      const float e = std::exp(logits.at2(b, c) - maxv);
+      p.at2(b, c) = e;
+      sum += e;
+    }
+    for (int c = 0; c < classes; ++c) p.at2(b, c) /= sum;
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  if (static_cast<int>(labels.size()) != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult r;
+  r.grad = softmax(logits);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int b = 0; b < batch; ++b) {
+    const int y = labels[b];
+    if (y < 0 || y >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: bad label");
+    }
+    loss -= std::log(std::max(r.grad.at2(b, y), 1e-12f));
+    r.grad.at2(b, y) -= 1.0f;
+    for (int c = 0; c < classes; ++c) r.grad.at2(b, c) *= inv_batch;
+  }
+  r.loss = loss / batch;
+  return r;
+}
+
+double accuracy(const Tensor& logits, std::span<const int> labels) {
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  int correct = 0;
+  for (int b = 0; b < batch; ++b) {
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (logits.at2(b, c) > logits.at2(b, best)) best = c;
+    }
+    if (best == labels[b]) ++correct;
+  }
+  return static_cast<double>(correct) / batch;
+}
+
+}  // namespace scbnn::nn

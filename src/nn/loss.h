@@ -1,0 +1,27 @@
+// Softmax + cross-entropy loss (the paper's training criterion, Section II.B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.h"
+
+namespace scbnn::nn {
+
+struct LossResult {
+  double loss = 0.0;   ///< mean cross-entropy over the batch
+  Tensor grad;         ///< gradient w.r.t. the logits, already /batch
+};
+
+/// logits: [B, classes]; labels: batch class indices.
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               std::span<const int> labels);
+
+/// Row-wise softmax probabilities.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+[[nodiscard]] double accuracy(const Tensor& logits,
+                              std::span<const int> labels);
+
+}  // namespace scbnn::nn

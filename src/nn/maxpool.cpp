@@ -1,0 +1,54 @@
+#include "nn/maxpool.h"
+
+#include <stdexcept>
+
+namespace scbnn::nn {
+
+Tensor MaxPool2::forward(const Tensor& x, bool training) {
+  if (x.rank() != 4 || x.dim(2) % 2 != 0 || x.dim(3) % 2 != 0) {
+    throw std::invalid_argument("MaxPool2::forward: bad input shape " +
+                                x.shape_string());
+  }
+  const int batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h / 2, ow = w / 2;
+  Tensor y({batch, c, oh, ow});
+  argmax_.assign(y.size(), 0);
+  in_shape_ = x.shape();
+
+#pragma omp parallel for schedule(static)
+  for (int b = 0; b < batch; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) {
+          float best = x.at4(b, ch, 2 * i, 2 * j);
+          int best_idx = ((b * c + ch) * h + 2 * i) * w + 2 * j;
+          for (int di = 0; di < 2; ++di) {
+            for (int dj = 0; dj < 2; ++dj) {
+              const float v = x.at4(b, ch, 2 * i + di, 2 * j + dj);
+              if (v > best) {
+                best = v;
+                best_idx = ((b * c + ch) * h + 2 * i + di) * w + 2 * j + dj;
+              }
+            }
+          }
+          const std::size_t out_idx =
+              ((static_cast<std::size_t>(b) * c + ch) * oh + i) * ow + j;
+          y[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  (void)training;
+  return y;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_out) {
+  Tensor dx(in_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[static_cast<std::size_t>(argmax_[i])] += grad_out[i];
+  }
+  return dx;
+}
+
+}  // namespace scbnn::nn

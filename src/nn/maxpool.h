@@ -1,0 +1,23 @@
+// 2x2 stride-2 max-pooling layer (the S2/S4 subsampling stages of LeNet-5).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace scbnn::nn {
+
+class MaxPool2 final : public Layer {
+ public:
+  MaxPool2() = default;
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2"; }
+
+ private:
+  std::vector<int> argmax_;  // flat input index of each pooled maximum
+  std::vector<int> in_shape_;
+};
+
+}  // namespace scbnn::nn

@@ -1,0 +1,59 @@
+#include "nn/network.h"
+
+namespace scbnn::nn {
+
+Layer::~Layer() = default;
+
+void Layer::zero_grad() {
+  for (auto& p : params()) {
+    if (p.grad != nullptr) p.grad->fill(0.0f);
+  }
+}
+
+Tensor Network::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, training);
+  return cur;
+}
+
+Tensor Network::backward(const Tensor& grad) {
+  Tensor cur = grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Network::zero_grad() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> out;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> Network::predict(const Tensor& x) {
+  Tensor logits = forward(x, /*training=*/false);
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (logits.at2(b, c) > logits.at2(b, best)) best = c;
+    }
+    out[static_cast<std::size_t>(b)] = best;
+  }
+  return out;
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t n = 0;
+  for (auto& p : params()) n += p.value->size();
+  return n;
+}
+
+}  // namespace scbnn::nn

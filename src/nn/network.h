@@ -1,0 +1,57 @@
+// Sequential network container.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace scbnn::nn {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Append a layer; returns a reference to it for configuration.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void add_layer(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training = false);
+  [[nodiscard]] Tensor backward(const Tensor& grad);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<Param> params();
+
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const {
+    return *layers_.at(i);
+  }
+
+  /// Predicted class indices for a batch of inputs.
+  [[nodiscard]] std::vector<int> predict(const Tensor& x);
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::size_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace scbnn::nn

@@ -1,0 +1,42 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace scbnn::nn {
+
+Optimizer::~Optimizer() = default;
+
+void Sgd::step(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    auto& vel = velocity_[p.value];
+    if (vel.size() != p.value->size()) vel.assign(p.value->size(), 0.0f);
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      vel[i] = momentum_ * vel[i] - lr_ * (*p.grad)[i];
+      (*p.value)[i] += vel[i];
+    }
+  }
+}
+
+void Adam::step(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    auto& st = state_[p.value];
+    if (st.m.size() != p.value->size()) {
+      st.m.assign(p.value->size(), 0.0f);
+      st.v.assign(p.value->size(), 0.0f);
+      st.t = 0;
+    }
+    ++st.t;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(st.t));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(st.t));
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      const float g = (*p.grad)[i];
+      st.m[i] = beta1_ * st.m[i] + (1.0f - beta1_) * g;
+      st.v[i] = beta2_ * st.v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = st.m[i] / bc1;
+      const float vhat = st.v[i] / bc2;
+      (*p.value)[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace scbnn::nn

@@ -1,0 +1,55 @@
+// Gradient-descent optimizers.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace scbnn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer();
+  /// Apply one update step using the accumulated gradients.
+  virtual void step(const std::vector<Param>& params) = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.9f)
+      : lr_(lr), momentum_(momentum) {}
+
+  void step(const std::vector<Param>& params) override;
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float lr() const noexcept { return lr_; }
+
+ private:
+  float lr_, momentum_;
+  std::unordered_map<Tensor*, std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the default for the repo's training runs.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(const std::vector<Param>& params) override;
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float lr() const noexcept { return lr_; }
+
+ private:
+  struct State {
+    std::vector<float> m, v;
+    long t = 0;
+  };
+  float lr_, beta1_, beta2_, eps_;
+  std::unordered_map<Tensor*, State> state_;
+};
+
+}  // namespace scbnn::nn

@@ -1,0 +1,74 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace scbnn::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x5CB11A01;  // "SCBNN" params v1
+}
+
+void save_params(Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  const auto params = net.params();
+  const auto count = static_cast<std::uint32_t>(params.size());
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const auto& shape = p.value->shape();
+    const auto rank = static_cast<std::uint32_t>(shape.size());
+    f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d : shape) {
+      const auto dim = static_cast<std::uint32_t>(d);
+      f.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    f.write(reinterpret_cast<const char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(Network& net, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  std::uint32_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f || magic != kMagic) {
+    throw std::runtime_error("load_params: bad header in " + path);
+  }
+  const auto params = net.params();
+  if (count != params.size()) {
+    throw std::runtime_error("load_params: parameter count mismatch");
+  }
+  for (const auto& p : params) {
+    std::uint32_t rank = 0;
+    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!f || rank != p.value->rank()) {
+      throw std::runtime_error("load_params: rank mismatch for " + p.name);
+    }
+    for (std::size_t i = 0; i < rank; ++i) {
+      std::uint32_t dim = 0;
+      f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (!f || static_cast<int>(dim) != p.value->shape()[i]) {
+        throw std::runtime_error("load_params: shape mismatch for " + p.name);
+      }
+    }
+    f.read(reinterpret_cast<char*>(p.value->data()),
+           static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    if (!f) throw std::runtime_error("load_params: truncated file " + path);
+  }
+}
+
+bool params_file_valid(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return f && magic == kMagic;
+}
+
+}  // namespace scbnn::nn

@@ -1,0 +1,23 @@
+// Binary serialization of network parameters (simple tagged format), used to
+// cache the float base model between benchmark runs.
+#pragma once
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace scbnn::nn {
+
+/// Write all parameter tensors of `net` to `path`. Format: magic, count,
+/// then per tensor: rank, dims, float data. Layer structure itself is not
+/// serialized — the loader must rebuild an identically shaped network.
+void save_params(Network& net, const std::string& path);
+
+/// Load parameters saved by save_params into an identically structured
+/// network. Throws std::runtime_error on shape or format mismatch.
+void load_params(Network& net, const std::string& path);
+
+/// True if `path` exists and carries the expected magic header.
+[[nodiscard]] bool params_file_valid(const std::string& path);
+
+}  // namespace scbnn::nn

@@ -1,0 +1,101 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace scbnn::nn {
+
+namespace {
+std::size_t shape_size(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (shape_size(new_shape) != size()) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    if (!accumulate) std::fill(crow, crow + n, 0.0f);
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    if (!accumulate) std::fill(crow, crow + n, 0.0f);
+    for (int p = 0; p < k; ++p) {
+      const float av = a[static_cast<std::size_t>(p) * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = accumulate ? crow[j] : 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace scbnn::nn

@@ -1,0 +1,84 @@
+// Minimal dense float tensor used by the from-scratch NN substrate.
+//
+// Row-major storage, shapes up to rank 4. The substrate favors explicit
+// raw loops in layer implementations over a heavy expression library — the
+// networks in this repo are small and the hot paths are hand-parallelized.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace scbnn::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::initializer_list<int> shape)
+      : Tensor(std::vector<int>(shape)) {}
+
+  [[nodiscard]] static Tensor zeros(std::vector<int> shape);
+  [[nodiscard]] static Tensor full(std::vector<int> shape, float value);
+
+  [[nodiscard]] const std::vector<int>& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] int dim(std::size_t i) const { return shape_.at(i); }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D access (row-major): t.at2(i, j) for shape [R, C].
+  [[nodiscard]] float& at2(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+  [[nodiscard]] float at2(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+
+  /// 4-D access: t.at4(b, c, h, w) for shape [B, C, H, W].
+  [[nodiscard]] float& at4(int b, int c, int h, int w) {
+    return data_[((static_cast<std::size_t>(b) * shape_[1] + c) * shape_[2] +
+                  h) *
+                     shape_[3] +
+                 w];
+  }
+  [[nodiscard]] float at4(int b, int c, int h, int w) const {
+    return data_[((static_cast<std::size_t>(b) * shape_[1] + c) * shape_[2] +
+                  h) *
+                     shape_[3] +
+                 w];
+  }
+
+  void fill(float v);
+
+  /// Reinterpret with a new shape of the same total size.
+  [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
+
+  [[nodiscard]] std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). OpenMP-parallel over rows.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate = false);
+
+/// C[M,N] = A[K,M]^T * B[K,N].
+void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate = false);
+
+/// C[M,N] = A[M,K] * B[N,K]^T.
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate = false);
+
+}  // namespace scbnn::nn

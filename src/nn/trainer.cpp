@@ -1,0 +1,90 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "nn/loss.h"
+
+namespace scbnn::nn {
+
+Tensor gather_batch(const Tensor& x, std::span<const int> idx) {
+  std::vector<int> shape = x.shape();
+  shape[0] = static_cast<int>(idx.size());
+  Tensor out(shape);
+  const std::size_t stride = x.size() / static_cast<std::size_t>(x.dim(0));
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = x.data() + static_cast<std::size_t>(idx[i]) * stride;
+    std::copy(src, src + stride, out.data() + i * stride);
+  }
+  return out;
+}
+
+std::vector<EpochStats> fit(Network& net, Optimizer& opt, const Tensor& x,
+                            std::span<const int> labels,
+                            const TrainConfig& config,
+                            const EpochCallback& on_epoch) {
+  const int n = x.dim(0);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 shuffle_rng(config.shuffle_seed);
+
+  std::vector<EpochStats> stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) {
+      std::shuffle(order.begin(), order.end(), shuffle_rng);
+    }
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    int batches = 0;
+    for (int start = 0; start < n; start += config.batch_size) {
+      const int count = std::min(config.batch_size, n - start);
+      std::span<const int> batch_idx(order.data() + start,
+                                     static_cast<std::size_t>(count));
+      Tensor xb = gather_batch(x, batch_idx);
+      std::vector<int> yb(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) yb[static_cast<std::size_t>(i)] = labels[batch_idx[i]];
+
+      Tensor logits = net.forward(xb, /*training=*/true);
+      LossResult lr = softmax_cross_entropy(logits, yb);
+      net.zero_grad();
+      (void)net.backward(lr.grad);
+      opt.step(net.params());
+
+      loss_sum += lr.loss;
+      acc_sum += accuracy(logits, yb);
+      ++batches;
+    }
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = loss_sum / std::max(batches, 1);
+    es.train_accuracy = acc_sum / std::max(batches, 1);
+    if (config.verbose) {
+      std::printf("  epoch %d: loss=%.4f acc=%.4f\n", epoch, es.train_loss,
+                  es.train_accuracy);
+    }
+    if (on_epoch) on_epoch(es);
+    stats.push_back(es);
+  }
+  return stats;
+}
+
+double evaluate_accuracy(Network& net, const Tensor& x,
+                         std::span<const int> labels, int batch_size) {
+  const int n = x.dim(0);
+  int correct = 0;
+  std::vector<int> idx;
+  for (int start = 0; start < n; start += batch_size) {
+    const int count = std::min(batch_size, n - start);
+    idx.resize(static_cast<std::size_t>(count));
+    std::iota(idx.begin(), idx.end(), start);
+    Tensor xb = gather_batch(x, idx);
+    const std::vector<int> pred = net.predict(xb);
+    for (int i = 0; i < count; ++i) {
+      if (pred[static_cast<std::size_t>(i)] == labels[start + i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / std::max(n, 1);
+}
+
+}  // namespace scbnn::nn

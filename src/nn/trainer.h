@@ -1,0 +1,46 @@
+// Mini-batch training loop with shuffling, validation, and metrics.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace scbnn::nn {
+
+struct TrainConfig {
+  int epochs = 3;
+  int batch_size = 64;
+  bool shuffle = true;
+  bool verbose = false;
+  std::uint64_t shuffle_seed = 1234;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+using EpochCallback = std::function<void(const EpochStats&)>;
+
+/// Train `net` on inputs `x` (first dim = sample index) and integer labels.
+/// Returns per-epoch stats.
+std::vector<EpochStats> fit(Network& net, Optimizer& opt, const Tensor& x,
+                            std::span<const int> labels,
+                            const TrainConfig& config,
+                            const EpochCallback& on_epoch = nullptr);
+
+/// Mean classification accuracy of `net` on a labeled set, evaluated in
+/// mini-batches to bound memory.
+[[nodiscard]] double evaluate_accuracy(Network& net, const Tensor& x,
+                                       std::span<const int> labels,
+                                       int batch_size = 256);
+
+/// Gather sample indices `idx` of `x` (first dim) into a new batch tensor.
+[[nodiscard]] Tensor gather_batch(const Tensor& x, std::span<const int> idx);
+
+}  // namespace scbnn::nn

@@ -1,0 +1,76 @@
+#include "sc/adder_tree.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sc/gates.h"
+#include "sc/tff.h"
+
+namespace scbnn::sc {
+
+unsigned tree_levels(std::size_t k) {
+  if (k <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(k - 1));  // ceil(log2(k))
+}
+
+double tree_scale(std::size_t k) {
+  return 1.0 / static_cast<double>(std::size_t{1} << tree_levels(k));
+}
+
+namespace {
+
+std::vector<Bitstream> padded_to_pow2(const std::vector<Bitstream>& inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("adder_tree: no inputs");
+  }
+  const std::size_t len = inputs.front().length();
+  for (const auto& s : inputs) {
+    if (s.length() != len) {
+      throw std::invalid_argument("adder_tree: length mismatch");
+    }
+  }
+  const std::size_t target = std::size_t{1} << tree_levels(inputs.size());
+  std::vector<Bitstream> level = inputs;
+  level.resize(target, Bitstream(len));  // pad with zero streams
+  return level;
+}
+
+}  // namespace
+
+Bitstream tff_adder_tree(const std::vector<Bitstream>& inputs,
+                         TffInitPolicy policy) {
+  std::vector<Bitstream> level = padded_to_pow2(inputs);
+  std::size_t node = 0;
+  while (level.size() > 1) {
+    std::vector<Bitstream> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2, ++node) {
+      bool s0 = false;
+      switch (policy) {
+        case TffInitPolicy::kAllZero: s0 = false; break;
+        case TffInitPolicy::kAllOne: s0 = true; break;
+        case TffInitPolicy::kAlternating: s0 = (node % 2) != 0; break;
+      }
+      next.push_back(tff_add(level[i], level[i + 1], s0));
+    }
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+Bitstream mux_adder_tree(const std::vector<Bitstream>& inputs,
+                         const SelectStreamFactory& selects) {
+  std::vector<Bitstream> level = padded_to_pow2(inputs);
+  std::size_t node = 0;
+  while (level.size() > 1) {
+    std::vector<Bitstream> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2, ++node) {
+      next.push_back(mux_add(level[i], level[i + 1], selects(node)));
+    }
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace scbnn::sc

@@ -1,0 +1,47 @@
+// k-input scaled-sum reduction trees.
+//
+// Both trees compute pZ = (sum_i pX_i) / 2^ceil(log2(k)) by pairwise 2:1
+// scaled addition. The MUX tree (conventional, Fig. 1b per node) discards
+// bits and needs a p=0.5 select stream per node; the TFF tree (this work,
+// Fig. 2b per node) is exact up to per-node one-ULP rounding and needs no
+// random sources. Inputs are padded with zero streams to a power of two.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// How the initial state S0 of each TFF in the tree is chosen. The paper
+/// notes the rounding direction is set by S0 (Fig. 2c); alternating states
+/// across tree nodes cancels the systematic rounding bias of a deep tree.
+enum class TffInitPolicy {
+  kAllZero,      // every node rounds down
+  kAllOne,       // every node rounds up
+  kAlternating,  // node i starts at i % 2 — cancels bias across the tree
+};
+
+/// Reduce k streams with TFF adders; returns the root stream whose unipolar
+/// value is ~ sum(p_i) / 2^levels.
+[[nodiscard]] Bitstream tff_adder_tree(
+    const std::vector<Bitstream>& inputs,
+    TffInitPolicy policy = TffInitPolicy::kAlternating);
+
+/// Number of tree levels used for `k` inputs: ceil(log2(k)), min 0.
+[[nodiscard]] unsigned tree_levels(std::size_t k);
+
+/// Scale factor applied by the tree: 1 / 2^levels.
+[[nodiscard]] double tree_scale(std::size_t k);
+
+/// A factory producing the select stream for MUX-tree node `node_index`
+/// (p must be ~0.5, length = stream length).
+using SelectStreamFactory = std::function<Bitstream(std::size_t node_index)>;
+
+/// Reduce k streams with conventional MUX scaled adders.
+[[nodiscard]] Bitstream mux_adder_tree(const std::vector<Bitstream>& inputs,
+                                       const SelectStreamFactory& selects);
+
+}  // namespace scbnn::sc

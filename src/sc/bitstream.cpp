@@ -1,0 +1,143 @@
+#include "sc/bitstream.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sc/packed.h"
+
+namespace scbnn::sc {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+Bitstream::Bitstream(std::size_t length)
+    : length_(length), words_(words_for(length), 0u) {}
+
+Bitstream Bitstream::from_string(std::string_view bits) {
+  std::string cleaned;
+  cleaned.reserve(bits.size());
+  for (char c : bits) {
+    if (c == '0' || c == '1') {
+      cleaned.push_back(c);
+    } else if (c == ' ' || c == '_') {
+      continue;
+    } else {
+      throw std::invalid_argument("Bitstream::from_string: bad character");
+    }
+  }
+  Bitstream s(cleaned.size());
+  for (std::size_t i = 0; i < cleaned.size(); ++i) {
+    if (cleaned[i] == '1') s.set_bit(i, true);
+  }
+  return s;
+}
+
+Bitstream Bitstream::constant(std::size_t length, bool value) {
+  Bitstream s(length);
+  if (value) {
+    for (auto& w : s.words_) w = ~std::uint64_t{0};
+    s.mask_tail();
+  }
+  return s;
+}
+
+Bitstream Bitstream::prefix_ones(std::size_t length, std::size_t ones) {
+  if (ones > length) {
+    throw std::invalid_argument("Bitstream::prefix_ones: ones > length");
+  }
+  Bitstream s(length);
+  std::size_t full = ones / kWordBits;
+  for (std::size_t w = 0; w < full; ++w) s.words_[w] = ~std::uint64_t{0};
+  if (std::size_t rem = ones % kWordBits; rem != 0) {
+    s.words_[full] = low_mask(static_cast<unsigned>(rem));
+  }
+  return s;
+}
+
+bool Bitstream::bit(std::size_t i) const {
+  if (i >= length_) throw std::out_of_range("Bitstream::bit");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void Bitstream::set_bit(std::size_t i, bool v) {
+  if (i >= length_) throw std::out_of_range("Bitstream::set_bit");
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (v) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+std::size_t Bitstream::count_ones() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+double Bitstream::unipolar() const {
+  if (length_ == 0) throw std::logic_error("Bitstream::unipolar: empty");
+  return static_cast<double>(count_ones()) / static_cast<double>(length_);
+}
+
+double Bitstream::bipolar() const { return 2.0 * unipolar() - 1.0; }
+
+void Bitstream::mask_tail() noexcept {
+  if (std::size_t rem = length_ % kWordBits; rem != 0 && !words_.empty()) {
+    words_.back() &= low_mask(static_cast<unsigned>(rem));
+  }
+}
+
+std::string Bitstream::to_string() const {
+  std::string out;
+  out.reserve(length_);
+  for (std::size_t i = 0; i < length_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+void Bitstream::require_same_length(const Bitstream& a, const Bitstream& b) {
+  if (a.length_ != b.length_) {
+    throw std::invalid_argument("Bitstream: length mismatch");
+  }
+}
+
+Bitstream operator&(const Bitstream& a, const Bitstream& b) {
+  Bitstream::require_same_length(a, b);
+  Bitstream out(a.length_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = a.words_[i] & b.words_[i];
+  }
+  return out;
+}
+
+Bitstream operator|(const Bitstream& a, const Bitstream& b) {
+  Bitstream::require_same_length(a, b);
+  Bitstream out(a.length_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = a.words_[i] | b.words_[i];
+  }
+  return out;
+}
+
+Bitstream operator^(const Bitstream& a, const Bitstream& b) {
+  Bitstream::require_same_length(a, b);
+  Bitstream out(a.length_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = a.words_[i] ^ b.words_[i];
+  }
+  return out;
+}
+
+Bitstream Bitstream::operator~() const {
+  Bitstream out(length_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.mask_tail();
+  return out;
+}
+
+}  // namespace scbnn::sc

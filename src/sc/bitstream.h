@@ -1,0 +1,84 @@
+// Packed stochastic bit-stream container.
+//
+// A stochastic number (SN) is a bit-stream X whose value is the probability
+// of observing a 1: pX = ones(X) / length(X)  (unipolar, range [0,1]), or
+// 2*pX - 1 when interpreted in the bipolar encoding (range [-1,1]).
+// See Section II.A of Lee et al., DATE 2017.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scbnn::sc {
+
+class Bitstream {
+ public:
+  Bitstream() = default;
+
+  /// All-zero stream of `length` bits.
+  explicit Bitstream(std::size_t length);
+
+  /// Stream from a time-ordered string such as "0110 0011" (spaces and
+  /// underscores are ignored; first character is time step 0).
+  [[nodiscard]] static Bitstream from_string(std::string_view bits);
+
+  /// Constant stream (all zeros or all ones).
+  [[nodiscard]] static Bitstream constant(std::size_t length, bool value);
+
+  /// Ramp/prefix stream: the first `ones` bits are 1, the rest 0. This is
+  /// exactly what the ramp-compare analog-to-stochastic converter emits
+  /// (Section IV.A): heavily auto-correlated, exact number of ones.
+  [[nodiscard]] static Bitstream prefix_ones(std::size_t length,
+                                             std::size_t ones);
+
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+  [[nodiscard]] bool empty() const noexcept { return length_ == 0; }
+
+  [[nodiscard]] bool bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool v);
+
+  /// Number of 1s in the stream.
+  [[nodiscard]] std::size_t count_ones() const noexcept;
+
+  /// Unipolar value pX = ones/length. Requires non-empty stream.
+  [[nodiscard]] double unipolar() const;
+
+  /// Bipolar value 2*pX - 1. Requires non-empty stream.
+  [[nodiscard]] double bipolar() const;
+
+  /// Raw packed words (LSB-first; tail bits beyond length() are zero).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
+  /// Clear tail bits beyond length() to zero. Callers that write words()
+  /// directly must call this to restore the invariant.
+  void mask_tail() noexcept;
+
+  /// Time-ordered string representation ("0101...").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Bitwise ops (require equal lengths).
+  friend Bitstream operator&(const Bitstream& a, const Bitstream& b);
+  friend Bitstream operator|(const Bitstream& a, const Bitstream& b);
+  friend Bitstream operator^(const Bitstream& a, const Bitstream& b);
+  [[nodiscard]] Bitstream operator~() const;
+
+  friend bool operator==(const Bitstream& a, const Bitstream& b) = default;
+
+ private:
+  static void require_same_length(const Bitstream& a, const Bitstream& b);
+
+  std::size_t length_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace scbnn::sc

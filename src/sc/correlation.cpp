@@ -1,0 +1,47 @@
+#include "sc/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+double scc(const Bitstream& x, const Bitstream& y) {
+  if (x.length() != y.length() || x.empty()) {
+    throw std::invalid_argument("scc: empty or mismatched streams");
+  }
+  const double n = static_cast<double>(x.length());
+  const double p1 = x.unipolar();
+  const double p2 = y.unipolar();
+  const double p11 = static_cast<double>((x & y).count_ones()) / n;
+  const double delta = p11 - p1 * p2;
+  if (std::abs(delta) < 1e-15) return 0.0;
+  if (delta > 0) {
+    const double denom = std::min(p1, p2) - p1 * p2;
+    return denom <= 0 ? 0.0 : delta / denom;
+  }
+  const double denom = p1 * p2 - std::max(p1 + p2 - 1.0, 0.0);
+  return denom <= 0 ? 0.0 : delta / denom;
+}
+
+double autocorrelation(const Bitstream& x, std::size_t lag) {
+  if (x.empty() || lag >= x.length()) {
+    throw std::invalid_argument("autocorrelation: bad lag or empty stream");
+  }
+  const std::size_t n = x.length() - lag;
+  const double mean = x.unipolar();
+  double num = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (static_cast<double>(x.bit(i)) - mean) *
+           (static_cast<double>(x.bit(i + lag)) - mean);
+  }
+  double var = 0.0;
+  for (std::size_t i = 0; i < x.length(); ++i) {
+    const double d = static_cast<double>(x.bit(i)) - mean;
+    var += d * d;
+  }
+  if (var < 1e-15) return 0.0;
+  return num / var;
+}
+
+}  // namespace scbnn::sc

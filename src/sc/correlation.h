@@ -1,0 +1,21 @@
+// Correlation metrics for stochastic bit-streams.
+//
+// SC combinational arithmetic assumes statistically independent inputs; the
+// SCC metric (Alaghi & Hayes) quantifies deviation from independence, and
+// the lag-k autocorrelation quantifies the self-similarity that breaks
+// conventional sequential SC circuits but *not* the paper's TFF adder.
+#pragma once
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Stochastic computing correlation (SCC) in [-1, 1].
+/// 0 = independent; +1 = maximally overlapped ones; -1 = maximally disjoint.
+[[nodiscard]] double scc(const Bitstream& x, const Bitstream& y);
+
+/// Pearson-style lag-k autocorrelation of a stream viewed as a 0/1 series.
+/// Returns 0 for constant streams (no variance).
+[[nodiscard]] double autocorrelation(const Bitstream& x, std::size_t lag);
+
+}  // namespace scbnn::sc

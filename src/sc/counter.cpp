@@ -1,0 +1,70 @@
+#include "sc/counter.h"
+
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+std::uint64_t to_binary(const Bitstream& s) { return s.count_ones(); }
+
+AsyncRippleCounter::AsyncRippleCounter(unsigned width, double stage_delay_ns)
+    : width_(width), stage_delay_ns_(stage_delay_ns) {
+  if (width == 0 || width > 63) {
+    throw std::invalid_argument("AsyncRippleCounter: width must be in [1,63]");
+  }
+}
+
+double AsyncRippleCounter::settle_latency_ns() const noexcept {
+  return width_ * stage_delay_ns_;
+}
+
+bool AsyncRippleCounter::pulse(double t_ns, bool bit) {
+  if (!bit) return true;
+  // Only the first stage must be ready for the next event; deeper stages
+  // ripple in the background. Stage 1 toggles once per input pulse and is
+  // busy for one stage delay.
+  if (t_ns < stage1_busy_until_) return false;
+  stage1_busy_until_ = t_ns + stage_delay_ns_;
+  count_ = (count_ + 1) & ((std::uint64_t{1} << width_) - 1);
+  return true;
+}
+
+SyncCounter::SyncCounter(unsigned width, double stage_delay_ns)
+    : width_(width), stage_delay_ns_(stage_delay_ns) {
+  if (width == 0 || width > 63) {
+    throw std::invalid_argument("SyncCounter: width must be in [1,63]");
+  }
+}
+
+bool SyncCounter::pulse(double t_ns, bool bit) {
+  if (!bit) return true;
+  // A synchronous counter's increment must propagate through the full carry
+  // chain before the next clock edge can be accepted.
+  if (t_ns < busy_until_) {
+    ++dropped_;
+    return false;
+  }
+  busy_until_ = t_ns + width_ * stage_delay_ns_;
+  count_ = (count_ + 1) & ((std::uint64_t{1} << width_) - 1);
+  return true;
+}
+
+std::uint64_t run_async_counter(const Bitstream& s, unsigned width,
+                                double stage_delay_ns,
+                                double clock_period_ns) {
+  AsyncRippleCounter c(width, stage_delay_ns);
+  for (std::size_t i = 0; i < s.length(); ++i) {
+    c.pulse(static_cast<double>(i) * clock_period_ns, s.bit(i));
+  }
+  return c.settled_count();
+}
+
+std::uint64_t run_sync_counter(const Bitstream& s, unsigned width,
+                               double stage_delay_ns, double clock_period_ns) {
+  SyncCounter c(width, stage_delay_ns);
+  for (std::size_t i = 0; i < s.length(); ++i) {
+    c.pulse(static_cast<double>(i) * clock_period_ns, s.bit(i));
+  }
+  return c.count();
+}
+
+}  // namespace scbnn::sc

@@ -1,0 +1,82 @@
+// Stochastic-to-binary conversion (Fig. 1d) and behavioral timing models of
+// asynchronous (ripple) vs synchronous counters (Section II.A).
+//
+// The paper clocks the SC datapath faster than a synchronous counter could
+// settle; an asynchronous ripple counter keeps counting correctly because
+// each stage toggles at most every other input event. The timing models
+// below reproduce that argument as a simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Ideal stochastic-to-binary conversion: count the 1s.
+[[nodiscard]] std::uint64_t to_binary(const Bitstream& s);
+
+/// Behavioral asynchronous (ripple) counter. Stage i toggles when stage i-1
+/// falls; each stage's toggle completes `stage_delay` after its trigger.
+/// The counter accepts a new input pulse every `clock_period` regardless of
+/// whether earlier carries are still rippling — later stages lag but no
+/// count is ever lost, because stage i only needs to react once per 2^i
+/// input pulses.
+class AsyncRippleCounter {
+ public:
+  AsyncRippleCounter(unsigned width, double stage_delay_ns);
+
+  /// Feed one input bit at absolute time `t_ns`; returns false if the pulse
+  /// could not be registered (never happens for a ripple counter whose first
+  /// stage delay is below the input period — asserted in tests).
+  bool pulse(double t_ns, bool bit);
+
+  /// Count after all in-flight carries have settled.
+  [[nodiscard]] std::uint64_t settled_count() const noexcept { return count_; }
+
+  /// Worst-case settle latency after the last pulse: width * stage_delay.
+  [[nodiscard]] double settle_latency_ns() const noexcept;
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+ private:
+  unsigned width_;
+  double stage_delay_ns_;
+  double stage1_busy_until_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Behavioral synchronous counter: the whole carry chain must settle within
+/// one input period. If the next pulse arrives before `width * stage_delay`
+/// has elapsed, the increment is lost — modeling the failure the paper
+/// describes for synchronous counters fed from a fast SC clock.
+class SyncCounter {
+ public:
+  SyncCounter(unsigned width, double stage_delay_ns);
+
+  bool pulse(double t_ns, bool bit);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+ private:
+  unsigned width_;
+  double stage_delay_ns_;
+  double busy_until_ = 0.0;
+  std::uint64_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Run a bit-stream through a counter model at a given SC clock period;
+/// returns the final count (for the sync model, after drops).
+[[nodiscard]] std::uint64_t run_async_counter(const Bitstream& s,
+                                              unsigned width,
+                                              double stage_delay_ns,
+                                              double clock_period_ns);
+[[nodiscard]] std::uint64_t run_sync_counter(const Bitstream& s,
+                                             unsigned width,
+                                             double stage_delay_ns,
+                                             double clock_period_ns);
+
+}  // namespace scbnn::sc

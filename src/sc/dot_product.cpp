@@ -1,0 +1,160 @@
+#include "sc/dot_product.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/lfsr.h"
+#include "sc/lowdisc.h"
+#include "sc/sng.h"
+#include "sc/tff.h"
+
+namespace scbnn::sc {
+
+namespace {
+
+std::vector<Bitstream> level_table(NumberSource& source, unsigned bits,
+                                   std::size_t n) {
+  const std::uint32_t levels = (std::uint32_t{1} << bits) + 1;
+  std::vector<std::uint32_t> seq(n);
+  source.reset();
+  for (std::size_t t = 0; t < n; ++t) seq[t] = source.next();
+  std::vector<Bitstream> table;
+  table.reserve(levels);
+  for (std::uint32_t b = 0; b < levels; ++b) {
+    Bitstream s(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (seq[t] < b) s.set_bit(t, true);
+    }
+    table.push_back(std::move(s));
+  }
+  return table;
+}
+
+}  // namespace
+
+StochasticDotProduct::StochasticDotProduct(unsigned bits, std::size_t fan_in,
+                                           DotProductStyle style,
+                                           std::uint32_t seed)
+    : bits_(bits),
+      fan_in_(fan_in),
+      length_(std::size_t{1} << bits),
+      style_(style),
+      seed_(seed) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("StochasticDotProduct: bits must be in [2,16]");
+  }
+  if (fan_in == 0) {
+    throw std::invalid_argument("StochasticDotProduct: fan_in must be > 0");
+  }
+  if (style_ == DotProductStyle::kProposed) {
+    // Ramp-compare converter on the sensor side (prefix-ones streams).
+    RampSource ramp(bits_);
+    input_table_ = level_table(ramp, bits_, length_);
+  } else {
+    // LFSR-driven SNG shared by all input pixels.
+    Lfsr lfsr(bits_, fold_lfsr_seed(bits_, seed_));
+    input_table_ = level_table(lfsr, bits_, length_);
+    // One wide LFSR supplies p=1/2 select bits for every MUX-tree node (the
+    // standard low-cost arrangement in prior SC NN designs).
+    const std::size_t nodes = (std::size_t{1} << tree_levels(fan_in_)) - 1;
+    select_streams_.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      Lfsr sel(bits_, fold_lfsr_seed(
+                          bits_, static_cast<std::uint32_t>(seed_ + 31 + 17 * i)));
+      select_streams_.push_back(
+          generate_stream(sel, std::uint32_t{1} << (bits_ - 1), length_));
+    }
+  }
+}
+
+void StochasticDotProduct::set_weights(std::span<const int> weight_levels) {
+  if (weight_levels.size() != fan_in_) {
+    throw std::invalid_argument("set_weights: fan-in mismatch");
+  }
+  const int max_level = static_cast<int>(length_);
+  weight_pos_.clear();
+  weight_neg_.clear();
+  weight_pos_.reserve(fan_in_);
+  weight_neg_.reserve(fan_in_);
+
+  // Weight streams come from the shared SNG bank: low-discrepancy sources
+  // for the proposed design, a second distinct-polynomial LFSR for the
+  // conventional one. All taps share the same source sequence (the hardware
+  // amortizes one generator across units), so build a level table once.
+  std::vector<Bitstream> wtable;
+  if (style_ == DotProductStyle::kProposed) {
+    VanDerCorputSource vdc(bits_);
+    wtable = level_table(vdc, bits_, length_);
+  } else {
+    Lfsr lfsr(bits_, fold_lfsr_seed(bits_, seed_ * 2 + 3),
+              maximal_lfsr_taps_alt(bits_));
+    wtable = level_table(lfsr, bits_, length_);
+  }
+
+  for (int w : weight_levels) {
+    if (w < -max_level || w > max_level) {
+      throw std::invalid_argument("set_weights: level out of range");
+    }
+    const std::uint32_t pos = w > 0 ? static_cast<std::uint32_t>(w) : 0;
+    const std::uint32_t neg = w < 0 ? static_cast<std::uint32_t>(-w) : 0;
+    weight_pos_.push_back(wtable[pos]);
+    weight_neg_.push_back(wtable[neg]);
+  }
+}
+
+double StochasticDotProduct::descale() const noexcept {
+  return static_cast<double>(std::size_t{1} << tree_levels(fan_in_));
+}
+
+Bitstream StochasticDotProduct::reduce(std::vector<Bitstream> products) const {
+  if (style_ == DotProductStyle::kProposed) {
+    return tff_adder_tree(products, TffInitPolicy::kAlternating);
+  }
+  return mux_adder_tree(
+      products, [this](std::size_t node) { return select_streams_[node]; });
+}
+
+DotProductResult StochasticDotProduct::run(
+    std::span<const std::uint32_t> input_levels, double soft_threshold) const {
+  if (input_levels.size() != fan_in_) {
+    throw std::invalid_argument("run: fan-in mismatch");
+  }
+  if (weight_pos_.size() != fan_in_) {
+    throw std::logic_error("run: weights not set");
+  }
+  std::vector<Bitstream> pos_products;
+  std::vector<Bitstream> neg_products;
+  pos_products.reserve(fan_in_);
+  neg_products.reserve(fan_in_);
+  for (std::size_t i = 0; i < fan_in_; ++i) {
+    if (input_levels[i] > length_) {
+      throw std::invalid_argument("run: input level out of range");
+    }
+    const Bitstream& x = input_table_[input_levels[i]];
+    pos_products.push_back(x & weight_pos_[i]);
+    neg_products.push_back(x & weight_neg_[i]);
+  }
+  const Bitstream zp = reduce(std::move(pos_products));
+  const Bitstream zn = reduce(std::move(neg_products));
+
+  DotProductResult r;
+  r.pos_count = zp.count_ones();
+  r.neg_count = zn.count_ones();
+  // Descale: counts encode (x.w~)/2^levels over N cycles; value recovers x.w
+  // in units where inputs and weights are in [0, 1].
+  const double scale =
+      descale() / static_cast<double>(length_);
+  r.value = (static_cast<double>(r.pos_count) -
+             static_cast<double>(r.neg_count)) *
+            scale;
+  if (r.value > soft_threshold) {
+    r.sign = 1;
+  } else if (r.value < -soft_threshold) {
+    r.sign = -1;
+  } else {
+    r.sign = 0;
+  }
+  return r;
+}
+
+}  // namespace scbnn::sc

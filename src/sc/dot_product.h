@@ -1,0 +1,80 @@
+// Stochastic dot-product engine with sign activation (Section IV.B).
+//
+// Implements g(x, w) = sign(x . w) in the stochastic domain using the
+// paper's unipolar positive/negative weight split: weights are divided into
+// w_pos and w_neg streams, two unipolar dot products g_pos = x . w_pos and
+// g_neg = x . w_neg are computed with AND multipliers and a scaled adder
+// tree, converted by (asynchronous) counters, and compared — with optional
+// soft thresholding that forces near-zero results to 0 (Kim et al. [16]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sc/adder_tree.h"
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Which hardware style realizes the dot product.
+enum class DotProductStyle {
+  /// This work: ramp-compare input streams, low-discrepancy weight streams,
+  /// TFF adder tree (Fig. 2b nodes).
+  kProposed,
+  /// Prior work: LFSR-driven input and weight streams, MUX adder tree with
+  /// LFSR-derived select streams.
+  kConventional,
+};
+
+struct DotProductResult {
+  std::uint64_t pos_count = 0;  ///< counter output of the w_pos tree
+  std::uint64_t neg_count = 0;  ///< counter output of the w_neg tree
+  int sign = 0;                 ///< activation output in {-1, 0, +1}
+  double value = 0.0;           ///< descaled estimate of x . w
+};
+
+/// A fixed-fan-in stochastic dot-product unit.
+///
+/// Construction precomputes every input-level stream (there are only
+/// 2^bits + 1 distinct levels) and, once weights are set, the weight
+/// streams; run() then only performs the gate-level AND / adder-tree /
+/// counter simulation, bit-exactly, on packed words.
+class StochasticDotProduct {
+ public:
+  /// `bits`: stream precision (stream length N = 2^bits).
+  /// `fan_in`: number of products (e.g. 25 for a 5x5 kernel).
+  StochasticDotProduct(unsigned bits, std::size_t fan_in, DotProductStyle style,
+                       std::uint32_t seed = 1);
+
+  /// Set signed integer weight levels in [-2^bits, 2^bits]; positive parts
+  /// feed the w_pos streams, magnitudes of negative parts the w_neg streams.
+  void set_weights(std::span<const int> weight_levels);
+
+  /// Evaluate on input levels in [0, 2^bits]. `soft_threshold` is in the
+  /// descaled dot-product domain (same units as `value`).
+  [[nodiscard]] DotProductResult run(std::span<const std::uint32_t> input_levels,
+                                     double soft_threshold = 0.0) const;
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t fan_in() const noexcept { return fan_in_; }
+  [[nodiscard]] std::size_t stream_length() const noexcept { return length_; }
+  /// Scale 2^levels undone when converting counts to `value`.
+  [[nodiscard]] double descale() const noexcept;
+
+ private:
+  [[nodiscard]] Bitstream reduce(std::vector<Bitstream> products) const;
+
+  unsigned bits_;
+  std::size_t fan_in_;
+  std::size_t length_;
+  DotProductStyle style_;
+  std::uint32_t seed_;
+
+  std::vector<Bitstream> input_table_;    // level -> input stream
+  std::vector<Bitstream> weight_pos_;     // per-tap w_pos streams
+  std::vector<Bitstream> weight_neg_;     // per-tap w_neg streams
+  std::vector<Bitstream> select_streams_; // MUX-tree selects (conventional)
+};
+
+}  // namespace scbnn::sc

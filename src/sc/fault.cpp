@@ -1,0 +1,51 @@
+#include "sc/fault.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+Bitstream inject_stream_faults(const Bitstream& s, double ber,
+                               std::uint64_t seed) {
+  if (ber < 0.0 || ber > 1.0) {
+    throw std::invalid_argument("inject_stream_faults: ber must be in [0,1]");
+  }
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution flip(ber);
+  Bitstream out = s;
+  for (std::size_t i = 0; i < out.length(); ++i) {
+    if (flip(rng)) out.set_bit(i, !out.bit(i));
+  }
+  return out;
+}
+
+double stream_fault_error_bound(double ber) { return ber; }
+
+std::uint32_t inject_word_faults(std::uint32_t word, unsigned bits, double ber,
+                                 std::uint64_t seed) {
+  if (ber < 0.0 || ber > 1.0) {
+    throw std::invalid_argument("inject_word_faults: ber must be in [0,1]");
+  }
+  if (bits == 0 || bits > 31) {
+    throw std::invalid_argument("inject_word_faults: bits must be in [1,31]");
+  }
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution flip(ber);
+  for (unsigned i = 0; i < bits; ++i) {
+    if (flip(rng)) word ^= (std::uint32_t{1} << i);
+  }
+  return word & ((std::uint32_t{1} << bits) - 1);
+}
+
+double word_fault_rms(unsigned bits, double ber) {
+  double acc = 0.0;
+  const double full = std::ldexp(1.0, static_cast<int>(bits));
+  for (unsigned i = 0; i < bits; ++i) {
+    const double weight = std::ldexp(1.0, static_cast<int>(i)) / full;
+    acc += ber * weight * weight;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace scbnn::sc

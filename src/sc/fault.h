@@ -1,0 +1,37 @@
+// Fault injection for the error-tolerance study.
+//
+// The paper's introduction motivates SC for "tiny sensors operating in
+// harsh environments" because stochastic circuits degrade gracefully under
+// soft errors: every stream bit carries equal weight 1/N, whereas a binary
+// word's MSB carries half the value. These injectors flip bits in both
+// representations so the claim can be quantified (bench/fault_tolerance).
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Flip each stream bit independently with probability `ber` (bit error
+/// rate). Deterministic for a given seed.
+[[nodiscard]] Bitstream inject_stream_faults(const Bitstream& s, double ber,
+                                             std::uint64_t seed);
+
+/// Expected |value error| of a unipolar stream under BER p: each flip moves
+/// the count by +/-1, so E[error] <= p (flips toward the majority partially
+/// cancel; exact expectation is p * |1 - 2*value|... conservative bound p).
+[[nodiscard]] double stream_fault_error_bound(double ber);
+
+/// Flip each bit of a k-bit binary word independently with probability
+/// `ber`; returns the faulted word. The numeric damage of a single flip is
+/// 2^position / 2^k — up to half of full scale.
+[[nodiscard]] std::uint32_t inject_word_faults(std::uint32_t word,
+                                               unsigned bits, double ber,
+                                               std::uint64_t seed);
+
+/// RMS relative value error of a k-bit binary word under independent
+/// per-bit BER p (analytic): sqrt(p * sum_i (2^i / 2^k)^2).
+[[nodiscard]] double word_fault_rms(unsigned bits, double ber);
+
+}  // namespace scbnn::sc

@@ -1,0 +1,38 @@
+#include "sc/fsm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+StochasticTanh::StochasticTanh(unsigned states) : states_(states) {
+  if (states < 2 || states % 2 != 0) {
+    throw std::invalid_argument("StochasticTanh: states must be even >= 2");
+  }
+  state_ = (states_ / 2) - 1;
+}
+
+bool StochasticTanh::clock(bool in) noexcept {
+  // Saturating up/down counter: 1 steps up, 0 steps down.
+  if (in) {
+    if (state_ < states_ - 1) ++state_;
+  } else {
+    if (state_ > 0) --state_;
+  }
+  return state_ >= states_ / 2;
+}
+
+Bitstream StochasticTanh::transform(const Bitstream& in) {
+  reset();
+  Bitstream out(in.length());
+  for (std::size_t i = 0; i < in.length(); ++i) {
+    out.set_bit(i, clock(in.bit(i)));
+  }
+  return out;
+}
+
+double stanh_reference(unsigned states, double bipolar_x) {
+  return std::tanh(static_cast<double>(states) / 2.0 * bipolar_x);
+}
+
+}  // namespace scbnn::sc

@@ -1,0 +1,43 @@
+// Finite-state-machine stochastic elements (Brown & Card [7]).
+//
+// Sequential SC circuits trade gates for state: a saturating up/down counter
+// driven by a bipolar stream computes a tanh-shaped squashing function.
+// These are the activation functions used by prior *fully stochastic* NN
+// designs — and, importantly for this paper, they malfunction on
+// auto-correlated inputs (Section III), unlike the proposed TFF adder. Both
+// properties are exercised in tests and in the fully-stochastic baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Brown-Card stochastic tanh: a K-state saturating counter. For an input
+/// bipolar value x (from an uncorrelated stream), the output stream's
+/// bipolar value approximates tanh(K/2 * x).
+class StochasticTanh {
+ public:
+  /// `states` must be even and >= 2; initial state is the lower middle.
+  explicit StochasticTanh(unsigned states);
+
+  /// Clock one input bit; returns the output bit (state in upper half).
+  bool clock(bool in) noexcept;
+
+  void reset() noexcept { state_ = (states_ / 2) - 1; }
+  [[nodiscard]] unsigned states() const noexcept { return states_; }
+  [[nodiscard]] unsigned state() const noexcept { return state_; }
+
+  /// Transform a whole stream (resets first).
+  [[nodiscard]] Bitstream transform(const Bitstream& in);
+
+ private:
+  unsigned states_;
+  unsigned state_;
+};
+
+/// Reference curve: the function the FSM approximates, tanh(states/2 * x).
+[[nodiscard]] double stanh_reference(unsigned states, double bipolar_x);
+
+}  // namespace scbnn::sc

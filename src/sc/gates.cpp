@@ -1,0 +1,34 @@
+#include "sc/gates.h"
+
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+Bitstream and_multiply(const Bitstream& x, const Bitstream& y) {
+  return x & y;
+}
+
+Bitstream xnor_multiply_bipolar(const Bitstream& x, const Bitstream& y) {
+  return ~(x ^ y);
+}
+
+Bitstream or_add(const Bitstream& x, const Bitstream& y) { return x | y; }
+
+Bitstream mux_add(const Bitstream& x, const Bitstream& y,
+                  const Bitstream& select) {
+  if (x.length() != y.length() || x.length() != select.length()) {
+    throw std::invalid_argument("mux_add: length mismatch");
+  }
+  Bitstream out(x.length());
+  auto ow = out.words();
+  auto xw = x.words();
+  auto yw = y.words();
+  auto sw = select.words();
+  for (std::size_t i = 0; i < ow.size(); ++i) {
+    ow[i] = (sw[i] & yw[i]) | (~sw[i] & xw[i]);
+  }
+  out.mask_tail();
+  return out;
+}
+
+}  // namespace scbnn::sc

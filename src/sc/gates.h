@@ -1,0 +1,30 @@
+// Combinational stochastic arithmetic elements (Fig. 1 of the paper, plus
+// the approximate OR adder of Li et al. [21] and the bipolar XNOR
+// multiplier used for the design-space ablations).
+#pragma once
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Unipolar multiplier (Fig. 1a): pZ = pX * pY for uncorrelated inputs.
+[[nodiscard]] Bitstream and_multiply(const Bitstream& x, const Bitstream& y);
+
+/// Bipolar multiplier: with bipolar encodings, XNOR computes zB = xB * yB
+/// for uncorrelated inputs.
+[[nodiscard]] Bitstream xnor_multiply_bipolar(const Bitstream& x,
+                                              const Bitstream& y);
+
+/// Approximate OR adder [21]: pZ = pX + pY - pX*pY; only accurate when both
+/// inputs are close to zero.
+[[nodiscard]] Bitstream or_add(const Bitstream& x, const Bitstream& y);
+
+/// Conventional scaled adder (Fig. 1b): a 2:1 multiplexer driven by a select
+/// stream with pSel ~= 0.5 computes pZ = 0.5*(pX + pY) in expectation. Bits
+/// of the unselected input are discarded, which is the source of the
+/// variance the paper's TFF adder eliminates.
+/// Select semantics: sel=0 passes x, sel=1 passes y.
+[[nodiscard]] Bitstream mux_add(const Bitstream& x, const Bitstream& y,
+                                const Bitstream& select);
+
+}  // namespace scbnn::sc

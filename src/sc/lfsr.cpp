@@ -1,0 +1,97 @@
+#include "sc/lfsr.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+std::uint32_t maximal_lfsr_taps(unsigned bits) {
+  // Tap masks for maximal-length Fibonacci LFSRs (XOR form). Bit i of the
+  // mask corresponds to stage i+1. Source: standard m-sequence tap tables.
+  switch (bits) {
+    case 2:  return 0x3;        // x^2 + x + 1
+    case 3:  return 0x6;        // x^3 + x^2 + 1
+    case 4:  return 0xC;        // x^4 + x^3 + 1
+    case 5:  return 0x14;       // x^5 + x^3 + 1
+    case 6:  return 0x30;       // x^6 + x^5 + 1
+    case 7:  return 0x60;       // x^7 + x^6 + 1
+    case 8:  return 0xB8;       // x^8 + x^6 + x^5 + x^4 + 1
+    case 9:  return 0x110;      // x^9 + x^5 + 1
+    case 10: return 0x240;      // x^10 + x^7 + 1
+    case 11: return 0x500;      // x^11 + x^9 + 1
+    case 12: return 0xE08;      // x^12 + x^11 + x^10 + x^4 + 1
+    case 13: return 0x1C80;     // x^13 + x^12 + x^11 + x^8 + 1
+    case 14: return 0x3802;     // x^14 + x^13 + x^12 + x^2 + 1
+    case 15: return 0x6000;     // x^15 + x^14 + 1
+    case 16: return 0xD008;     // x^16 + x^15 + x^13 + x^4 + 1
+    case 17: return 0x12000;    // x^17 + x^14 + 1
+    case 18: return 0x20400;    // x^18 + x^11 + 1
+    case 19: return 0x72000;    // x^19 + x^18 + x^17 + x^14 + 1
+    case 20: return 0x90000;    // x^20 + x^17 + 1
+    case 21: return 0x140000;   // x^21 + x^19 + 1
+    case 22: return 0x300000;   // x^22 + x^21 + 1
+    case 23: return 0x420000;   // x^23 + x^18 + 1
+    case 24: return 0xE10000;   // x^24 + x^23 + x^22 + x^17 + 1
+    default:
+      throw std::invalid_argument("maximal_lfsr_taps: width must be 2..24");
+  }
+}
+
+std::uint32_t maximal_lfsr_taps_alt(unsigned bits) {
+  switch (bits) {
+    // Width 2 has exactly one primitive polynomial; callers at 2-bit
+    // precision get the same taps and must rely on seed phase shifts.
+    case 2:  return 0x3;      // x^2 + x + 1
+    case 3:  return 0x5;      // x^3 + x + 1
+    case 4:  return 0x9;      // x^4 + x + 1
+    case 5:  return 0x12;     // x^5 + x^2 + 1
+    case 6:  return 0x21;     // x^6 + x + 1
+    case 7:  return 0x41;     // x^7 + x + 1
+    case 8:  return 0xE1;     // x^8 + x^7 + x^6 + x + 1
+    case 9:  return 0x108;    // x^9 + x^4 + 1
+    case 10: return 0x204;    // x^10 + x^3 + 1
+    case 11: return 0x402;    // x^11 + x^2 + 1
+    case 12: return 0x829;    // x^12 + x^6 + x^4 + x + 1
+    case 13: return 0x100D;   // x^13 + x^4 + x^3 + x + 1
+    case 14: return 0x2015;   // x^14 + x^5 + x^3 + x + 1
+    case 15: return 0x4001;   // x^15 + x + 1
+    case 16: return 0x8805;   // x^16 + x^12 + x^3 + x + 1
+    default:
+      throw std::invalid_argument(
+          "maximal_lfsr_taps_alt: width must be 2..16");
+  }
+}
+
+Lfsr::Lfsr(unsigned bits, std::uint32_t seed)
+    : Lfsr(bits, seed, maximal_lfsr_taps(bits)) {}
+
+Lfsr::Lfsr(unsigned bits, std::uint32_t seed, std::uint32_t taps)
+    : bits_(bits), taps_(taps) {
+  const std::uint32_t mask = (std::uint32_t{1} << bits_) - 1;
+  seed_ = seed & mask;
+  if (seed_ == 0) {
+    throw std::invalid_argument("Lfsr: seed must be nonzero in register width");
+  }
+  state_ = seed_;
+}
+
+std::uint32_t Lfsr::next() {
+  const std::uint32_t out = state_;
+  const std::uint32_t mask = (std::uint32_t{1} << bits_) - 1;
+  const bool fb = (std::popcount(state_ & taps_) & 1) != 0;
+  state_ = ((state_ << 1) | static_cast<std::uint32_t>(fb)) & mask;
+  return out;
+}
+
+ShiftedLfsr::ShiftedLfsr(unsigned bits, std::uint32_t seed, unsigned rotate)
+    : inner_(bits, seed), rotate_(rotate % bits) {}
+
+std::uint32_t ShiftedLfsr::next() {
+  const std::uint32_t v = inner_.next();
+  const unsigned b = inner_.bits();
+  if (rotate_ == 0) return v;
+  const std::uint32_t mask = (std::uint32_t{1} << b) - 1;
+  return ((v >> rotate_) | (v << (b - rotate_))) & mask;
+}
+
+}  // namespace scbnn::sc

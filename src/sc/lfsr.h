@@ -1,0 +1,88 @@
+// Maximal-length Fibonacci linear feedback shift registers.
+//
+// LFSRs are the classic pseudo-random number source for SNGs. A k-bit
+// maximal-length LFSR cycles through all 2^k - 1 nonzero states; note it
+// never emits 0, which introduces a small systematic bias — part of why
+// LFSR-driven SC arithmetic is less accurate than deterministic schemes
+// (Table 1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sc/rng_source.h"
+
+namespace scbnn::sc {
+
+/// Feedback tap mask (bit i set = stage i+1 participates in feedback XOR)
+/// for a maximal-length LFSR of the given width (2..24 bits).
+[[nodiscard]] std::uint32_t maximal_lfsr_taps(unsigned bits);
+
+/// A second, distinct primitive polynomial per width (2..16 bits; width 2
+/// has only one primitive polynomial, so it falls back to the primary).
+/// Two LFSRs with the same polynomial but different seeds traverse the
+/// *same* m-sequence with a phase shift; using a different polynomial for
+/// the second LFSR gives genuinely different sequences (Table 1 scheme (ii)).
+[[nodiscard]] std::uint32_t maximal_lfsr_taps_alt(unsigned bits);
+
+/// Fold an arbitrary 32-bit value into a valid (nonzero) seed for a
+/// `bits`-wide LFSR. Used when deriving many seeds from a base seed (e.g.
+/// the per-node select-stream banks), where a plain mask could yield the
+/// forbidden all-zero state.
+[[nodiscard]] constexpr std::uint32_t fold_lfsr_seed(unsigned bits,
+                                                     std::uint32_t raw) noexcept {
+  const std::uint32_t mask = (std::uint32_t{1} << bits) - 1;
+  std::uint32_t s = raw & mask;
+  if (s == 0) s = (raw >> bits) & mask;
+  return s == 0 ? 1u : s;
+}
+
+/// Fibonacci LFSR emitting its full k-bit state each cycle.
+class Lfsr final : public NumberSource {
+ public:
+  /// `seed` must be nonzero (an all-zero LFSR state is absorbing); it is
+  /// masked to the register width.
+  Lfsr(unsigned bits, std::uint32_t seed);
+
+  /// LFSR with an explicit feedback tap mask (must be primitive for a
+  /// maximal-length sequence).
+  Lfsr(unsigned bits, std::uint32_t seed, std::uint32_t taps);
+
+  [[nodiscard]] std::uint32_t next() override;
+  void reset() override { state_ = seed_; }
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+  /// Current register state without advancing.
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+  /// Period of a maximal-length LFSR of this width: 2^bits - 1.
+  [[nodiscard]] std::uint32_t period() const noexcept {
+    return (std::uint32_t{1} << bits_) - 1;
+  }
+
+ private:
+  unsigned bits_;
+  std::uint32_t taps_;
+  std::uint32_t seed_;
+  std::uint32_t state_;
+};
+
+/// "One LFSR + shifted version" source (scheme (i) of Table 1): shares the
+/// state sequence of a primary LFSR but emits a circularly bit-rotated view
+/// of it. Two such sources derived from the same LFSR are strongly
+/// correlated, which is exactly the failure mode Table 1 row 1 quantifies.
+class ShiftedLfsr final : public NumberSource {
+ public:
+  ShiftedLfsr(unsigned bits, std::uint32_t seed, unsigned rotate);
+
+  [[nodiscard]] std::uint32_t next() override;
+  void reset() override { inner_.reset(); }
+  [[nodiscard]] unsigned bits() const noexcept override {
+    return inner_.bits();
+  }
+
+ private:
+  Lfsr inner_;
+  unsigned rotate_;
+};
+
+}  // namespace scbnn::sc

@@ -1,0 +1,79 @@
+#include "sc/lowdisc.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sc/packed.h"
+
+namespace scbnn::sc {
+
+VanDerCorputSource::VanDerCorputSource(unsigned bits) : bits_(bits) {
+  if (bits == 0 || bits > 31) {
+    throw std::invalid_argument("VanDerCorputSource: bits must be in [1,31]");
+  }
+}
+
+std::uint32_t VanDerCorputSource::next() {
+  const std::uint32_t v = reverse_bits(counter_, bits_);
+  counter_ = (counter_ + 1) & ((std::uint32_t{1} << bits_) - 1);
+  return v;
+}
+
+HaltonBase3Source::HaltonBase3Source(unsigned bits) : bits_(bits) {
+  if (bits == 0 || bits > 31) {
+    throw std::invalid_argument("HaltonBase3Source: bits must be in [1,31]");
+  }
+}
+
+std::uint32_t HaltonBase3Source::next() {
+  // Radical inverse of the counter in base 3, scaled to [0, 2^bits).
+  double inv = 0.0;
+  double base = 1.0 / 3.0;
+  for (std::uint32_t i = counter_; i != 0; i /= 3) {
+    inv += static_cast<double>(i % 3) * base;
+    base /= 3.0;
+  }
+  ++counter_;
+  const auto scale = static_cast<double>(std::uint32_t{1} << bits_);
+  auto v = static_cast<std::uint32_t>(inv * scale);
+  const std::uint32_t mask = (std::uint32_t{1} << bits_) - 1;
+  return v & mask;
+}
+
+SobolDim2Source::SobolDim2Source(unsigned bits) : bits_(bits) {
+  if (bits == 0 || bits > 31) {
+    throw std::invalid_argument("SobolDim2Source: bits must be in [1,31]");
+  }
+  // Direction numbers for Sobol dimension 2: primitive polynomial
+  // x^2 + x + 1 (degree s=2, coefficient a=1), initial m_1 = 1, m_2 = 3.
+  // Recurrence: m_i = 2*a*m_{i-1} XOR m_{i-2} XOR (2^2)*m_{i-2}.
+  std::uint32_t m[33];
+  m[1] = 1;
+  m[2] = 3;
+  for (unsigned i = 3; i <= bits_; ++i) {
+    m[i] = (2u * m[i - 1]) ^ m[i - 2] ^ (4u * m[i - 2]);
+  }
+  // v_i = m_i << (bits - i): MSB-aligned direction numbers.
+  for (unsigned i = 1; i <= bits_; ++i) {
+    direction_[i - 1] = m[i] << (bits_ - i);
+  }
+}
+
+void SobolDim2Source::reset() {
+  counter_ = 0;
+  value_ = 0;
+}
+
+std::uint32_t SobolDim2Source::next() {
+  // Gray-code incremental construction: x_{n+1} = x_n XOR v_c where c is the
+  // index of the lowest zero bit of n. Emits x_0 = 0 first.
+  const std::uint32_t v = value_;
+  const unsigned c =
+      static_cast<unsigned>(std::countr_one(counter_));  // lowest zero bit
+  if (c < bits_) value_ ^= direction_[c];
+  counter_ = (counter_ + 1) & ((std::uint32_t{1} << bits_) - 1);
+  if (counter_ == 0) value_ = 0;  // restart the period cleanly
+  return v;
+}
+
+}  // namespace scbnn::sc

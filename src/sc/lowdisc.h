@@ -1,0 +1,66 @@
+// Low-discrepancy number sources (Alaghi & Hayes, DATE 2014 [4]).
+//
+// Deterministic sequences whose empirical distribution converges to uniform
+// at rate O(log N / N) instead of the O(1/sqrt(N)) of random sources. Used
+// for the weight-side SNGs of the paper's stochastic convolution engine.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/rng_source.h"
+
+namespace scbnn::sc {
+
+/// Van der Corput base-2 sequence over k bits: the bit-reversed counter.
+/// Encoding a value B against this source yields a stream with *exactly* B
+/// ones per 2^k period, with the ones spread maximally evenly.
+class VanDerCorputSource final : public NumberSource {
+ public:
+  explicit VanDerCorputSource(unsigned bits);
+
+  [[nodiscard]] std::uint32_t next() override;
+  void reset() override { counter_ = 0; }
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::uint32_t counter_ = 0;
+};
+
+/// Van der Corput base-3 (Halton) sequence scaled to k bits. Used as the
+/// second independent low-discrepancy source for two-input multiplication
+/// (Table 1 row 3): bases 2 and 3 give streams with near-zero cross
+/// correlation.
+class HaltonBase3Source final : public NumberSource {
+ public:
+  explicit HaltonBase3Source(unsigned bits);
+
+  [[nodiscard]] std::uint32_t next() override;
+  void reset() override { counter_ = 0; }
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::uint32_t counter_ = 0;
+};
+
+/// Second dimension of the Sobol sequence (primitive polynomial x^2 + x + 1),
+/// scaled to k bits. Paired with the van der Corput sequence (= Sobol
+/// dimension 1) it forms a (0,2)-net in base 2 — the tightest pairing
+/// available, used for the weight-side SNGs of the proposed design.
+class SobolDim2Source final : public NumberSource {
+ public:
+  explicit SobolDim2Source(unsigned bits);
+
+  [[nodiscard]] std::uint32_t next() override;
+  void reset() override;
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::uint32_t counter_ = 0;
+  std::uint32_t value_ = 0;           // Gray-code incremental Sobol state
+  std::uint32_t direction_[32] = {};  // direction numbers, MSB-aligned to k bits
+};
+
+}  // namespace scbnn::sc

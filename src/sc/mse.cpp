@@ -1,0 +1,182 @@
+#include "sc/mse.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sc/bitstream.h"
+#include "sc/gates.h"
+#include "sc/lfsr.h"
+#include "sc/lowdisc.h"
+#include "sc/rng_source.h"
+#include "sc/sng.h"
+#include "sc/tff.h"
+
+namespace scbnn::sc {
+
+std::string to_string(MultScheme s) {
+  switch (s) {
+    case MultScheme::kOneLfsrShifted: return "One LFSR + shifted version";
+    case MultScheme::kTwoLfsrs: return "Two LFSRs";
+    case MultScheme::kLowDiscrepancy: return "Low-discrepancy sequences";
+    case MultScheme::kRampPlusLowDiscrepancy: return "Ramp-compare + low-disc";
+  }
+  return "?";
+}
+
+std::string to_string(AddScheme s) {
+  switch (s) {
+    case AddScheme::kMuxRandomDataLfsrSelect: return "Old adder: Random + LFSR";
+    case AddScheme::kMuxRandomDataTffSelect: return "Old adder: Random + TFF";
+    case AddScheme::kMuxLfsrDataTffSelect: return "Old adder: LFSR + TFF";
+    case AddScheme::kTffAdder: return "New adder (TFF, Fig. 2b)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Precompute, for every level B in [0, 2^bits], the stream of length N a
+/// comparator SNG would emit from this source. Streams for all levels share
+/// the same source value sequence, so we roll the source once.
+std::vector<Bitstream> stream_table(NumberSource& source, unsigned bits,
+                                    std::size_t n) {
+  const std::uint32_t levels = (std::uint32_t{1} << bits) + 1;
+  std::vector<std::uint32_t> seq(n);
+  source.reset();
+  for (std::size_t t = 0; t < n; ++t) seq[t] = source.next();
+  std::vector<Bitstream> table;
+  table.reserve(levels);
+  for (std::uint32_t b = 0; b < levels; ++b) {
+    Bitstream s(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (seq[t] < b) s.set_bit(t, true);
+    }
+    table.push_back(std::move(s));
+  }
+  return table;
+}
+
+/// Alternating 0101... select stream (a TFF toggled every cycle, p = 1/2).
+Bitstream alternating_stream(std::size_t n) {
+  Bitstream s(n);
+  for (std::size_t t = 1; t < n; t += 2) s.set_bit(t, true);
+  return s;
+}
+
+struct ErrorAccumulator {
+  double sum_sq = 0.0;
+  double max_abs = 0.0;
+  std::size_t cases = 0;
+
+  void add(double err) {
+    sum_sq += err * err;
+    if (err < 0) err = -err;
+    if (err > max_abs) max_abs = err;
+    ++cases;
+  }
+
+  [[nodiscard]] MseResult result() const {
+    return {cases ? sum_sq / static_cast<double>(cases) : 0.0, max_abs, cases};
+  }
+};
+
+}  // namespace
+
+MseResult multiplier_mse(MultScheme scheme, unsigned bits,
+                         std::size_t stream_length, std::uint32_t seed) {
+  const std::size_t n = stream_length ? stream_length : (std::size_t{1} << bits);
+  std::unique_ptr<NumberSource> src_x;
+  std::unique_ptr<NumberSource> src_y;
+  switch (scheme) {
+    case MultScheme::kOneLfsrShifted:
+      // A one-position rotation of the same register: the classic low-cost
+      // sharing scheme, and the most correlated (Table 1's worst row).
+      src_x = std::make_unique<Lfsr>(bits, seed);
+      src_y = std::make_unique<ShiftedLfsr>(bits, seed, 1);
+      break;
+    case MultScheme::kTwoLfsrs:
+      src_x = std::make_unique<Lfsr>(bits, seed);
+      src_y = std::make_unique<Lfsr>(bits, seed * 2 + 3,
+                                     maximal_lfsr_taps_alt(bits));
+      break;
+    case MultScheme::kLowDiscrepancy:
+      src_x = std::make_unique<VanDerCorputSource>(bits);
+      src_y = std::make_unique<HaltonBase3Source>(bits);
+      break;
+    case MultScheme::kRampPlusLowDiscrepancy:
+      src_x = std::make_unique<RampSource>(bits);
+      src_y = std::make_unique<VanDerCorputSource>(bits);
+      break;
+  }
+  const auto tx = stream_table(*src_x, bits, n);
+  const auto ty = stream_table(*src_y, bits, n);
+  const double levels = static_cast<double>(std::uint32_t{1} << bits);
+
+  ErrorAccumulator acc;
+  for (std::size_t bx = 0; bx < tx.size(); ++bx) {
+    const double px = static_cast<double>(bx) / levels;
+    for (std::size_t by = 0; by < ty.size(); ++by) {
+      const double py = static_cast<double>(by) / levels;
+      const Bitstream z = and_multiply(tx[bx], ty[by]);
+      acc.add(z.unipolar() - px * py);
+    }
+  }
+  return acc.result();
+}
+
+MseResult adder_mse(AddScheme scheme, unsigned bits,
+                    std::size_t stream_length, std::uint32_t seed) {
+  const std::size_t n = stream_length ? stream_length : (std::size_t{1} << bits);
+  const double levels = static_cast<double>(std::uint32_t{1} << bits);
+
+  std::unique_ptr<NumberSource> src_x;
+  std::unique_ptr<NumberSource> src_y;
+  Bitstream select;
+  bool use_tff_adder = false;
+
+  switch (scheme) {
+    case AddScheme::kMuxRandomDataLfsrSelect: {
+      src_x = std::make_unique<MersenneSource>(bits, seed);
+      src_y = std::make_unique<MersenneSource>(bits, seed + 1000);
+      Lfsr sel_src(bits, seed + 7);
+      select = generate_stream(sel_src, std::uint32_t{1} << (bits - 1), n);
+      break;
+    }
+    case AddScheme::kMuxRandomDataTffSelect:
+      src_x = std::make_unique<MersenneSource>(bits, seed);
+      src_y = std::make_unique<MersenneSource>(bits, seed + 1000);
+      select = alternating_stream(n);
+      break;
+    case AddScheme::kMuxLfsrDataTffSelect:
+      src_x = std::make_unique<Lfsr>(bits, seed);
+      src_y = std::make_unique<Lfsr>(bits, seed * 2 + 3,
+                                     maximal_lfsr_taps_alt(bits));
+      select = alternating_stream(n);
+      break;
+    case AddScheme::kTffAdder:
+      // The new adder has no SNG requirements at all; drive it from the
+      // ramp-compare converter streams it would see in the real system.
+      src_x = std::make_unique<RampSource>(bits);
+      src_y = std::make_unique<VanDerCorputSource>(bits);
+      use_tff_adder = true;
+      break;
+  }
+
+  const auto tx = stream_table(*src_x, bits, n);
+  const auto ty = stream_table(*src_y, bits, n);
+
+  ErrorAccumulator acc;
+  for (std::size_t bx = 0; bx < tx.size(); ++bx) {
+    const double px = static_cast<double>(bx) / levels;
+    for (std::size_t by = 0; by < ty.size(); ++by) {
+      const double py = static_cast<double>(by) / levels;
+      const Bitstream z = use_tff_adder ? tff_add(tx[bx], ty[by], false)
+                                        : mux_add(tx[bx], ty[by], select);
+      acc.add(z.unipolar() - 0.5 * (px + py));
+    }
+  }
+  return acc.result();
+}
+
+}  // namespace scbnn::sc

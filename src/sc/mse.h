@@ -1,0 +1,51 @@
+// Exhaustive mean-square-error harness for SC arithmetic (Tables 1 and 2).
+//
+// Following the paper, each arithmetic element is tested for *every*
+// possible input value pair at the given precision: levels Bx, By in
+// [0, 2^k], streams of length N (default 2^k), MSE over the unipolar result
+// vs the exact real-valued product / scaled sum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace scbnn::sc {
+
+/// Number generation schemes for the multiplier study (Table 1 rows).
+enum class MultScheme {
+  kOneLfsrShifted,          // one LFSR + circularly shifted version
+  kTwoLfsrs,                // two distinct-polynomial LFSRs
+  kLowDiscrepancy,          // van der Corput + Sobol dim-2 [4]
+  kRampPlusLowDiscrepancy,  // ramp-compare converter [13] + van der Corput [4]
+};
+
+/// Adder implementations/configurations for the adder study (Table 2 rows).
+enum class AddScheme {
+  kMuxRandomDataLfsrSelect,  // old adder: random data, LFSR select
+  kMuxRandomDataTffSelect,   // old adder: random data, TFF (alternating) select
+  kMuxLfsrDataTffSelect,     // old adder: LFSR data, TFF select
+  kTffAdder,                 // new adder (Fig. 2b)
+};
+
+[[nodiscard]] std::string to_string(MultScheme s);
+[[nodiscard]] std::string to_string(AddScheme s);
+
+struct MseResult {
+  double mse = 0.0;
+  double max_abs_error = 0.0;
+  std::size_t cases = 0;
+};
+
+/// Exhaustive multiplier MSE at `bits` precision with streams of
+/// `stream_length` (0 = default 2^bits) cycles.
+[[nodiscard]] MseResult multiplier_mse(MultScheme scheme, unsigned bits,
+                                       std::size_t stream_length = 0,
+                                       std::uint32_t seed = 1);
+
+/// Exhaustive scaled-adder MSE; the reference value is (px + py) / 2.
+[[nodiscard]] MseResult adder_mse(AddScheme scheme, unsigned bits,
+                                  std::size_t stream_length = 0,
+                                  std::uint32_t seed = 1);
+
+}  // namespace scbnn::sc

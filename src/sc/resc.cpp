@@ -1,0 +1,74 @@
+#include "sc/resc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+std::vector<double> bernstein_coefficients(
+    const std::function<double(double)>& f, unsigned degree) {
+  if (degree == 0) {
+    throw std::invalid_argument("bernstein_coefficients: degree must be > 0");
+  }
+  std::vector<double> b(degree + 1);
+  for (unsigned k = 0; k <= degree; ++k) {
+    b[k] = std::clamp(
+        f(static_cast<double>(k) / static_cast<double>(degree)), 0.0, 1.0);
+  }
+  return b;
+}
+
+double bernstein_value(const std::vector<double>& b, double x) {
+  if (b.empty()) throw std::invalid_argument("bernstein_value: no coefficients");
+  const unsigned degree = static_cast<unsigned>(b.size()) - 1;
+  // de Casteljau evaluation: numerically stable for any degree.
+  std::vector<double> v = b;
+  for (unsigned r = 0; r < degree; ++r) {
+    for (unsigned i = 0; i + r + 1 <= degree; ++i) {
+      v[i] = (1.0 - x) * v[i] + x * v[i + 1];
+    }
+  }
+  return v[0];
+}
+
+ReScUnit::ReScUnit(std::vector<double> coefficients, std::uint32_t seed)
+    : coefficients_(std::move(coefficients)), seed_(seed) {
+  if (coefficients_.size() < 2) {
+    throw std::invalid_argument("ReScUnit: need at least 2 coefficients");
+  }
+  for (double c : coefficients_) {
+    if (c < 0.0 || c > 1.0) {
+      throw std::invalid_argument("ReScUnit: coefficients must be in [0,1]");
+    }
+  }
+}
+
+Bitstream ReScUnit::evaluate(double x, std::size_t length) const {
+  x = std::clamp(x, 0.0, 1.0);
+  const unsigned degree = this->degree();
+  // Independent input-copy streams and coefficient streams, as the ReSC
+  // architecture requires (one SNG each; modeled as seeded Bernoulli
+  // sources).
+  std::mt19937_64 rng(seed_);
+  std::bernoulli_distribution in_bit(x);
+  std::vector<std::bernoulli_distribution> coeff_bits;
+  coeff_bits.reserve(coefficients_.size());
+  for (double c : coefficients_) {
+    coeff_bits.emplace_back(c);
+  }
+  Bitstream out(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    // Parallel counter over the K input copies.
+    unsigned count = 0;
+    for (unsigned k = 0; k < degree; ++k) {
+      if (in_bit(rng)) ++count;
+    }
+    // MUX: the count selects the coefficient stream driving the output.
+    if (coeff_bits[count](rng)) out.set_bit(t, true);
+  }
+  return out;
+}
+
+}  // namespace scbnn::sc

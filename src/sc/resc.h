@@ -1,0 +1,58 @@
+// ReSC: reconfigurable stochastic computing via Bernstein polynomials
+// (Qian, Li, Riedel, Bazargan, Lilja [25] — "An architecture for
+// fault-tolerant computation with stochastic logic").
+//
+// Any continuous f: [0,1] -> [0,1] is approximated by a degree-K Bernstein
+// polynomial  f(x) ~ sum_k b_k * C(K,k) x^k (1-x)^(K-k)  with coefficients
+// b_k in [0,1]. The circuit: K independent copies of the input stream feed
+// a parallel counter whose count k(t) selects, through a multiplexer, the
+// k-th coefficient stream. The output bit is then 1 with probability
+// exactly the Bernstein value.
+//
+// Included both as the era's general-purpose SC function unit and as the
+// substrate of the fault-tolerance study the paper's introduction cites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// Bernstein coefficients of degree `degree` for a function on [0,1]:
+/// b_k = f(k / degree), clamped to [0, 1] (the standard uniform-node rule;
+/// converges as the degree grows).
+[[nodiscard]] std::vector<double> bernstein_coefficients(
+    const std::function<double(double)>& f, unsigned degree);
+
+/// Evaluate the Bernstein polynomial with coefficients `b` at x (float
+/// reference for the circuit).
+[[nodiscard]] double bernstein_value(const std::vector<double>& b, double x);
+
+/// The ReSC unit: degree = b.size() - 1 input copies, coefficient streams
+/// generated internally.
+class ReScUnit {
+ public:
+  /// `coefficients` in [0,1]; `seed` drives the internal SNGs.
+  explicit ReScUnit(std::vector<double> coefficients, std::uint32_t seed = 1);
+
+  /// Evaluate on an input value encoded internally with `length`-cycle
+  /// independent streams; returns the output stream.
+  [[nodiscard]] Bitstream evaluate(double x, std::size_t length) const;
+
+  /// Degree K of the polynomial (number of input copies).
+  [[nodiscard]] unsigned degree() const noexcept {
+    return static_cast<unsigned>(coefficients_.size()) - 1;
+  }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coefficients_;
+  }
+
+ private:
+  std::vector<double> coefficients_;
+  std::uint32_t seed_;
+};
+
+}  // namespace scbnn::sc

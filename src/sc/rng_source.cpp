@@ -1,0 +1,8 @@
+#include "sc/rng_source.h"
+
+namespace scbnn::sc {
+
+// Out-of-line key function: anchors the NumberSource vtable in this TU.
+NumberSource::~NumberSource() = default;
+
+}  // namespace scbnn::sc

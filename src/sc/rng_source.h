@@ -1,0 +1,85 @@
+// Number sources driving stochastic number generators (SNGs).
+//
+// An SNG (Fig. 1c) compares a k-bit number source against the binary value B
+// to be encoded; the output bit at time t is (r_t < B). The *statistics* of
+// the source determine the accuracy of downstream SC arithmetic (Tables 1-2
+// of the paper): pseudo-random LFSRs give O(1/sqrt(N)) error, deterministic
+// low-discrepancy and ramp sources give O(log N / N) or exact encodings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+/// A deterministic or pseudo-random generator of k-bit values in [0, 2^k).
+class NumberSource {
+ public:
+  virtual ~NumberSource();
+
+  /// Next value in the sequence (advances internal state).
+  [[nodiscard]] virtual std::uint32_t next() = 0;
+
+  /// Restart the sequence from its initial state.
+  virtual void reset() = 0;
+
+  /// Output width in bits (values are in [0, 2^bits())).
+  [[nodiscard]] virtual unsigned bits() const noexcept = 0;
+};
+
+/// "True random" source backed by mt19937 — models the idealized random
+/// bit-streams of Table 2's "Random + ..." configurations.
+class MersenneSource final : public NumberSource {
+ public:
+  MersenneSource(unsigned bits, std::uint32_t seed)
+      : bits_(bits), seed_(seed), engine_(seed) {
+    if (bits == 0 || bits > 31) {
+      throw std::invalid_argument("MersenneSource: bits must be in [1,31]");
+    }
+  }
+
+  [[nodiscard]] std::uint32_t next() override {
+    return static_cast<std::uint32_t>(engine_()) &
+           ((std::uint32_t{1} << bits_) - 1);
+  }
+
+  void reset() override { engine_.seed(seed_); }
+
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::uint32_t seed_;
+  std::mt19937 engine_;
+};
+
+/// Ramp source: emits 0, 1, 2, ..., 2^k - 1, then wraps. Comparing B against
+/// a ramp yields the prefix-ones stream produced by a ramp-compare
+/// analog-to-stochastic converter (Fick et al. [13]; Section IV.A of the
+/// paper): maximally auto-correlated but with an *exact* number of ones.
+class RampSource final : public NumberSource {
+ public:
+  explicit RampSource(unsigned bits) : bits_(bits) {
+    if (bits == 0 || bits > 31) {
+      throw std::invalid_argument("RampSource: bits must be in [1,31]");
+    }
+  }
+
+  [[nodiscard]] std::uint32_t next() override {
+    std::uint32_t v = counter_;
+    counter_ = (counter_ + 1) & ((std::uint32_t{1} << bits_) - 1);
+    return v;
+  }
+
+  void reset() override { counter_ = 0; }
+
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace scbnn::sc

@@ -1,0 +1,37 @@
+#include "sc/stream_ops.h"
+
+#include <stdexcept>
+
+namespace scbnn::sc {
+
+Bitstream correlated_max(const Bitstream& x, const Bitstream& y) {
+  return x | y;
+}
+
+Bitstream correlated_min(const Bitstream& x, const Bitstream& y) {
+  return x & y;
+}
+
+Bitstream correlated_sub_sat(const Bitstream& x, const Bitstream& y) {
+  return x & ~y;
+}
+
+Bitstream delay(const Bitstream& x, std::size_t cycles) {
+  if (x.empty()) throw std::invalid_argument("delay: empty stream");
+  const std::size_t n = x.length();
+  cycles %= n;
+  Bitstream out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set_bit(i, x.bit((i + n - cycles) % n));
+  }
+  return out;
+}
+
+Bitstream stochastic_maxpool(const std::vector<Bitstream>& in) {
+  if (in.empty()) throw std::invalid_argument("stochastic_maxpool: no inputs");
+  Bitstream acc = in.front();
+  for (std::size_t i = 1; i < in.size(); ++i) acc = acc | in[i];
+  return acc;
+}
+
+}  // namespace scbnn::sc

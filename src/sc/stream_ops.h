@@ -1,0 +1,40 @@
+// Correlation-aware stream operations — the standard SC toolbox beyond
+// arithmetic: exact max/min/saturating-subtract on positively correlated
+// streams, and delay-based decorrelation (isolation) for reusing one SNG
+// across circuit inputs.
+//
+// With SCC = +1 encodings (e.g. two ramp-compare converter outputs, which
+// are prefix-ones streams), OR computes max exactly, AND computes min
+// exactly, and x AND NOT y computes max(x - y, 0) exactly — the basis of
+// stochastic max-pooling and edge detection in SC image pipelines [3][13].
+#pragma once
+
+#include <cstddef>
+
+#include "sc/bitstream.h"
+
+namespace scbnn::sc {
+
+/// max(pX, pY): exact when scc(x, y) = +1; an upper-biased approximation
+/// otherwise (OR gate).
+[[nodiscard]] Bitstream correlated_max(const Bitstream& x, const Bitstream& y);
+
+/// min(pX, pY): exact when scc(x, y) = +1 (AND gate).
+[[nodiscard]] Bitstream correlated_min(const Bitstream& x, const Bitstream& y);
+
+/// max(pX - pY, 0): exact when scc(x, y) = +1 (AND-NOT gate).
+[[nodiscard]] Bitstream correlated_sub_sat(const Bitstream& x,
+                                           const Bitstream& y);
+
+/// Circular delay by `cycles`: a chain of DFFs (with stream wrap-around for
+/// periodic sources). Delaying one copy of an LFSR-generated stream
+/// decorrelates it from the original — the classic "isolation" trick that
+/// lets one SNG drive several supposedly independent inputs.
+[[nodiscard]] Bitstream delay(const Bitstream& x, std::size_t cycles);
+
+/// n-input stochastic max-pool: OR-reduce positively correlated streams
+/// (exact max for ramp-compare encodings, 2x2 pooling windows in Fig. 3's
+/// pipeline would use n = 4).
+[[nodiscard]] Bitstream stochastic_maxpool(const std::vector<Bitstream>& in);
+
+}  // namespace scbnn::sc

@@ -1,0 +1,152 @@
+#include "sc/adder_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "sc/lfsr.h"
+#include "sc/sng.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(TreeLevels, CeilLog2) {
+  EXPECT_EQ(tree_levels(1), 0u);
+  EXPECT_EQ(tree_levels(2), 1u);
+  EXPECT_EQ(tree_levels(3), 2u);
+  EXPECT_EQ(tree_levels(4), 2u);
+  EXPECT_EQ(tree_levels(5), 3u);
+  EXPECT_EQ(tree_levels(25), 5u);
+  EXPECT_EQ(tree_levels(32), 5u);
+  EXPECT_EQ(tree_levels(33), 6u);
+}
+
+TEST(TreeScale, InverseOfLeafCount) {
+  EXPECT_DOUBLE_EQ(tree_scale(2), 0.5);
+  EXPECT_DOUBLE_EQ(tree_scale(25), 1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(tree_scale(32), 1.0 / 32.0);
+}
+
+std::vector<Bitstream> random_inputs(std::size_t k, std::size_t n,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Bitstream> v;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::bernoulli_distribution bit(
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng));
+    Bitstream s(n);
+    for (std::size_t t = 0; t < n; ++t) s.set_bit(t, bit(rng));
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+class TffTreeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TffTreeTest, SumWithinPerNodeRounding) {
+  const std::size_t k = GetParam();
+  const std::size_t n = 256;
+  const auto inputs = random_inputs(k, n, 1000 + k);
+  double exact = 0.0;
+  for (const auto& s : inputs) exact += s.unipolar();
+  const unsigned levels = tree_levels(k);
+  const double scale = tree_scale(k);
+  const Bitstream root = tff_adder_tree(inputs, TffInitPolicy::kAlternating);
+  // Each of the (2^levels - 1) nodes contributes at most half an output ULP
+  // of rounding; accumulated worst case is levels/2 ULP at the root.
+  const double bound =
+      (static_cast<double>(levels) / 2.0 + 0.5) / static_cast<double>(n);
+  EXPECT_NEAR(root.unipolar(), exact * scale, bound) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIns, TffTreeTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u,
+                                           25u, 32u));
+
+TEST(TffTree, AllZeroPolicyRoundsDown) {
+  // Sum of two odd singleton streams: 2 ones / 2 = 1 exactly; with four
+  // inputs of one 1 each the tree output is 4/4... use odd sums instead.
+  std::vector<Bitstream> inputs;
+  inputs.push_back(Bitstream::prefix_ones(8, 1));
+  inputs.push_back(Bitstream::prefix_ones(8, 0));
+  const Bitstream down = tff_adder_tree(inputs, TffInitPolicy::kAllZero);
+  const Bitstream up = tff_adder_tree(inputs, TffInitPolicy::kAllOne);
+  EXPECT_EQ(down.count_ones(), 0u);  // floor(1/2)
+  EXPECT_EQ(up.count_ones(), 1u);    // ceil(1/2)
+}
+
+TEST(TffTree, PadsWithZeroStreams) {
+  // 3 inputs pad to 4; scale is 1/4.
+  std::vector<Bitstream> inputs(3, Bitstream::prefix_ones(16, 8));
+  const Bitstream root = tff_adder_tree(inputs, TffInitPolicy::kAlternating);
+  EXPECT_NEAR(root.unipolar(), 3.0 * 0.5 / 4.0, 1.5 / 16.0);
+}
+
+TEST(TffTree, ExactWhenRepresentable) {
+  // All inputs equal with even counts at every node: zero rounding.
+  std::vector<Bitstream> inputs(4, Bitstream::prefix_ones(16, 8));
+  const Bitstream root = tff_adder_tree(inputs, TffInitPolicy::kAllZero);
+  EXPECT_EQ(root.count_ones(), 8u);
+}
+
+TEST(TffTree, RejectsEmptyAndMismatched) {
+  EXPECT_THROW((void)tff_adder_tree({}, TffInitPolicy::kAllZero),
+               std::invalid_argument);
+  std::vector<Bitstream> bad = {Bitstream(8), Bitstream(9)};
+  EXPECT_THROW((void)tff_adder_tree(bad, TffInitPolicy::kAllZero),
+               std::invalid_argument);
+}
+
+TEST(MuxTree, HalfSumInExpectation) {
+  const std::size_t n = 2048;
+  const std::size_t k = 8;
+  const auto inputs = random_inputs(k, n, 77);
+  double exact = 0.0;
+  for (const auto& s : inputs) exact += s.unipolar();
+
+  const Bitstream root = mux_adder_tree(inputs, [n](std::size_t node) {
+    Lfsr sel(8, static_cast<std::uint32_t>(17 * node + 3));
+    return generate_stream(sel, 128, n);
+  });
+  EXPECT_NEAR(root.unipolar(), exact / 8.0, 0.05);
+}
+
+TEST(MuxTree, NoisierThanTffTree) {
+  // The variance claim behind Table 2: across many trials, the MUX tree's
+  // squared error exceeds the TFF tree's.
+  const std::size_t n = 256;
+  double mux_sq = 0.0, tff_sq = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inputs = random_inputs(8, n, 500 + trial);
+    double exact = 0.0;
+    for (const auto& s : inputs) exact += s.unipolar();
+    exact /= 8.0;
+
+    const Bitstream mux_root =
+        mux_adder_tree(inputs, [n, trial](std::size_t node) {
+          Lfsr sel(8, static_cast<std::uint32_t>(13 * node + trial + 1));
+          return generate_stream(sel, 128, n);
+        });
+    const Bitstream tff_root =
+        tff_adder_tree(inputs, TffInitPolicy::kAlternating);
+    mux_sq += std::pow(mux_root.unipolar() - exact, 2);
+    tff_sq += std::pow(tff_root.unipolar() - exact, 2);
+  }
+  EXPECT_LT(tff_sq, mux_sq);
+}
+
+TEST(MuxTree, SelectFactoryReceivesAllNodeIndices) {
+  std::vector<bool> seen(7, false);
+  std::vector<Bitstream> inputs(8, Bitstream(16));
+  (void)mux_adder_tree(inputs, [&seen](std::size_t node) {
+    seen.at(node) = true;
+    return Bitstream(16);
+  });
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,138 @@
+#include "sc/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace scbnn::sc {
+namespace {
+
+TEST(Bitstream, DefaultIsEmpty) {
+  Bitstream s;
+  EXPECT_EQ(s.length(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Bitstream, ZeroInitialized) {
+  Bitstream s(100);
+  EXPECT_EQ(s.length(), 100u);
+  EXPECT_EQ(s.count_ones(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(s.bit(i));
+}
+
+TEST(Bitstream, SetAndGetBits) {
+  Bitstream s(130);  // spans three words
+  s.set_bit(0, true);
+  s.set_bit(63, true);
+  s.set_bit(64, true);
+  s.set_bit(129, true);
+  EXPECT_TRUE(s.bit(0));
+  EXPECT_TRUE(s.bit(63));
+  EXPECT_TRUE(s.bit(64));
+  EXPECT_TRUE(s.bit(129));
+  EXPECT_FALSE(s.bit(1));
+  EXPECT_EQ(s.count_ones(), 4u);
+  s.set_bit(63, false);
+  EXPECT_FALSE(s.bit(63));
+  EXPECT_EQ(s.count_ones(), 3u);
+}
+
+TEST(Bitstream, FromStringParsesTimeOrder) {
+  auto s = Bitstream::from_string("0110 0011");
+  EXPECT_EQ(s.length(), 8u);
+  EXPECT_FALSE(s.bit(0));
+  EXPECT_TRUE(s.bit(1));
+  EXPECT_TRUE(s.bit(2));
+  EXPECT_FALSE(s.bit(3));
+  EXPECT_EQ(s.to_string(), "01100011");
+}
+
+TEST(Bitstream, FromStringIgnoresSeparators) {
+  EXPECT_EQ(Bitstream::from_string("10_10 10").length(), 6u);
+}
+
+TEST(Bitstream, FromStringRejectsBadChars) {
+  EXPECT_THROW((void)Bitstream::from_string("01x0"), std::invalid_argument);
+}
+
+TEST(Bitstream, ConstantStreams) {
+  auto ones = Bitstream::constant(70, true);
+  EXPECT_EQ(ones.count_ones(), 70u);
+  EXPECT_DOUBLE_EQ(ones.unipolar(), 1.0);
+  auto zeros = Bitstream::constant(70, false);
+  EXPECT_EQ(zeros.count_ones(), 0u);
+  EXPECT_DOUBLE_EQ(zeros.bipolar(), -1.0);
+}
+
+TEST(Bitstream, UnipolarAndBipolarValues) {
+  auto s = Bitstream::from_string("0101");
+  EXPECT_DOUBLE_EQ(s.unipolar(), 0.5);
+  EXPECT_DOUBLE_EQ(s.bipolar(), 0.0);
+  auto t = Bitstream::from_string("1110");
+  EXPECT_DOUBLE_EQ(t.unipolar(), 0.75);
+  EXPECT_DOUBLE_EQ(t.bipolar(), 0.5);
+}
+
+TEST(Bitstream, UnipolarOnEmptyThrows) {
+  Bitstream s;
+  EXPECT_THROW((void)s.unipolar(), std::logic_error);
+}
+
+TEST(Bitstream, BitwiseOps) {
+  auto a = Bitstream::from_string("1100");
+  auto b = Bitstream::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+}
+
+TEST(Bitstream, OpsRejectLengthMismatch) {
+  Bitstream a(4), b(5);
+  EXPECT_THROW((void)(a & b), std::invalid_argument);
+  EXPECT_THROW((void)(a | b), std::invalid_argument);
+  EXPECT_THROW((void)(a ^ b), std::invalid_argument);
+}
+
+TEST(Bitstream, ComplementMasksTail) {
+  // ~ of a 10-bit stream must not set bits beyond the length.
+  Bitstream s(10);
+  auto inv = ~s;
+  EXPECT_EQ(inv.count_ones(), 10u);
+  EXPECT_EQ(inv.words()[0], 0x3FFu);
+}
+
+TEST(Bitstream, OutOfRangeAccessesThrow) {
+  Bitstream s(8);
+  EXPECT_THROW((void)s.bit(8), std::out_of_range);
+  EXPECT_THROW(s.set_bit(8, true), std::out_of_range);
+}
+
+class PrefixOnesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixOnesTest, ExactCountAndPlacement) {
+  const std::size_t ones = GetParam();
+  const std::size_t len = 200;
+  auto s = Bitstream::prefix_ones(len, ones);
+  EXPECT_EQ(s.count_ones(), ones);
+  for (std::size_t i = 0; i < len; ++i) {
+    EXPECT_EQ(s.bit(i), i < ones) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefixOnesTest,
+                         ::testing::Values(0u, 1u, 63u, 64u, 65u, 127u, 128u,
+                                           199u, 200u));
+
+TEST(Bitstream, PrefixOnesRejectsOverflow) {
+  EXPECT_THROW((void)Bitstream::prefix_ones(8, 9), std::invalid_argument);
+}
+
+TEST(Bitstream, EqualityComparison) {
+  EXPECT_EQ(Bitstream::from_string("0101"), Bitstream::from_string("0101"));
+  EXPECT_NE(Bitstream::from_string("0101"), Bitstream::from_string("0100"));
+  EXPECT_NE(Bitstream::from_string("0101"), Bitstream::from_string("01010"));
+}
+
+}  // namespace
+}  // namespace scbnn::sc

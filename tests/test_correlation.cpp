@@ -1,0 +1,77 @@
+#include "sc/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/lowdisc.h"
+#include "sc/sng.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(Scc, IdenticalStreamsFullyCorrelated) {
+  const Bitstream x = Bitstream::from_string("0110 1010");
+  EXPECT_NEAR(scc(x, x), 1.0, 1e-12);
+}
+
+TEST(Scc, DisjointStreamsAntiCorrelated) {
+  const Bitstream x = Bitstream::from_string("1100 0000");
+  const Bitstream y = Bitstream::from_string("0011 1100");
+  EXPECT_NEAR(scc(x, y), -1.0, 1e-12);
+}
+
+TEST(Scc, LowDiscrepancyPairNearZero) {
+  VanDerCorputSource vdc(8);
+  HaltonBase3Source halton(8);
+  const Bitstream x = generate_stream(vdc, 128, 256);
+  const Bitstream y = generate_stream(halton, 128, 256);
+  EXPECT_LT(std::abs(scc(x, y)), 0.1);
+}
+
+TEST(Scc, ConstantStreamHasZeroScc) {
+  const Bitstream ones = Bitstream::constant(16, true);
+  const Bitstream x = Bitstream::from_string("0101 0101 0011 0011");
+  EXPECT_DOUBLE_EQ(scc(ones, x), 0.0);
+}
+
+TEST(Scc, RejectsMismatchedOrEmpty) {
+  EXPECT_THROW((void)scc(Bitstream(8), Bitstream(9)), std::invalid_argument);
+  EXPECT_THROW((void)scc(Bitstream(), Bitstream()), std::invalid_argument);
+}
+
+TEST(Autocorrelation, RampStreamIsHighlyAutoCorrelated) {
+  // The ramp-compare converter's output (prefix-ones) is the paper's
+  // canonical auto-correlated stream (Section IV.A).
+  const Bitstream ramp = Bitstream::prefix_ones(256, 128);
+  EXPECT_GT(autocorrelation(ramp, 1), 0.9);
+}
+
+TEST(Autocorrelation, AlternatingStreamIsAntiCorrelated) {
+  Bitstream alt(128);
+  for (std::size_t i = 0; i < 128; i += 2) alt.set_bit(i, true);
+  EXPECT_LT(autocorrelation(alt, 1), -0.9);
+}
+
+TEST(Autocorrelation, VanDerCorputHalfStreamAlternates) {
+  // Encoding 1/2 against a bit-reversed counter yields the perfectly
+  // alternating stream 1010... — maximally anti-correlated at lag 1. The
+  // structure is deterministic, unlike a random SNG's output.
+  VanDerCorputSource vdc(8);
+  const Bitstream s = generate_stream(vdc, 128, 256);
+  EXPECT_LT(autocorrelation(s, 1), -0.9);
+  EXPECT_GT(autocorrelation(s, 2), 0.9);
+}
+
+TEST(Autocorrelation, ConstantStreamReturnsZero) {
+  EXPECT_DOUBLE_EQ(autocorrelation(Bitstream::constant(64, true), 1), 0.0);
+}
+
+TEST(Autocorrelation, RejectsBadLag) {
+  EXPECT_THROW((void)autocorrelation(Bitstream(8), 8), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelation(Bitstream(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scbnn::sc

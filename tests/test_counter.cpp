@@ -1,0 +1,85 @@
+#include "sc/counter.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace scbnn::sc {
+namespace {
+
+TEST(ToBinary, CountsOnes) {
+  EXPECT_EQ(to_binary(Bitstream::from_string("0110 1011")), 5u);
+  EXPECT_EQ(to_binary(Bitstream(16)), 0u);
+  EXPECT_EQ(to_binary(Bitstream::constant(16, true)), 16u);
+}
+
+TEST(AsyncCounter, CountsAtFastClock) {
+  // SC clock period 2 ns (500 MHz), stage delay 1.5 ns: a synchronous
+  // counter would need 8 * 1.5 = 12 ns to settle, but the ripple counter
+  // keeps up because only its first stage must react per pulse.
+  const Bitstream s = Bitstream::constant(200, true);
+  EXPECT_EQ(run_async_counter(s, 8, 1.5, 2.0), 200u);
+}
+
+TEST(AsyncCounter, IgnoresZeroBits) {
+  const Bitstream s = Bitstream::from_string("0101 0101");
+  EXPECT_EQ(run_async_counter(s, 8, 1.5, 2.0), 4u);
+}
+
+TEST(SyncCounter, DropsPulsesWhenClockOutpacesCarryChain) {
+  // Same conditions: the sync counter loses pulses (Section II.A's
+  // motivation for asynchronous stochastic-to-binary conversion).
+  const Bitstream s = Bitstream::constant(200, true);
+  const std::uint64_t counted = run_sync_counter(s, 8, 1.5, 2.0);
+  EXPECT_LT(counted, 200u);
+}
+
+TEST(SyncCounter, AccurateWhenClockIsSlowEnough) {
+  const Bitstream s = Bitstream::constant(100, true);
+  // Period 16 ns >= 8 stages * 1.5 ns settle time.
+  EXPECT_EQ(run_sync_counter(s, 8, 1.5, 16.0), 100u);
+}
+
+TEST(SyncCounter, TracksDropCount) {
+  SyncCounter c(8, 1.5);
+  for (int i = 0; i < 10; ++i) {
+    c.pulse(static_cast<double>(i) * 2.0, true);
+  }
+  EXPECT_EQ(c.count() + c.dropped(), 10u);
+  EXPECT_GT(c.dropped(), 0u);
+}
+
+TEST(AsyncCounter, SettleLatencyScalesWithWidth) {
+  AsyncRippleCounter narrow(4, 1.5);
+  AsyncRippleCounter wide(12, 1.5);
+  EXPECT_DOUBLE_EQ(narrow.settle_latency_ns(), 6.0);
+  EXPECT_DOUBLE_EQ(wide.settle_latency_ns(), 18.0);
+}
+
+TEST(AsyncCounter, WrapsAtWidth) {
+  AsyncRippleCounter c(3, 0.1);
+  for (int i = 0; i < 10; ++i) {
+    c.pulse(static_cast<double>(i) * 10.0, true);
+  }
+  EXPECT_EQ(c.settled_count(), 10u % 8u);
+}
+
+TEST(Counters, WidthValidation) {
+  EXPECT_THROW(AsyncRippleCounter(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AsyncRippleCounter(64, 1.0), std::invalid_argument);
+  EXPECT_THROW(SyncCounter(0, 1.0), std::invalid_argument);
+}
+
+TEST(Counters, AsyncBeatsSyncAtPaperOperatingPoint) {
+  // End-to-end comparison at the paper's operating point: converting the
+  // output of an 8-bit dot product (up to 256 ones in 256 cycles at
+  // 500 MHz) must be exact for async, lossy for sync.
+  const Bitstream root = Bitstream::prefix_ones(256, 180);
+  const std::uint64_t async_count = run_async_counter(root, 9, 1.2, 2.0);
+  const std::uint64_t sync_count = run_sync_counter(root, 9, 1.2, 2.0);
+  EXPECT_EQ(async_count, 180u);
+  EXPECT_LT(sync_count, 180u);
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,91 @@
+#include "hw/design_space.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/report.h"
+
+namespace scbnn::hw {
+namespace {
+
+TEST(DesignSpace, PaperSweepCoversAllPrecisions) {
+  const auto points = sweep_design_space_paper();
+  ASSERT_EQ(points.size(), 7u);
+  EXPECT_EQ(points.front().bits, 8u);
+  EXPECT_EQ(points.back().bits, 2u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.sc_energy_nj, 0.0);
+    EXPECT_GT(p.energy_ratio, 0.0);
+  }
+}
+
+TEST(DesignSpace, EnergyRatioGrowsTowardLowPrecision) {
+  const auto points = sweep_design_space_paper();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].energy_ratio, points[i - 1].energy_ratio)
+        << "bits " << points[i].bits;
+  }
+}
+
+TEST(DesignSpace, MismatchedSpansRejected) {
+  const unsigned bits[] = {8, 4};
+  const double a[] = {1.0};
+  const double b[] = {1.0, 2.0};
+  EXPECT_THROW((void)sweep_design_space(bits, a, b), std::invalid_argument);
+}
+
+TEST(DesignSpace, ParetoFrontierIsMonotone) {
+  const auto points = sweep_design_space_paper();
+  const auto frontier = pareto_frontier(points);
+  ASSERT_FALSE(frontier.empty());
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].sc_energy_nj, frontier[i - 1].sc_energy_nj);
+    EXPECT_LT(frontier[i].miscl_this_work_pct,
+              frontier[i - 1].miscl_this_work_pct);
+  }
+}
+
+TEST(DesignSpace, ParetoExcludesDominatedPoints) {
+  // In the paper's numbers, 5-bit (1.12%) is dominated by 4-bit (1.04% at
+  // lower energy) — it must not appear on the frontier.
+  const auto frontier = pareto_frontier(sweep_design_space_paper());
+  for (const auto& p : frontier) {
+    EXPECT_NE(p.bits, 5u);
+  }
+}
+
+TEST(DesignSpace, SelectionHonorsAccuracyBudget) {
+  const auto points = sweep_design_space_paper();
+  // Generous budget: the 2-bit point (43.82%) is the cheapest qualifying.
+  const auto loose = select_operating_point(points, 50.0);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_EQ(loose->bits, 2u);
+  // ~1% budget: the paper's sweet spot at 3-4 bits wins on energy.
+  const auto tight = select_operating_point(points, 1.1);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_EQ(tight->bits, 4u);
+  // Impossible budget.
+  EXPECT_FALSE(select_operating_point(points, 0.1).has_value());
+}
+
+TEST(DesignSpace, AccuracyPenaltyComputed) {
+  OperatingPoint p;
+  p.miscl_this_work_pct = 1.04;
+  p.miscl_binary_pct = 0.79;
+  EXPECT_NEAR(p.accuracy_penalty_pct(), 0.25, 1e-12);
+}
+
+TEST(DesignSpace, HeadlineOperatingPointMatchesAbstract) {
+  // The abstract's claim: ~9.8x energy efficiency at accuracy within 0.05%
+  // of binary — that is the 8-bit point for accuracy (0.94 vs 0.89) and the
+  // 4-bit point for energy.
+  const auto points = sweep_design_space_paper();
+  const auto& p8 = points[0];
+  EXPECT_NEAR(p8.accuracy_penalty_pct(), 0.05, 1e-9);
+  const auto& p4 = points[4];
+  EXPECT_EQ(p4.bits, 4u);
+  EXPECT_GT(p4.energy_ratio, 8.0);
+  EXPECT_LT(p4.energy_ratio, 13.0);
+}
+
+}  // namespace
+}  // namespace scbnn::hw

@@ -1,0 +1,174 @@
+#include "sc/dot_product.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace scbnn::sc {
+namespace {
+
+/// Exact dot product in the engine's normalized units (inputs and weights
+/// as fractions of 2^bits).
+double exact_value(std::span<const std::uint32_t> x, std::span<const int> w,
+                   unsigned bits) {
+  const double full = static_cast<double>(1u << bits);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += (static_cast<double>(x[i]) / full) *
+           (static_cast<double>(w[i]) / full);
+  }
+  return acc;
+}
+
+TEST(DotProduct, ProposedTracksExactValueAt8Bit) {
+  const unsigned bits = 8;
+  StochasticDotProduct dp(bits, 25, DotProductStyle::kProposed);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> wd(-256, 256);
+  std::uniform_int_distribution<std::uint32_t> xd(0, 256);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> w(25);
+    std::vector<std::uint32_t> x(25);
+    for (auto& v : w) v = wd(rng);
+    for (auto& v : x) v = xd(rng);
+    dp.set_weights(w);
+    const auto r = dp.run(x);
+    const double exact = exact_value(x, w, bits);
+    // Tree rounding: 5 levels x half ULP each on a 256-bit stream, descaled
+    // by 32 -> worst case ~0.4; allow slack for multiplier discrepancy.
+    EXPECT_NEAR(r.value, exact, 0.9) << "trial " << trial;
+  }
+}
+
+TEST(DotProduct, ProposedMoreAccurateThanConventional) {
+  const unsigned bits = 8;
+  StochasticDotProduct proposed(bits, 25, DotProductStyle::kProposed);
+  StochasticDotProduct conventional(bits, 25, DotProductStyle::kConventional);
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<int> wd(-256, 256);
+  std::uniform_int_distribution<std::uint32_t> xd(0, 256);
+  double err_p = 0.0, err_c = 0.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int> w(25);
+    std::vector<std::uint32_t> x(25);
+    for (auto& v : w) v = wd(rng);
+    for (auto& v : x) v = xd(rng);
+    proposed.set_weights(w);
+    conventional.set_weights(w);
+    const double exact = exact_value(x, w, bits);
+    err_p += std::pow(proposed.run(x).value - exact, 2);
+    err_c += std::pow(conventional.run(x).value - exact, 2);
+  }
+  EXPECT_LT(err_p, err_c);
+}
+
+TEST(DotProduct, SignActivation) {
+  const unsigned bits = 6;
+  StochasticDotProduct dp(bits, 4, DotProductStyle::kProposed);
+  dp.set_weights(std::vector<int>{64, 64, 64, 64});
+  const auto pos = dp.run(std::vector<std::uint32_t>{64, 64, 64, 64});
+  EXPECT_EQ(pos.sign, 1);
+  dp.set_weights(std::vector<int>{-64, -64, -64, -64});
+  const auto neg = dp.run(std::vector<std::uint32_t>{64, 64, 64, 64});
+  EXPECT_EQ(neg.sign, -1);
+  const auto zero = dp.run(std::vector<std::uint32_t>{0, 0, 0, 0});
+  EXPECT_EQ(zero.sign, 0);
+}
+
+TEST(DotProduct, SoftThresholdCreatesDeadZone) {
+  const unsigned bits = 6;
+  StochasticDotProduct dp(bits, 4, DotProductStyle::kProposed);
+  dp.set_weights(std::vector<int>{8, 0, 0, 0});  // small positive weight
+  const std::vector<std::uint32_t> x{64, 0, 0, 0};
+  const auto no_thresh = dp.run(x, 0.0);
+  const auto with_thresh = dp.run(x, 1.0);
+  EXPECT_EQ(no_thresh.sign, 1);
+  EXPECT_EQ(with_thresh.sign, 0);  // |value| ~ 0.125 < 1.0 threshold
+}
+
+TEST(DotProduct, PosNegSplitMatchesCounts) {
+  const unsigned bits = 6;
+  StochasticDotProduct dp(bits, 2, DotProductStyle::kProposed);
+  dp.set_weights(std::vector<int>{64, -64});  // +1.0 and -1.0 weights
+  const auto r = dp.run(std::vector<std::uint32_t>{64, 64});  // x = 1.0
+  // Both paths see x*1.0: equal counts, sign 0, value ~ 0.
+  EXPECT_EQ(r.pos_count, r.neg_count);
+  EXPECT_EQ(r.sign, 0);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(DotProduct, DeterministicAcrossRuns) {
+  StochasticDotProduct dp(8, 25, DotProductStyle::kConventional, 5);
+  std::vector<int> w(25);
+  std::iota(w.begin(), w.end(), -12);
+  for (auto& v : w) v *= 20;
+  dp.set_weights(w);
+  std::vector<std::uint32_t> x(25, 100);
+  const auto a = dp.run(x);
+  const auto b = dp.run(x);
+  EXPECT_EQ(a.pos_count, b.pos_count);
+  EXPECT_EQ(a.neg_count, b.neg_count);
+  EXPECT_EQ(a.sign, b.sign);
+}
+
+TEST(DotProduct, Validation) {
+  EXPECT_THROW(StochasticDotProduct(1, 4, DotProductStyle::kProposed),
+               std::invalid_argument);
+  EXPECT_THROW(StochasticDotProduct(8, 0, DotProductStyle::kProposed),
+               std::invalid_argument);
+  StochasticDotProduct dp(6, 4, DotProductStyle::kProposed);
+  EXPECT_THROW(dp.set_weights(std::vector<int>{1, 2}), std::invalid_argument);
+  EXPECT_THROW(dp.set_weights(std::vector<int>{999, 0, 0, 0}),
+               std::invalid_argument);
+  dp.set_weights(std::vector<int>{1, 2, 3, 4});
+  EXPECT_THROW((void)dp.run(std::vector<std::uint32_t>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dp.run(std::vector<std::uint32_t>{999, 0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(DotProduct, RunBeforeWeightsThrows) {
+  StochasticDotProduct dp(6, 4, DotProductStyle::kProposed);
+  EXPECT_THROW((void)dp.run(std::vector<std::uint32_t>{1, 2, 3, 4}),
+               std::logic_error);
+}
+
+TEST(DotProduct, DescaleMatchesTreeGeometry) {
+  StochasticDotProduct dp25(8, 25, DotProductStyle::kProposed);
+  EXPECT_DOUBLE_EQ(dp25.descale(), 32.0);
+  StochasticDotProduct dp4(8, 4, DotProductStyle::kProposed);
+  EXPECT_DOUBLE_EQ(dp4.descale(), 4.0);
+}
+
+class DotProductPrecisionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DotProductPrecisionTest, ErrorGrowsAsPrecisionShrinks) {
+  const unsigned bits = GetParam();
+  StochasticDotProduct dp(bits, 9, DotProductStyle::kProposed);
+  const int full = 1 << bits;
+  std::mt19937 rng(bits);
+  std::uniform_int_distribution<int> wd(-full, full);
+  std::uniform_int_distribution<std::uint32_t> xd(0, full);
+  double sq = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> w(9);
+    std::vector<std::uint32_t> x(9);
+    for (auto& v : w) v = wd(rng);
+    for (auto& v : x) v = xd(rng);
+    dp.set_weights(w);
+    sq += std::pow(dp.run(x).value - exact_value(x, w, bits), 2);
+  }
+  // Tree descale is 16 for 9 inputs; per-node rounding is half an output
+  // ULP, so rms error is bounded by ~16*levels/(2*2^bits) in value units.
+  const double bound = 16.0 * 4.0 / static_cast<double>(1 << bits);
+  EXPECT_LE(std::sqrt(sq / 30.0), bound) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, DotProductPrecisionTest,
+                         ::testing::Values(4u, 6u, 8u, 10u));
+
+}  // namespace
+}  // namespace scbnn::sc

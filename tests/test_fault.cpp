@@ -1,0 +1,97 @@
+#include "sc/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scbnn::sc {
+namespace {
+
+TEST(StreamFaults, ZeroBerIsIdentity) {
+  const Bitstream s = Bitstream::from_string("0110 1001");
+  EXPECT_EQ(inject_stream_faults(s, 0.0, 1), s);
+}
+
+TEST(StreamFaults, FullBerInvertsEverything) {
+  const Bitstream s = Bitstream::from_string("0110 1001");
+  EXPECT_EQ(inject_stream_faults(s, 1.0, 1), ~s);
+}
+
+TEST(StreamFaults, FlipRateMatchesBer) {
+  const Bitstream s = Bitstream::prefix_ones(8192, 4096);
+  const double ber = 0.05;
+  const Bitstream faulted = inject_stream_faults(s, ber, 7);
+  const double flipped =
+      static_cast<double>((s ^ faulted).count_ones()) / 8192.0;
+  EXPECT_NEAR(flipped, ber, 0.01);
+}
+
+TEST(StreamFaults, ValueErrorBoundedByBer) {
+  // A stream's value error under BER p is at most p (each flip moves one
+  // count), and typically smaller since flips partially cancel.
+  const Bitstream s = Bitstream::prefix_ones(4096, 1024);  // value 0.25
+  for (double ber : {0.01, 0.05, 0.1}) {
+    const Bitstream faulted = inject_stream_faults(s, ber, 3);
+    EXPECT_LE(std::abs(faulted.unipolar() - s.unipolar()),
+              stream_fault_error_bound(ber) + 0.02)
+        << "ber " << ber;
+  }
+}
+
+TEST(StreamFaults, Deterministic) {
+  const Bitstream s = Bitstream::prefix_ones(256, 100);
+  EXPECT_EQ(inject_stream_faults(s, 0.1, 42), inject_stream_faults(s, 0.1, 42));
+  EXPECT_NE(inject_stream_faults(s, 0.1, 42), inject_stream_faults(s, 0.1, 43));
+}
+
+TEST(StreamFaults, BadBerRejected) {
+  EXPECT_THROW((void)inject_stream_faults(Bitstream(8), -0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)inject_stream_faults(Bitstream(8), 1.1, 1),
+               std::invalid_argument);
+}
+
+TEST(WordFaults, ZeroBerIsIdentity) {
+  EXPECT_EQ(inject_word_faults(0xA5, 8, 0.0, 1), 0xA5u);
+}
+
+TEST(WordFaults, FullBerInvertsWithinWidth) {
+  EXPECT_EQ(inject_word_faults(0xA5, 8, 1.0, 1), 0x5Au);
+  EXPECT_EQ(inject_word_faults(0x0F, 4, 1.0, 1), 0x0u);
+}
+
+TEST(WordFaults, MsbFlipIsCatastrophic) {
+  // The asymmetry the SC literature points at: one flipped stream bit costs
+  // 1/N of full scale; one flipped MSB costs 1/2 of full scale.
+  const double stream_damage = 1.0 / 256.0;
+  const double msb_damage = 128.0 / 256.0;
+  EXPECT_GT(msb_damage, 100.0 * stream_damage);
+}
+
+TEST(WordFaults, AnalyticRmsMatchesSimulation) {
+  const unsigned bits = 8;
+  const double ber = 0.02;
+  double acc = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint32_t faulted = inject_word_faults(
+        200, bits, ber, static_cast<std::uint64_t>(t) + 1000);
+    const double err = (static_cast<double>(faulted) - 200.0) / 256.0;
+    acc += err * err;
+  }
+  EXPECT_NEAR(std::sqrt(acc / trials), word_fault_rms(bits, ber), 0.01);
+}
+
+TEST(WordFaults, RmsGrowsWithWidthWeighting) {
+  // Wider words concentrate more damage in high-order bits.
+  EXPECT_GT(word_fault_rms(8, 0.01), word_fault_rms(4, 0.01) * 0.99);
+  EXPECT_LT(word_fault_rms(8, 0.001), word_fault_rms(8, 0.01));
+}
+
+TEST(WordFaults, Validation) {
+  EXPECT_THROW((void)inject_word_faults(0, 0, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)inject_word_faults(0, 8, 2.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,118 @@
+// Brown-Card FSM elements: tanh shape, and — key for the paper's argument —
+// their failure on auto-correlated inputs, which the proposed TFF adder
+// does not share (Section III).
+#include "sc/fsm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "sc/sng.h"
+#include "sc/tff.h"
+
+namespace scbnn::sc {
+namespace {
+
+Bitstream bernoulli_stream(std::size_t n, double p, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution bit(p);
+  Bitstream s(n);
+  for (std::size_t i = 0; i < n; ++i) s.set_bit(i, bit(rng));
+  return s;
+}
+
+TEST(StochasticTanh, Validation) {
+  EXPECT_THROW(StochasticTanh(0), std::invalid_argument);
+  EXPECT_THROW(StochasticTanh(3), std::invalid_argument);
+  EXPECT_NO_THROW(StochasticTanh(8));
+}
+
+TEST(StochasticTanh, ZeroInputMapsToZeroBipolar) {
+  // Input p = 0.5 (bipolar 0) -> output should hover around bipolar 0.
+  StochasticTanh fsm(8);
+  const Bitstream in = bernoulli_stream(8192, 0.5, 11);
+  const Bitstream out = fsm.transform(in);
+  EXPECT_NEAR(out.bipolar(), 0.0, 0.1);
+}
+
+TEST(StochasticTanh, SaturatesAtExtremes) {
+  StochasticTanh fsm(8);
+  EXPECT_NEAR(fsm.transform(Bitstream::constant(512, true)).bipolar(), 1.0,
+              0.05);
+  EXPECT_NEAR(fsm.transform(Bitstream::constant(512, false)).bipolar(), -1.0,
+              0.05);
+}
+
+class StanhCurveTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StanhCurveTest, TracksTanhReference) {
+  const double x = GetParam();  // bipolar input value
+  const unsigned states = 8;
+  StochasticTanh fsm(states);
+  const Bitstream in = bernoulli_stream(16384, (x + 1.0) / 2.0, 177);
+  const Bitstream out = fsm.transform(in);
+  EXPECT_NEAR(out.bipolar(), stanh_reference(states, x), 0.12)
+      << "x = " << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Curve, StanhCurveTest,
+                         ::testing::Values(-0.8, -0.5, -0.25, 0.0, 0.25, 0.5,
+                                           0.8));
+
+TEST(StochasticTanh, MonotonicInInput) {
+  const unsigned states = 16;
+  double prev = -2.0;
+  for (double x : {-0.6, -0.2, 0.0, 0.2, 0.6}) {
+    StochasticTanh fsm(states);
+    const Bitstream in = bernoulli_stream(16384, (x + 1.0) / 2.0, 31);
+    const double out = fsm.transform(in).bipolar();
+    EXPECT_GT(out, prev - 0.05) << "x = " << x;
+    prev = out;
+  }
+}
+
+TEST(StochasticTanh, BreaksOnAutoCorrelatedInput) {
+  // The paper's Section III point: common sequential SC circuits do not
+  // function as intended when the input is auto-correlated. A ramp
+  // (prefix-ones) encoding of bipolar +0.5 saturates the FSM high for the
+  // leading 1s and low for the trailing 0s, so the output reproduces the
+  // INPUT value instead of the squashed tanh(4 * 0.5) ~ 0.96.
+  const std::size_t n = 4096;
+  const double x = 0.5;
+  const unsigned states = 8;
+  const Bitstream ramp =
+      Bitstream::prefix_ones(n, static_cast<std::size_t>((x + 1.0) / 2.0 * n));
+  StochasticTanh fsm(states);
+  const double corrupted = fsm.transform(ramp).bipolar();
+  EXPECT_NEAR(corrupted, x, 0.05);  // identity: the nonlinearity vanished
+  EXPECT_LT(corrupted, stanh_reference(states, x) - 0.3);
+
+  // Same value through an uncorrelated encoding: correct squashing.
+  StochasticTanh fresh(states);
+  const double ok =
+      fresh.transform(bernoulli_stream(n, (x + 1.0) / 2.0, 5)).bipolar();
+  EXPECT_NEAR(ok, stanh_reference(states, x), 0.12);
+
+  // And the paper's TFF adder on the SAME auto-correlated streams: exact.
+  const Bitstream sum = tff_add(ramp, ramp, false);
+  EXPECT_NEAR(sum.unipolar(), (x + 1.0) / 2.0, 1.0 / static_cast<double>(n));
+}
+
+TEST(StochasticTanh, StateClampsAtBounds) {
+  StochasticTanh fsm(4);
+  for (int i = 0; i < 10; ++i) (void)fsm.clock(true);
+  EXPECT_EQ(fsm.state(), 3u);
+  for (int i = 0; i < 10; ++i) (void)fsm.clock(false);
+  EXPECT_EQ(fsm.state(), 0u);
+}
+
+TEST(StochasticTanh, TransformResetsState) {
+  StochasticTanh fsm(8);
+  (void)fsm.transform(Bitstream::constant(64, true));  // drive to the top
+  const Bitstream out = fsm.transform(bernoulli_stream(8192, 0.5, 3));
+  EXPECT_NEAR(out.bipolar(), 0.0, 0.1);  // no leakage from the first call
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,96 @@
+#include "sc/gates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/lowdisc.h"
+#include "sc/rng_source.h"
+#include "sc/sng.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(AndMultiply, ExactOnRampTimesLowDiscrepancy) {
+  // Ramp (prefix-ones) x van der Corput: the paper's proposed multiplier
+  // configuration. Error bounded by the sequence discrepancy.
+  const unsigned bits = 8;
+  const std::size_t n = 256;
+  VanDerCorputSource vdc(bits);
+  for (std::uint32_t bx : {0u, 51u, 128u, 200u, 256u}) {
+    for (std::uint32_t by : {0u, 37u, 128u, 256u}) {
+      vdc.reset();
+      const Bitstream x = Bitstream::prefix_ones(n, bx);
+      const Bitstream y = generate_stream(vdc, by, n);
+      const Bitstream z = and_multiply(x, y);
+      const double expected =
+          (static_cast<double>(bx) / 256.0) * (static_cast<double>(by) / 256.0);
+      EXPECT_NEAR(z.unipolar(), expected, 9.0 / 256.0)
+          << "bx=" << bx << " by=" << by;
+    }
+  }
+}
+
+TEST(AndMultiply, IdentityAndAnnihilator) {
+  const Bitstream x = Bitstream::from_string("0110 1001");
+  EXPECT_EQ(and_multiply(x, Bitstream::constant(8, true)), x);
+  EXPECT_EQ(and_multiply(x, Bitstream::constant(8, false)).count_ones(), 0u);
+}
+
+TEST(OrAdd, ComputesUnionProbability) {
+  // pZ = pX + pY - pX*pY; accurate only near zero (Li et al. [21]).
+  const Bitstream x = Bitstream::from_string("1000 0000");
+  const Bitstream y = Bitstream::from_string("0100 0000");
+  EXPECT_DOUBLE_EQ(or_add(x, y).unipolar(), 0.25);
+}
+
+TEST(MuxAdd, SelectSemantics) {
+  const Bitstream x = Bitstream::from_string("1111");
+  const Bitstream y = Bitstream::from_string("0000");
+  // sel=0 passes x, sel=1 passes y.
+  EXPECT_EQ(mux_add(x, y, Bitstream::from_string("0000")), x);
+  EXPECT_EQ(mux_add(x, y, Bitstream::from_string("1111")), y);
+  EXPECT_EQ(mux_add(x, y, Bitstream::from_string("0101")).to_string(), "1010");
+}
+
+TEST(MuxAdd, HalfSumInExpectation) {
+  const std::size_t n = 4096;
+  MersenneSource sx(8, 11), sy(8, 22), ssel(8, 33);
+  const Bitstream x = generate_stream(sx, 192, n);   // 0.75
+  const Bitstream y = generate_stream(sy, 64, n);    // 0.25
+  const Bitstream sel = generate_stream(ssel, 128, n);
+  const Bitstream z = mux_add(x, y, sel);
+  EXPECT_NEAR(z.unipolar(), 0.5, 0.03);
+}
+
+TEST(MuxAdd, RejectsLengthMismatch) {
+  EXPECT_THROW(
+      (void)mux_add(Bitstream(8), Bitstream(8), Bitstream(9)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)mux_add(Bitstream(8), Bitstream(9), Bitstream(8)),
+      std::invalid_argument);
+}
+
+TEST(XnorMultiply, BipolarProductInExpectation) {
+  // bipolar: z = x * y for uncorrelated streams.
+  const std::size_t n = 8192;
+  MersenneSource sx(8, 7), sy(8, 13);
+  const Bitstream x = generate_stream(sx, 192, n);  // bipolar +0.5
+  const Bitstream y = generate_stream(sy, 64, n);   // bipolar -0.5
+  const Bitstream z = xnor_multiply_bipolar(x, y);
+  EXPECT_NEAR(z.bipolar(), -0.25, 0.05);
+}
+
+TEST(XnorMultiply, ConstantCases) {
+  const Bitstream x = Bitstream::from_string("0101 0011");
+  // x * (+1) = x ; x * (-1) = -x.
+  EXPECT_EQ(xnor_multiply_bipolar(x, Bitstream::constant(8, true)), x);
+  const Bitstream negated =
+      xnor_multiply_bipolar(x, Bitstream::constant(8, false));
+  EXPECT_DOUBLE_EQ(negated.bipolar(), -x.bipolar());
+}
+
+}  // namespace
+}  // namespace scbnn::sc

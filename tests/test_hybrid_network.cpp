@@ -1,0 +1,209 @@
+// Hybrid network assembly and the retraining pipeline (scaled down).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/synthetic_mnist.h"
+#include "hybrid/experiment.h"
+#include "hybrid/hybrid_network.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace scbnn::hybrid {
+namespace {
+
+LeNetConfig tiny_lenet() {
+  LeNetConfig cfg;
+  cfg.conv1_kernels = 8;
+  cfg.conv2_kernels = 8;
+  cfg.dense_units = 32;
+  cfg.dropout = 0.1f;
+  return cfg;
+}
+
+TEST(LeNetBuilder, ShapesFlowEndToEnd) {
+  nn::Rng rng(1);
+  nn::Network net = build_lenet(tiny_lenet(), rng);
+  nn::Tensor x({2, 1, 28, 28});
+  nn::Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 10}));
+}
+
+TEST(LeNetBuilder, TailConsumesFirstLayerFeatures) {
+  nn::Rng rng(2);
+  nn::Network tail = build_tail(tiny_lenet(), rng);
+  nn::Tensor feats({2, 8, 28, 28});
+  nn::Tensor y = tail.forward(feats, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 10}));
+}
+
+TEST(LeNetBuilder, TailHasTwoFewerParamTensors) {
+  nn::Rng rng(3);
+  nn::Network base = build_lenet(tiny_lenet(), rng);
+  nn::Network tail = build_tail(tiny_lenet(), rng);
+  EXPECT_EQ(base.params().size(), tail.params().size() + 2);
+}
+
+TEST(CopyTailParams, TransfersExactly) {
+  nn::Rng rng(4);
+  nn::Network base = build_lenet(tiny_lenet(), rng);
+  nn::Network tail = build_tail(tiny_lenet(), rng);
+  copy_tail_params(base, tail);
+  const auto bp = base.params();
+  const auto tp = tail.params();
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    for (std::size_t j = 0; j < tp[i].value->size(); ++j) {
+      EXPECT_EQ((*tp[i].value)[j], (*bp[i + 2].value)[j]);
+    }
+  }
+}
+
+TEST(CopyTailParams, RejectsMismatchedTopology) {
+  nn::Rng rng(5);
+  nn::Network base = build_lenet(tiny_lenet(), rng);
+  LeNetConfig other = tiny_lenet();
+  other.conv2_kernels = 4;
+  nn::Network tail = build_tail(other, rng);
+  EXPECT_THROW(copy_tail_params(base, tail), std::invalid_argument);
+}
+
+TEST(BaseConv1Weights, ExposesFirstLayer) {
+  nn::Rng rng(6);
+  nn::Network base = build_lenet(tiny_lenet(), rng);
+  const nn::Tensor& w = base_conv1_weights(base);
+  EXPECT_EQ(w.shape(), (std::vector<int>{8, 1, 5, 5}));
+}
+
+TEST(HybridNetwork, EndToEndPredictShape) {
+  nn::Rng rng(7);
+  const auto cfg = tiny_lenet();
+  nn::Network base = build_lenet(cfg, rng);
+  const auto qw = nn::quantize_conv_weights(base_conv1_weights(base), 6);
+  FirstLayerConfig flc;
+  flc.bits = 6;
+  auto engine =
+      make_first_layer_engine(FirstLayerDesign::kBinaryQuantized, qw, flc);
+  nn::Network tail = build_tail(cfg, rng);
+  copy_tail_params(base, tail);
+  HybridNetwork hybrid(std::move(engine), std::move(tail));
+
+  const data::DataSplit split = data::generate_synthetic_mnist(6, 1, 21);
+  const auto pred = hybrid.predict(split.train.images);
+  EXPECT_EQ(pred.size(), 6u);
+  for (int p : pred) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 10);
+  }
+}
+
+TEST(HybridNetwork, NullEngineRejected) {
+  nn::Rng rng(8);
+  EXPECT_THROW(HybridNetwork(nullptr, build_tail(tiny_lenet(), rng)),
+               std::invalid_argument);
+}
+
+TEST(Misclassification, PercentConversion) {
+  EXPECT_DOUBLE_EQ(misclassification_pct(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(misclassification_pct(0.9), 10.0);
+  EXPECT_DOUBLE_EQ(misclassification_pct(0.0), 100.0);
+}
+
+TEST(Experiment, RetrainingRecoversAccuracy) {
+  // Scaled-down end-to-end run of the paper's central mechanism: freezing a
+  // quantized sign-activated first layer hurts; retraining the tail
+  // recovers most of the loss.
+  ExperimentConfig cfg;
+  cfg.train_n = 800;
+  cfg.test_n = 150;
+  cfg.lenet = tiny_lenet();
+  cfg.base_epochs = 10;
+  cfg.retrain_epochs = 3;
+  cfg.seed = 5;
+  PreparedExperiment prep = prepare_experiment(cfg);
+  EXPECT_GT(prep.float_accuracy, 0.45);  // the tiny base model learned
+
+  const auto point = evaluate_design_point(
+      prep, cfg, FirstLayerDesign::kBinaryQuantized, 4);
+  EXPECT_LE(point.misclassification_pct, point.before_retrain_pct + 1e-9);
+  EXPECT_LT(point.misclassification_pct, 100.0 * (1.0 - 0.1));  // above chance
+}
+
+TEST(Experiment, FeatureAgreementOrdering) {
+  ExperimentConfig cfg;
+  cfg.train_n = 120;
+  cfg.test_n = 60;
+  cfg.lenet = tiny_lenet();
+  cfg.base_epochs = 2;
+  cfg.retrain_epochs = 1;
+  cfg.seed = 6;
+  PreparedExperiment prep = prepare_experiment(cfg);
+
+  const auto proposed =
+      evaluate_design_point(prep, cfg, FirstLayerDesign::kScProposed, 6);
+  const auto conventional =
+      evaluate_design_point(prep, cfg, FirstLayerDesign::kScConventional, 6);
+  const auto binary = evaluate_design_point(
+      prep, cfg, FirstLayerDesign::kBinaryQuantized, 6);
+  // Binary reference agrees with itself by construction.
+  EXPECT_DOUBLE_EQ(binary.feature_agreement_vs_binary, 1.0);
+  // The proposed design's features track the exact computation more closely
+  // than the conventional SC design's (Table 3's mechanism).
+  EXPECT_GT(proposed.feature_agreement_vs_binary,
+            conventional.feature_agreement_vs_binary);
+}
+
+TEST(Experiment, EnvOverridesApplied) {
+  setenv("SCBNN_TRAIN_N", "123", 1);
+  setenv("SCBNN_RETRAIN_EPOCHS", "5", 1);
+  ExperimentConfig cfg;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, 123u);
+  EXPECT_EQ(cfg.retrain_epochs, 5);
+  unsetenv("SCBNN_TRAIN_N");
+  unsetenv("SCBNN_RETRAIN_EPOCHS");
+}
+
+TEST(Experiment, QuickProfileShrinksEverything) {
+  setenv("SCBNN_QUICK", "1", 1);
+  ExperimentConfig cfg;
+  const auto before_conv2 = cfg.lenet.conv2_kernels;
+  cfg.apply_env_overrides();
+  EXPECT_LT(cfg.train_n, 4000u);
+  EXPECT_LT(cfg.lenet.conv2_kernels, before_conv2);
+  unsetenv("SCBNN_QUICK");
+}
+
+TEST(Experiment, EnvIgnoresGarbageValues) {
+  setenv("SCBNN_TRAIN_N", "not-a-number", 1);
+  ExperimentConfig cfg;
+  const auto fallback = cfg.train_n;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, fallback);
+  unsetenv("SCBNN_TRAIN_N");
+}
+
+TEST(Experiment, CacheRoundTrip) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "scbnn_exp_cache.bin")
+          .string();
+  std::remove(cache.c_str());
+  ExperimentConfig cfg;
+  cfg.train_n = 100;
+  cfg.test_n = 40;
+  cfg.lenet = tiny_lenet();
+  cfg.base_epochs = 1;
+  cfg.cache_path = cache;
+  cfg.seed = 7;
+  PreparedExperiment first = prepare_experiment(cfg);
+  EXPECT_FALSE(first.base_from_cache);
+  PreparedExperiment second = prepare_experiment(cfg);
+  EXPECT_TRUE(second.base_from_cache);
+  EXPECT_DOUBLE_EQ(first.float_accuracy, second.float_accuracy);
+  std::remove(cache.c_str());
+}
+
+}  // namespace
+}  // namespace scbnn::hybrid

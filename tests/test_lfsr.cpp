@@ -1,0 +1,114 @@
+#include "sc/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace scbnn::sc {
+namespace {
+
+class LfsrPeriodTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriodTest, PrimaryTapsGiveMaximalPeriod) {
+  const unsigned bits = GetParam();
+  Lfsr lfsr(bits, 1);
+  const std::uint32_t period = (std::uint32_t{1} << bits) - 1;
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < period; ++i) {
+    const std::uint32_t v = lfsr.next();
+    EXPECT_NE(v, 0u);
+    EXPECT_TRUE(seen.insert(v).second) << "repeated state " << v;
+  }
+  // After a full period the sequence must wrap to the seed.
+  EXPECT_EQ(lfsr.next(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriodTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u, 16u));
+
+class LfsrAltPeriodTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrAltPeriodTest, AlternateTapsGiveMaximalPeriod) {
+  const unsigned bits = GetParam();
+  Lfsr lfsr(bits, 1, maximal_lfsr_taps_alt(bits));
+  const std::uint32_t period = (std::uint32_t{1} << bits) - 1;
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < period; ++i) {
+    EXPECT_TRUE(seen.insert(lfsr.next()).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrAltPeriodTest,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u, 16u));
+
+TEST(Lfsr, AlternateTapsDifferFromPrimary) {
+  for (unsigned bits = 3; bits <= 16; ++bits) {
+    EXPECT_NE(maximal_lfsr_taps(bits), maximal_lfsr_taps_alt(bits))
+        << "width " << bits;
+  }
+}
+
+TEST(Lfsr, AlternatePolynomialGivesDifferentSequence) {
+  Lfsr a(8, 1);
+  Lfsr b(8, 1, maximal_lfsr_taps_alt(8));
+  bool differs = false;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Lfsr, ZeroSeedRejected) {
+  EXPECT_THROW(Lfsr(8, 0), std::invalid_argument);
+  // Seed that masks to zero in the register width is also rejected.
+  EXPECT_THROW(Lfsr(4, 0x10), std::invalid_argument);
+}
+
+TEST(Lfsr, UnsupportedWidthRejected) {
+  EXPECT_THROW((void)maximal_lfsr_taps(1), std::invalid_argument);
+  EXPECT_THROW((void)maximal_lfsr_taps(25), std::invalid_argument);
+  EXPECT_THROW((void)maximal_lfsr_taps_alt(1), std::invalid_argument);
+  EXPECT_THROW((void)maximal_lfsr_taps_alt(17), std::invalid_argument);
+  // Width 2 is the documented fallback to the unique primitive polynomial.
+  EXPECT_EQ(maximal_lfsr_taps_alt(2), maximal_lfsr_taps(2));
+}
+
+TEST(Lfsr, ResetRestartsSequence) {
+  Lfsr lfsr(8, 0x5A);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(lfsr.next());
+  lfsr.reset();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(lfsr.next(), first[i]);
+}
+
+TEST(ShiftedLfsr, RotationIsExact) {
+  Lfsr base(8, 0x5A);
+  ShiftedLfsr shifted(8, 0x5A, 3);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t v = base.next();
+    const std::uint32_t expected = ((v >> 3) | (v << 5)) & 0xFFu;
+    EXPECT_EQ(shifted.next(), expected);
+  }
+}
+
+TEST(ShiftedLfsr, ZeroRotationIsIdentity) {
+  Lfsr base(8, 7);
+  ShiftedLfsr shifted(8, 7, 0);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(shifted.next(), base.next());
+}
+
+TEST(ShiftedLfsr, RotationWrapsModuloWidth) {
+  Lfsr base(8, 7);
+  ShiftedLfsr shifted(8, 7, 8);  // full rotation == identity
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(shifted.next(), base.next());
+}
+
+}  // namespace
+}  // namespace scbnn::sc

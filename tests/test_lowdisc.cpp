@@ -1,0 +1,103 @@
+#include "sc/lowdisc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace scbnn::sc {
+namespace {
+
+TEST(VanDerCorput, IsPermutationPerPeriod) {
+  VanDerCorputSource src(6);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(seen.insert(src.next()).second);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  // Wraps cleanly into a second identical period.
+  EXPECT_EQ(src.next(), 0u);
+}
+
+TEST(VanDerCorput, FirstValuesMatchBitReversal) {
+  VanDerCorputSource src(3);
+  // counter 0,1,2,3 -> reversed: 0, 4, 2, 6
+  EXPECT_EQ(src.next(), 0u);
+  EXPECT_EQ(src.next(), 4u);
+  EXPECT_EQ(src.next(), 2u);
+  EXPECT_EQ(src.next(), 6u);
+}
+
+TEST(VanDerCorput, EvenSpreadProperty) {
+  // In any prefix of length m, the count of values < B deviates from
+  // m*B/N by at most O(log N) — check a loose bound of log2(N)+1.
+  const unsigned bits = 8;
+  const std::uint32_t n = 256;
+  VanDerCorputSource src(bits);
+  std::vector<std::uint32_t> seq(n);
+  for (auto& v : seq) v = src.next();
+  const std::uint32_t b = 100;
+  double count = 0;
+  for (std::uint32_t m = 1; m <= n; ++m) {
+    if (seq[m - 1] < b) count += 1;
+    const double expected = static_cast<double>(m) * b / n;
+    EXPECT_LE(std::abs(count - expected), 9.0) << "prefix " << m;
+  }
+}
+
+TEST(Sobol, SecondDimensionIsPermutation) {
+  SobolDim2Source src(6);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t v = src.next();
+    ASSERT_LT(v, 64u);
+    EXPECT_TRUE(seen.insert(v).second);
+  }
+}
+
+TEST(Sobol, ResetRestartsSequence) {
+  SobolDim2Source src(8);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 20; ++i) first.push_back(src.next());
+  src.reset();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(src.next(), first[i]);
+}
+
+TEST(Sobol, DiffersFromVanDerCorput) {
+  VanDerCorputSource vdc(8);
+  SobolDim2Source sobol(8);
+  int diffs = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (vdc.next() != sobol.next()) ++diffs;
+  }
+  EXPECT_GT(diffs, 32);
+}
+
+TEST(Halton, ValuesInRange) {
+  HaltonBase3Source src(8);
+  for (int i = 0; i < 512; ++i) {
+    EXPECT_LT(src.next(), 256u);
+  }
+}
+
+TEST(Halton, ApproximatelyUniform) {
+  HaltonBase3Source src(8);
+  const int n = 3 * 3 * 3 * 3 * 3 * 3;  // full base-3 stratification depth
+  int below_half = 0;
+  for (int i = 0; i < n; ++i) {
+    if (src.next() < 128) ++below_half;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / n, 0.5, 0.02);
+}
+
+TEST(LowDisc, WidthValidation) {
+  EXPECT_THROW(VanDerCorputSource(0), std::invalid_argument);
+  EXPECT_THROW(VanDerCorputSource(32), std::invalid_argument);
+  EXPECT_THROW(SobolDim2Source(0), std::invalid_argument);
+  EXPECT_THROW(HaltonBase3Source(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scbnn::sc

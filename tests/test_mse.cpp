@@ -1,0 +1,112 @@
+// Tests for the exhaustive MSE harness (Tables 1 and 2). The quantitative
+// claims checked here are the paper's orderings and magnitudes.
+#include "sc/mse.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/report.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(MultiplierMse, NewAdderConfigurationIsBestAt8Bit) {
+  // Table 1 ordering: shared-LFSR worst, ramp + low-discrepancy best.
+  const double shared = multiplier_mse(MultScheme::kOneLfsrShifted, 8).mse;
+  const double two = multiplier_mse(MultScheme::kTwoLfsrs, 8).mse;
+  const double ld = multiplier_mse(MultScheme::kLowDiscrepancy, 8).mse;
+  const double ramp = multiplier_mse(MultScheme::kRampPlusLowDiscrepancy, 8).mse;
+  EXPECT_GT(shared, two);
+  EXPECT_GT(two, ld);
+  EXPECT_GE(ld, ramp * 0.9);  // ld and ramp are close; ramp at least as good
+}
+
+TEST(MultiplierMse, MagnitudesMatchPaperTable1At8Bit) {
+  // Within an order of magnitude of the published values.
+  using P = hw::PaperTables12;
+  const MultScheme schemes[] = {
+      MultScheme::kOneLfsrShifted, MultScheme::kTwoLfsrs,
+      MultScheme::kLowDiscrepancy, MultScheme::kRampPlusLowDiscrepancy};
+  for (int row = 0; row < 4; ++row) {
+    const double mse = multiplier_mse(schemes[row], 8).mse;
+    EXPECT_GT(mse, P::kMultMse[row][0] / 10.0) << "row " << row;
+    EXPECT_LT(mse, P::kMultMse[row][0] * 10.0) << "row " << row;
+  }
+}
+
+TEST(MultiplierMse, FourBitWorseThanEightBit) {
+  for (MultScheme s : {MultScheme::kTwoLfsrs, MultScheme::kLowDiscrepancy,
+                       MultScheme::kRampPlusLowDiscrepancy}) {
+    EXPECT_GT(multiplier_mse(s, 4).mse, multiplier_mse(s, 8).mse);
+  }
+}
+
+TEST(MultiplierMse, CaseCountIsExhaustive) {
+  const auto r = multiplier_mse(MultScheme::kRampPlusLowDiscrepancy, 4);
+  EXPECT_EQ(r.cases, 17u * 17u);  // (2^4 + 1)^2 input pairs
+}
+
+TEST(AdderMse, NewAdderBeatsEveryOldConfiguration) {
+  // The paper's core Table 2 claim, at both precisions.
+  for (unsigned bits : {4u, 8u}) {
+    const double new_mse = adder_mse(AddScheme::kTffAdder, bits).mse;
+    for (AddScheme s : {AddScheme::kMuxRandomDataLfsrSelect,
+                        AddScheme::kMuxRandomDataTffSelect,
+                        AddScheme::kMuxLfsrDataTffSelect}) {
+      EXPECT_LT(new_mse, adder_mse(s, bits).mse)
+          << "bits=" << bits << " scheme=" << to_string(s);
+    }
+  }
+}
+
+TEST(AdderMse, NewAdderTwoOrdersBetterAt8Bit) {
+  const double new_mse = adder_mse(AddScheme::kTffAdder, 8).mse;
+  const double best_old = adder_mse(AddScheme::kMuxLfsrDataTffSelect, 8).mse;
+  EXPECT_LT(new_mse * 50.0, best_old);
+}
+
+TEST(AdderMse, NewAdderMatchesPaperClosely) {
+  // The TFF adder is deterministic: its MSE is a pure rounding statistic
+  // and should match the published 1.91e-6 / 4.88e-4 almost exactly.
+  EXPECT_NEAR(adder_mse(AddScheme::kTffAdder, 8).mse, 1.91e-6, 0.2e-6);
+  EXPECT_NEAR(adder_mse(AddScheme::kTffAdder, 4).mse, 4.88e-4, 0.2e-4);
+}
+
+TEST(AdderMse, NewAdderMaxErrorIsHalfUlp) {
+  for (unsigned bits : {2u, 4u, 6u, 8u}) {
+    const double n = static_cast<double>(1u << bits);
+    EXPECT_LE(adder_mse(AddScheme::kTffAdder, bits).max_abs_error,
+              0.5 / n + 1e-12)
+        << "bits=" << bits;
+  }
+}
+
+TEST(AdderMse, LongerStreamsReduceError) {
+  const double short_mse = adder_mse(AddScheme::kMuxLfsrDataTffSelect, 8, 64).mse;
+  const double long_mse =
+      adder_mse(AddScheme::kMuxLfsrDataTffSelect, 8, 1024).mse;
+  EXPECT_LT(long_mse, short_mse);
+}
+
+TEST(MseHarness, SchemeNamesAreDistinct) {
+  EXPECT_NE(to_string(MultScheme::kOneLfsrShifted),
+            to_string(MultScheme::kTwoLfsrs));
+  EXPECT_NE(to_string(AddScheme::kTffAdder),
+            to_string(AddScheme::kMuxLfsrDataTffSelect));
+}
+
+class MsePrecisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MsePrecisionSweep, TffAdderMseShrinksQuadratically) {
+  const unsigned bits = GetParam();
+  // Error is uniformly within half an output ULP, so MSE <= (0.5/N)^2.
+  const double n = static_cast<double>(1u << bits);
+  const auto r = adder_mse(AddScheme::kTffAdder, bits);
+  EXPECT_LE(r.mse, 0.25 / (n * n) + 1e-12);
+  EXPECT_GT(r.mse, 0.0);  // some inputs do round
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, MsePrecisionSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace scbnn::sc

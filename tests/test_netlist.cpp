@@ -1,0 +1,288 @@
+// Structural netlist tests: the tape-out-style equivalence checks proving
+// the gate-level circuits match the behavioral SC models bit-for-bit, plus
+// Verilog-export sanity.
+#include "hw/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hw/gate_model.h"
+#include "sc/adder_tree.h"
+#include "sc/lowdisc.h"
+#include "sc/sng.h"
+#include "sc/bitstream.h"
+#include "sc/tff.h"
+
+namespace scbnn::hw {
+namespace {
+
+sc::Bitstream random_stream(std::size_t n, double p, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution bit(p);
+  sc::Bitstream s(n);
+  for (std::size_t i = 0; i < n; ++i) s.set_bit(i, bit(rng));
+  return s;
+}
+
+TEST(Netlist, GateArityChecked) {
+  Netlist nl;
+  const int a = nl.add_input("a");
+  EXPECT_THROW((void)nl.add_gate(GateOp::kAnd, {a}), std::invalid_argument);
+  EXPECT_THROW((void)nl.add_gate(GateOp::kNot, {a, a}),
+               std::invalid_argument);
+  EXPECT_THROW((void)nl.add_gate(GateOp::kAnd, {a, 99}),
+               std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(99, "z"), std::invalid_argument);
+}
+
+TEST(Netlist, CombinationalGates) {
+  Netlist nl;
+  const int a = nl.add_input("a");
+  const int b = nl.add_input("b");
+  nl.mark_output(nl.add_gate(GateOp::kAnd, {a, b}), "and_o");
+  nl.mark_output(nl.add_gate(GateOp::kOr, {a, b}), "or_o");
+  nl.mark_output(nl.add_gate(GateOp::kXor, {a, b}), "xor_o");
+  nl.mark_output(nl.add_gate(GateOp::kNot, {a}), "not_o");
+  NetlistSimulator sim(nl);
+  const auto out = sim.step({true, false});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+  EXPECT_TRUE(out[2]);
+  EXPECT_FALSE(out[3]);
+}
+
+TEST(Netlist, MuxSelectSemantics) {
+  Netlist nl;
+  const int sel = nl.add_input("sel");
+  const int a = nl.add_input("a");
+  const int b = nl.add_input("b");
+  nl.mark_output(nl.add_gate(GateOp::kMux, {sel, a, b}), "z");
+  NetlistSimulator sim(nl);
+  EXPECT_TRUE(sim.step({false, true, false})[0]);   // sel=0 -> a
+  EXPECT_FALSE(sim.step({true, true, false})[0]);   // sel=1 -> b
+}
+
+TEST(Netlist, DffDelaysByOneCycle) {
+  Netlist nl;
+  const int d = nl.add_input("d");
+  nl.mark_output(nl.add_gate(GateOp::kDff, {d}, "q", false), "q");
+  NetlistSimulator sim(nl);
+  EXPECT_FALSE(sim.step({true})[0]);   // initial state
+  EXPECT_TRUE(sim.step({false})[0]);   // captured last cycle's 1
+  EXPECT_FALSE(sim.step({false})[0]);
+}
+
+TEST(Netlist, TffTogglePreToggleOutput) {
+  Netlist nl;
+  const int t = nl.add_input("t");
+  nl.mark_output(nl.add_gate(GateOp::kTff, {t}, "q", false), "q");
+  NetlistSimulator sim(nl);
+  EXPECT_FALSE(sim.step({true})[0]);   // outputs state BEFORE toggling
+  EXPECT_TRUE(sim.step({true})[0]);
+  EXPECT_FALSE(sim.step({false})[0]);  // no toggle on 0
+  EXPECT_FALSE(sim.step({true})[0]);
+}
+
+TEST(Netlist, ResetRestoresInitialState) {
+  Netlist nl;
+  const int t = nl.add_input("t");
+  nl.mark_output(nl.add_gate(GateOp::kTff, {t}, "q", true), "q");
+  NetlistSimulator sim(nl);
+  EXPECT_TRUE(sim.step({true})[0]);
+  EXPECT_FALSE(sim.step({true})[0]);
+  sim.reset();
+  EXPECT_TRUE(sim.step({true})[0]);
+}
+
+class TffAdderEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TffAdderEquivalence, StructuralMatchesBehavioralBitForBit) {
+  const int seed = GetParam();
+  for (bool s0 : {false, true}) {
+    const Netlist nl = build_tff_adder_netlist(s0);
+    NetlistSimulator sim(nl);
+    const auto x = random_stream(512, 0.37, static_cast<std::uint64_t>(seed));
+    const auto y =
+        random_stream(512, 0.81, static_cast<std::uint64_t>(seed) + 100);
+    const sc::Bitstream expected = sc::tff_add_serial(x, y, s0);
+    for (std::size_t t = 0; t < x.length(); ++t) {
+      const auto out = sim.step({x.bit(t), y.bit(t)});
+      ASSERT_EQ(out[0], expected.bit(t))
+          << "cycle " << t << " s0=" << s0 << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TffAdderEquivalence,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(NetlistBuilders, HalverMatchesBehavioral) {
+  const Netlist nl = build_tff_halver_netlist(false);
+  NetlistSimulator sim(nl);
+  const auto a = random_stream(512, 0.6, 9);
+  const sc::Bitstream expected = sc::tff_halve(a, false);
+  for (std::size_t t = 0; t < a.length(); ++t) {
+    ASSERT_EQ(sim.step({a.bit(t)})[0], expected.bit(t)) << "cycle " << t;
+  }
+}
+
+TEST(NetlistBuilders, TreeMatchesBehavioralAlternatingPolicy) {
+  const unsigned leaves = 8;
+  const Netlist nl = build_tff_tree_netlist(leaves);
+  NetlistSimulator sim(nl);
+  std::vector<sc::Bitstream> inputs;
+  for (unsigned i = 0; i < leaves; ++i) {
+    inputs.push_back(random_stream(256, 0.1 + 0.1 * i, 40 + i));
+  }
+  const sc::Bitstream expected =
+      sc::tff_adder_tree(inputs, sc::TffInitPolicy::kAlternating);
+  for (std::size_t t = 0; t < 256; ++t) {
+    std::vector<bool> in;
+    in.reserve(leaves);
+    for (const auto& s : inputs) in.push_back(s.bit(t));
+    ASSERT_EQ(sim.step(in)[0], expected.bit(t)) << "cycle " << t;
+  }
+}
+
+TEST(NetlistBuilders, TreeValidatesLeafCount) {
+  EXPECT_THROW((void)build_tff_tree_netlist(3), std::invalid_argument);
+  EXPECT_THROW((void)build_tff_tree_netlist(1), std::invalid_argument);
+}
+
+TEST(NetlistBuilders, MuxAdderMatchesGateFunction) {
+  const Netlist nl = build_mux_adder_netlist();
+  NetlistSimulator sim(nl);
+  // Exhaustive truth table.
+  for (int x = 0; x <= 1; ++x) {
+    for (int y = 0; y <= 1; ++y) {
+      for (int s = 0; s <= 1; ++s) {
+        const auto out = sim.step({x != 0, y != 0, s != 0});
+        EXPECT_EQ(out[0], s != 0 ? y != 0 : x != 0);
+      }
+    }
+  }
+}
+
+TEST(NetlistCosts, TffAdderGateBudget) {
+  const Netlist nl = build_tff_adder_netlist();
+  EXPECT_EQ(nl.count(GateOp::kXor), 1u);
+  EXPECT_EQ(nl.count(GateOp::kMux), 1u);
+  EXPECT_EQ(nl.count(GateOp::kTff), 1u);
+  // One XOR + one MUX + one TFF: matches the tff_adder_node() GE figure.
+  EXPECT_DOUBLE_EQ(nl.gate_equivalents(), ge::tff_adder_node());
+}
+
+TEST(NetlistCosts, TreeGateCountScalesWithNodes) {
+  const Netlist nl = build_tff_tree_netlist(32);
+  EXPECT_EQ(nl.count(GateOp::kTff), 31u);  // one per 2:1 node
+  EXPECT_EQ(nl.count(GateOp::kMux), 31u);
+}
+
+TEST(DotUnitNetlist, ValidatesParameters) {
+  EXPECT_THROW((void)build_dot_unit_netlist(3, 5), std::invalid_argument);
+  EXPECT_THROW((void)build_dot_unit_netlist(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)build_dot_unit_netlist(4, 17), std::invalid_argument);
+}
+
+TEST(DotUnitNetlist, StructuralGateBudget) {
+  const Netlist nl = build_dot_unit_netlist(32, 9);
+  // 64 product ANDs + 62 tree nodes (1 TFF each) + 2 counters (9 TFFs each).
+  EXPECT_EQ(nl.count(GateOp::kTff), 62u + 18u);
+  EXPECT_EQ(nl.count(GateOp::kMux), 62u);
+  EXPECT_EQ(nl.input_count(), 96u);
+}
+
+TEST(DotUnitNetlist, MatchesBehavioralDotProductBitExactly) {
+  // The full Fig. 3 unit at 4-bit precision (N = 16 cycles), fan-in 4:
+  // drive the netlist with the exact streams the behavioral library
+  // composes, and require identical counter values and sign.
+  const unsigned bits = 4;
+  const std::size_t n = 16;
+  const unsigned fan_in = 4;
+  const unsigned count_bits = 5;  // holds counts up to 16
+
+  for (int variant = 0; variant < 6; ++variant) {
+    // Behavioral path: ramp inputs x VdC weights -> AND -> TFF tree.
+    std::vector<sc::Bitstream> xs, wps, wns;
+    std::vector<sc::Bitstream> pos_products, neg_products;
+    for (unsigned i = 0; i < fan_in; ++i) {
+      const std::size_t xl = (3 + 4 * i + variant) % (n + 1);
+      const std::size_t wpl = (11 * i + 2 * variant) % (n + 1);
+      const std::size_t wnl = (7 * i + variant) % (n + 1);
+      xs.push_back(sc::Bitstream::prefix_ones(n, xl));
+      sc::VanDerCorputSource vdc(bits);
+      wps.push_back(sc::generate_stream(
+          vdc, static_cast<std::uint32_t>(wpl), n));
+      vdc.reset();
+      wns.push_back(sc::generate_stream(
+          vdc, static_cast<std::uint32_t>(wnl), n));
+      pos_products.push_back(xs.back() & wps.back());
+      neg_products.push_back(xs.back() & wns.back());
+    }
+    const std::size_t pos_expected =
+        sc::tff_adder_tree(pos_products, sc::TffInitPolicy::kAlternating)
+            .count_ones();
+    const std::size_t neg_expected =
+        sc::tff_adder_tree(neg_products, sc::TffInitPolicy::kAlternating)
+            .count_ones();
+
+    // Structural path.
+    const Netlist nl = build_dot_unit_netlist(fan_in, count_bits);
+    NetlistSimulator sim(nl);
+    std::vector<bool> out;
+    for (std::size_t t = 0; t < n; ++t) {
+      std::vector<bool> in;
+      for (unsigned i = 0; i < fan_in; ++i) in.push_back(xs[i].bit(t));
+      for (unsigned i = 0; i < fan_in; ++i) in.push_back(wps[i].bit(t));
+      for (unsigned i = 0; i < fan_in; ++i) in.push_back(wns[i].bit(t));
+      out = sim.step(in);
+    }
+    // One flush cycle with zero inputs exposes the final counter state.
+    out = sim.step(std::vector<bool>(3 * fan_in, false));
+
+    auto read_count = [&](std::size_t base) {
+      std::size_t v = 0;
+      for (unsigned i = 0; i < count_bits; ++i) {
+        if (out[base + i]) v |= std::size_t{1} << i;
+      }
+      return v;
+    };
+    const std::size_t pos_count = read_count(2);
+    const std::size_t neg_count = read_count(2 + count_bits);
+    ASSERT_EQ(pos_count, pos_expected) << "variant " << variant;
+    ASSERT_EQ(neg_count, neg_expected) << "variant " << variant;
+    // Sign outputs agree with the counts.
+    EXPECT_EQ(out[0], pos_count > neg_count) << "variant " << variant;
+    EXPECT_EQ(out[1], neg_count > pos_count) << "variant " << variant;
+  }
+}
+
+TEST(DotUnitNetlist, ExportsToVerilog) {
+  const Netlist nl = build_dot_unit_netlist(4, 5);
+  const std::string v = nl.to_verilog("sc_dot_unit");
+  EXPECT_NE(v.find("module sc_dot_unit("), std::string::npos);
+  EXPECT_NE(v.find("output wire pos_gt"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, ExportContainsStructure) {
+  const Netlist nl = build_tff_adder_netlist();
+  const std::string v = nl.to_verilog("tff_adder");
+  EXPECT_NE(v.find("module tff_adder("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire x"), std::string::npos);
+  EXPECT_NE(v.find("output wire z"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk"), std::string::npos);
+  EXPECT_NE(v.find("^"), std::string::npos);  // the XOR compare
+}
+
+TEST(Verilog, RegistersGetResetValues) {
+  const std::string v0 = build_tff_adder_netlist(false).to_verilog("a");
+  const std::string v1 = build_tff_adder_netlist(true).to_verilog("a");
+  EXPECT_NE(v0.find("<= 1'b0;"), std::string::npos);
+  EXPECT_NE(v1.find("<= 1'b1;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scbnn::hw

@@ -1,0 +1,77 @@
+#include "sc/packed.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scbnn::sc {
+namespace {
+
+std::uint64_t naive_prefix_xor(std::uint64_t x) {
+  std::uint64_t out = 0;
+  bool parity = false;
+  for (unsigned i = 0; i < 64; ++i) {
+    parity = parity != (((x >> i) & 1u) != 0u);
+    if (parity) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+TEST(Packed, PrefixXorKnownValues) {
+  EXPECT_EQ(prefix_xor(0u), 0u);
+  // Single bit at position 0 -> all bits from 0 upward set.
+  EXPECT_EQ(prefix_xor(1u), ~std::uint64_t{0});
+  // Bits 0 and 1 set -> only bit 0 survives the parity scan.
+  EXPECT_EQ(prefix_xor(0b11u), 0b01u);
+}
+
+TEST(Packed, PrefixXorMatchesNaiveOnRandomWords) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng();
+    EXPECT_EQ(prefix_xor(x), naive_prefix_xor(x)) << "word " << x;
+  }
+}
+
+TEST(Packed, WordParity) {
+  EXPECT_FALSE(word_parity(0u));
+  EXPECT_TRUE(word_parity(1u));
+  EXPECT_FALSE(word_parity(0b11u));
+  EXPECT_TRUE(word_parity(0b111u));
+  EXPECT_FALSE(word_parity(~std::uint64_t{0}));
+}
+
+TEST(Packed, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Packed, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001u, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110u, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0x1u, 8), 0x80u);
+  EXPECT_EQ(reverse_bits(0xFFu, 8), 0xFFu);
+}
+
+TEST(Packed, ReverseBitsIsInvolution) {
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 8), 8), v);
+  }
+}
+
+TEST(Packed, ReverseBitsIsPermutation) {
+  // Bit reversal must visit every k-bit value exactly once.
+  std::vector<bool> seen(64, false);
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    const std::uint32_t r = reverse_bits(v, 6);
+    ASSERT_LT(r, 64u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,115 @@
+#include "hybrid/progressive.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+#include "hybrid/experiment.h"
+#include "nn/quantize.h"
+
+namespace scbnn::hybrid {
+namespace {
+
+LeNetConfig tiny_lenet() {
+  LeNetConfig cfg;
+  cfg.conv1_kernels = 8;
+  cfg.conv2_kernels = 8;
+  cfg.dense_units = 32;
+  cfg.dropout = 0.1f;
+  return cfg;
+}
+
+/// Build rungs at the given precisions from a shared base model, with
+/// tails copied (not retrained — tests only need structural behavior).
+std::vector<PrecisionRung> make_rungs(nn::Network& base,
+                                      const LeNetConfig& lenet,
+                                      std::initializer_list<unsigned> bits) {
+  std::vector<PrecisionRung> rungs;
+  for (unsigned b : bits) {
+    PrecisionRung rung;
+    rung.bits = b;
+    const auto qw = nn::quantize_conv_weights(base_conv1_weights(base), b);
+    FirstLayerConfig flc;
+    flc.bits = b;
+    flc.soft_threshold = 0.3;
+    rung.engine =
+        make_first_layer_engine(FirstLayerDesign::kScProposed, qw, flc);
+    nn::Rng rng(7);
+    rung.tail = build_tail(lenet, rng);
+    copy_tail_params(base, rung.tail);
+    rungs.push_back(std::move(rung));
+  }
+  return rungs;
+}
+
+class ProgressiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nn::Rng rng(3);
+    base_ = build_lenet(tiny_lenet(), rng);
+  }
+  nn::Network base_;
+};
+
+TEST_F(ProgressiveTest, RungOrderingValidated) {
+  auto bad = make_rungs(base_, tiny_lenet(), {6u, 3u});
+  EXPECT_THROW(ProgressiveClassifier(std::move(bad), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ProgressiveClassifier({}, 0.5), std::invalid_argument);
+  auto rungs = make_rungs(base_, tiny_lenet(), {3u});
+  EXPECT_THROW(ProgressiveClassifier(std::move(rungs), 1.5),
+               std::invalid_argument);
+}
+
+TEST_F(ProgressiveTest, ZeroMarginNeverEscalates) {
+  ProgressiveClassifier cls(make_rungs(base_, tiny_lenet(), {3u, 6u}), 0.0);
+  const nn::Tensor img = data::render_digit(4, 1);
+  const auto out = cls.classify(img.data());
+  EXPECT_EQ(out.bits_used, 3u);
+  EXPECT_DOUBLE_EQ(out.cycles, ProgressiveClassifier::fixed_cycles(3, 8));
+}
+
+TEST_F(ProgressiveTest, ImpossibleMarginAlwaysEscalates) {
+  ProgressiveClassifier cls(make_rungs(base_, tiny_lenet(), {3u, 6u}), 1.0);
+  const nn::Tensor img = data::render_digit(4, 1);
+  const auto out = cls.classify(img.data());
+  EXPECT_EQ(out.bits_used, 6u);  // fell through to the last rung
+  EXPECT_DOUBLE_EQ(out.cycles,
+                   ProgressiveClassifier::fixed_cycles(3, 8) +
+                       ProgressiveClassifier::fixed_cycles(6, 8));
+}
+
+TEST_F(ProgressiveTest, OutcomeFieldsPopulated) {
+  ProgressiveClassifier cls(make_rungs(base_, tiny_lenet(), {3u, 6u}), 0.4);
+  const nn::Tensor img = data::render_digit(7, 2);
+  const auto out = cls.classify(img.data());
+  EXPECT_GE(out.predicted, 0);
+  EXPECT_LT(out.predicted, 10);
+  EXPECT_GE(out.margin, 0.0);
+  EXPECT_LE(out.margin, 1.0);
+  EXPECT_TRUE(out.bits_used == 3u || out.bits_used == 6u);
+}
+
+TEST(Progressive, FixedCyclesFormula) {
+  EXPECT_DOUBLE_EQ(ProgressiveClassifier::fixed_cycles(8), 32.0 * 256.0);
+  EXPECT_DOUBLE_EQ(ProgressiveClassifier::fixed_cycles(4), 32.0 * 16.0);
+  EXPECT_DOUBLE_EQ(ProgressiveClassifier::fixed_cycles(4, 8), 8.0 * 16.0);
+}
+
+TEST_F(ProgressiveTest, AverageCyclesBetweenBounds) {
+  // With an intermediate margin, average cycles over several images must
+  // lie between the cheapest rung alone and the sum of all rungs.
+  ProgressiveClassifier cls(make_rungs(base_, tiny_lenet(), {3u, 6u}), 0.35);
+  double total = 0.0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    const nn::Tensor img = data::render_digit(i % 10, 5);
+    total += cls.classify(img.data()).cycles;
+  }
+  const double avg = total / n;
+  EXPECT_GE(avg, ProgressiveClassifier::fixed_cycles(3, 8) - 1e-9);
+  EXPECT_LE(avg, ProgressiveClassifier::fixed_cycles(3, 8) +
+                     ProgressiveClassifier::fixed_cycles(6, 8) + 1e-9);
+}
+
+}  // namespace
+}  // namespace scbnn::hybrid

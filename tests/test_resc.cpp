@@ -1,0 +1,98 @@
+#include "sc/resc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/fault.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(Bernstein, CoefficientsSampleTheFunction) {
+  const auto b = bernstein_coefficients([](double x) { return x * x; }, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[2], 0.25);
+  EXPECT_DOUBLE_EQ(b[4], 1.0);
+}
+
+TEST(Bernstein, CoefficientsClampToUnit) {
+  const auto b =
+      bernstein_coefficients([](double x) { return 2.0 * x - 0.5; }, 2);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);  // clamped from -0.5
+  EXPECT_DOUBLE_EQ(b[2], 1.0);  // clamped from 1.5
+}
+
+TEST(Bernstein, ValueEvaluation) {
+  // Linear coefficients reproduce the identity exactly at any degree.
+  const std::vector<double> b{0.0, 0.5, 1.0};
+  EXPECT_NEAR(bernstein_value(b, 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(bernstein_value(b, 0.9), 0.9, 1e-12);
+}
+
+TEST(Bernstein, ConvergesWithDegree) {
+  const auto f = [](double x) { return std::pow(x, 0.45); };  // gamma corr.
+  double err_low = 0.0, err_high = 0.0;
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    err_low += std::abs(bernstein_value(bernstein_coefficients(f, 3), x) -
+                        f(x));
+    err_high += std::abs(bernstein_value(bernstein_coefficients(f, 12), x) -
+                         f(x));
+  }
+  EXPECT_LT(err_high, err_low);
+}
+
+TEST(ReSc, Validation) {
+  EXPECT_THROW(ReScUnit({0.5}), std::invalid_argument);
+  EXPECT_THROW(ReScUnit({0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(ReScUnit({-0.1, 0.5}), std::invalid_argument);
+}
+
+TEST(ReSc, EvaluatesGammaCorrection) {
+  // The ReSC paper's flagship example: x^0.45 on an image sensor pipeline.
+  const auto f = [](double x) { return std::pow(x, 0.45); };
+  ReScUnit unit(bernstein_coefficients(f, 6), 11);
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    const Bitstream out = unit.evaluate(x, 16384);
+    const double expected = bernstein_value(unit.coefficients(), x);
+    EXPECT_NEAR(out.unipolar(), expected, 0.03) << "x = " << x;
+  }
+}
+
+TEST(ReSc, DegreeMatchesCoefficients) {
+  ReScUnit unit(std::vector<double>{0.0, 0.5, 1.0});
+  EXPECT_EQ(unit.degree(), 2u);
+}
+
+TEST(ReSc, SquaringCircuit) {
+  // Uniform-node Bernstein coefficients approximate x^2 as
+  // x^2 + x(1-x)/K — the circuit must match the POLYNOMIAL exactly
+  // (0.42 at x=0.6, K=4), not the underlying function (0.36).
+  const auto b = bernstein_coefficients([](double x) { return x * x; }, 4);
+  ReScUnit unit(b, 5);
+  const Bitstream out = unit.evaluate(0.6, 16384);
+  EXPECT_NEAR(out.unipolar(), bernstein_value(b, 0.6), 0.03);
+  EXPECT_NEAR(bernstein_value(b, 0.6), 0.36 + 0.6 * 0.4 / 4.0, 1e-12);
+}
+
+TEST(ReSc, GracefulUnderStreamFaults) {
+  // The fault-tolerance claim of [25]: injecting bit flips into the ReSC
+  // output stream degrades the value proportionally to the BER, with no
+  // catastrophic failure mode.
+  const auto f = [](double x) { return std::pow(x, 0.45); };
+  ReScUnit unit(bernstein_coefficients(f, 6), 3);
+  const Bitstream clean = unit.evaluate(0.5, 8192);
+  const double base = clean.unipolar();
+  double prev_err = 0.0;
+  for (double ber : {0.005, 0.02, 0.08}) {
+    const double err =
+        std::abs(inject_stream_faults(clean, ber, 9).unipolar() - base);
+    EXPECT_LE(err, ber + 0.02) << "ber " << ber;
+    EXPECT_GE(err + 0.01, prev_err);
+    prev_err = err;
+  }
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,123 @@
+#include "sc/sng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/lfsr.h"
+#include "sc/lowdisc.h"
+#include "sc/rng_source.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(Sng, RampGivesExactPrefixOnes) {
+  RampSource ramp(4);
+  for (std::uint32_t level = 0; level <= 16; ++level) {
+    ramp.reset();
+    const Bitstream s = generate_stream(ramp, level, 16);
+    EXPECT_EQ(s.count_ones(), level);
+    EXPECT_EQ(s, Bitstream::prefix_ones(16, level));
+  }
+}
+
+TEST(Sng, VanDerCorputGivesExactCounts) {
+  VanDerCorputSource vdc(6);
+  for (std::uint32_t level = 0; level <= 64; level += 7) {
+    vdc.reset();
+    const Bitstream s = generate_stream(vdc, level, 64);
+    EXPECT_EQ(s.count_ones(), level) << "level " << level;
+  }
+}
+
+TEST(Sng, LfsrCountsAreApproximate) {
+  // A k-bit LFSR never emits 0, so counts carry a small systematic bias —
+  // this is a feature of the model (Table 1's motivation), not a bug.
+  Lfsr lfsr(8, 1);
+  const Bitstream s = generate_stream(lfsr, 128, 256);
+  EXPECT_NEAR(static_cast<double>(s.count_ones()), 128.0, 8.0);
+}
+
+TEST(Sng, ZeroAndFullLevels) {
+  VanDerCorputSource vdc(4);
+  EXPECT_EQ(generate_stream(vdc, 0, 16).count_ones(), 0u);
+  vdc.reset();
+  EXPECT_EQ(generate_stream(vdc, 16, 16).count_ones(), 16u);
+}
+
+TEST(QuantizeUnipolar, GridMapping) {
+  EXPECT_EQ(quantize_unipolar(0.0, 8), 0u);
+  EXPECT_EQ(quantize_unipolar(1.0, 8), 256u);
+  EXPECT_EQ(quantize_unipolar(0.5, 8), 128u);
+  EXPECT_EQ(quantize_unipolar(0.5, 4), 8u);
+}
+
+TEST(QuantizeUnipolar, ClampsOutOfRange) {
+  EXPECT_EQ(quantize_unipolar(-0.5, 8), 0u);
+  EXPECT_EQ(quantize_unipolar(1.5, 8), 256u);
+}
+
+TEST(QuantizeUnipolar, RejectsBadWidth) {
+  EXPECT_THROW((void)quantize_unipolar(0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)quantize_unipolar(0.5, 32), std::invalid_argument);
+}
+
+TEST(AnalogToStochastic, SinglePeriodIsPrefixOnes) {
+  const Bitstream s = analog_to_stochastic(0.5, 4, 16);
+  EXPECT_EQ(s, Bitstream::prefix_ones(16, 8));
+}
+
+TEST(AnalogToStochastic, RepeatsAcrossPeriods) {
+  const Bitstream s = analog_to_stochastic(0.25, 4, 32);
+  EXPECT_EQ(s.count_ones(), 8u);  // 4 ones per 16-cycle period, twice
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(s.bit(i));
+    EXPECT_TRUE(s.bit(16 + i));
+  }
+  EXPECT_FALSE(s.bit(4));
+  EXPECT_FALSE(s.bit(20));
+}
+
+TEST(AnalogToStochastic, ValueRecovered) {
+  for (double v : {0.0, 0.125, 0.3, 0.5, 0.77, 1.0}) {
+    const Bitstream s = analog_to_stochastic(v, 8, 256);
+    EXPECT_NEAR(s.unipolar(), v, 1.0 / 256.0 + 1e-12) << "value " << v;
+  }
+}
+
+TEST(MersenneSource, RangeAndDeterminism) {
+  MersenneSource a(8, 99), b(8, 99);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t va = a.next();
+    EXPECT_LT(va, 256u);
+    EXPECT_EQ(va, b.next());
+  }
+}
+
+TEST(MersenneSource, ResetReproduces) {
+  MersenneSource src(8, 5);
+  const std::uint32_t first = src.next();
+  (void)src.next();
+  src.reset();
+  EXPECT_EQ(src.next(), first);
+}
+
+class SngStatisticalTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SngStatisticalTest, EncodedValueWithinSamplingError) {
+  const std::uint32_t level = GetParam();
+  MersenneSource src(8, 1234);
+  const std::size_t n = 4096;
+  const Bitstream s = generate_stream(src, level, n);
+  const double p = static_cast<double>(level) / 256.0;
+  // 5-sigma Bernoulli bound.
+  const double sigma = std::sqrt(p * (1 - p) / static_cast<double>(n));
+  EXPECT_NEAR(s.unipolar(), p, 5.0 * sigma + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SngStatisticalTest,
+                         ::testing::Values(0u, 16u, 64u, 128u, 200u, 256u));
+
+}  // namespace
+}  // namespace scbnn::sc

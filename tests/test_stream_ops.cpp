@@ -1,0 +1,95 @@
+#include "sc/stream_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/correlation.h"
+#include "sc/lfsr.h"
+#include "sc/sng.h"
+
+namespace scbnn::sc {
+namespace {
+
+TEST(CorrelatedMax, ExactOnRampStreams) {
+  // Ramp-compare converter outputs are prefix-ones: SCC = +1, so OR is an
+  // exact max — for every value pair.
+  const std::size_t n = 64;
+  for (std::size_t a = 0; a <= n; a += 9) {
+    for (std::size_t b = 0; b <= n; b += 11) {
+      const Bitstream x = Bitstream::prefix_ones(n, a);
+      const Bitstream y = Bitstream::prefix_ones(n, b);
+      EXPECT_EQ(correlated_max(x, y).count_ones(), std::max(a, b));
+      EXPECT_EQ(correlated_min(x, y).count_ones(), std::min(a, b));
+    }
+  }
+}
+
+TEST(CorrelatedSubSat, ExactOnRampStreams) {
+  const std::size_t n = 64;
+  for (std::size_t a = 0; a <= n; a += 7) {
+    for (std::size_t b = 0; b <= n; b += 13) {
+      const Bitstream x = Bitstream::prefix_ones(n, a);
+      const Bitstream y = Bitstream::prefix_ones(n, b);
+      const std::size_t expected = a > b ? a - b : 0;
+      EXPECT_EQ(correlated_sub_sat(x, y).count_ones(), expected);
+    }
+  }
+}
+
+TEST(CorrelatedMax, UpperBiasedOnIndependentStreams) {
+  // On independent streams OR computes px + py - px*py >= max(px, py).
+  Lfsr a(8, 1), b(8, 77, maximal_lfsr_taps_alt(8));
+  const Bitstream x = generate_stream(a, 128, 256);
+  const Bitstream y = generate_stream(b, 128, 256);
+  EXPECT_GT(correlated_max(x, y).unipolar(),
+            std::max(x.unipolar(), y.unipolar()));
+}
+
+TEST(StochasticMaxpool, FourWindowPool) {
+  // The 2x2 pooling configuration of a stochastic pooling stage.
+  std::vector<Bitstream> window = {
+      Bitstream::prefix_ones(32, 10), Bitstream::prefix_ones(32, 25),
+      Bitstream::prefix_ones(32, 3), Bitstream::prefix_ones(32, 17)};
+  EXPECT_EQ(stochastic_maxpool(window).count_ones(), 25u);
+}
+
+TEST(StochasticMaxpool, SingleInputIsIdentity) {
+  const Bitstream x = Bitstream::prefix_ones(16, 9);
+  EXPECT_EQ(stochastic_maxpool({x}), x);
+}
+
+TEST(StochasticMaxpool, RejectsEmpty) {
+  EXPECT_THROW((void)stochastic_maxpool({}), std::invalid_argument);
+}
+
+TEST(Delay, ShiftsCircularly) {
+  const Bitstream x = Bitstream::from_string("1000 0000");
+  EXPECT_EQ(delay(x, 2).to_string(), "00100000");
+  EXPECT_EQ(delay(x, 8), x);   // full wrap
+  EXPECT_EQ(delay(x, 10).to_string(), "00100000");  // modulo length
+}
+
+TEST(Delay, PreservesValue) {
+  Lfsr src(8, 5);
+  const Bitstream x = generate_stream(src, 90, 256);
+  EXPECT_EQ(delay(x, 37).count_ones(), x.count_ones());
+}
+
+TEST(Delay, DecorrelatesLfsrStreamFromItself) {
+  // The isolation trick: a DFF-delayed copy of an LFSR stream is nearly
+  // uncorrelated with the original, so one SNG can drive two multiplier
+  // inputs.
+  Lfsr src(8, 5);
+  const Bitstream x = generate_stream(src, 128, 255);
+  EXPECT_NEAR(scc(x, x), 1.0, 1e-9);
+  const double delayed_scc = std::abs(scc(x, delay(x, 31)));
+  EXPECT_LT(delayed_scc, 0.25);
+}
+
+TEST(Delay, RejectsEmptyStream) {
+  EXPECT_THROW((void)delay(Bitstream(), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scbnn::sc

@@ -1,0 +1,121 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace scbnn::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({4, 4});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillAndFull) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[2], -1.0f);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.shape(), (std::vector<int>{3, 4}));
+  EXPECT_EQ(r[7], 3.0f);
+}
+
+TEST(Tensor, ReshapeRejectsSizeMismatch) {
+  Tensor t({2, 6});
+  EXPECT_THROW((void)t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+void naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+class GemmTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  std::mt19937 rng(m * 100 + k * 10 + n);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::vector<float> a(m * k), b(k * n), expect(m * n), got(m * n);
+  for (auto& v : a) v = d(rng);
+  for (auto& v : b) v = d(rng);
+  naive_gemm(a, b, expect, m, k, n);
+
+  gemm(a.data(), b.data(), got.data(), m, k, n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(got[i], expect[i], 1e-4f);
+
+  // A^T variant: pass a laid out as [k, m].
+  std::vector<float> at(k * m);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) at[p * m + i] = a[i * k + p];
+  }
+  std::fill(got.begin(), got.end(), 0.0f);
+  gemm_at(at.data(), b.data(), got.data(), m, k, n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(got[i], expect[i], 1e-4f);
+
+  // B^T variant: pass b laid out as [n, k].
+  std::vector<float> bt(n * k);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  }
+  std::fill(got.begin(), got.end(), 0.0f);
+  gemm_bt(a.data(), bt.data(), got.data(), m, k, n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 4, 5),
+                                           std::make_tuple(8, 8, 8),
+                                           std::make_tuple(17, 5, 3),
+                                           std::make_tuple(2, 32, 64)));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  std::vector<float> a{1.0f, 2.0f}, b{3.0f, 4.0f};
+  std::vector<float> c{10.0f};
+  gemm(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/true);
+  EXPECT_NEAR(c[0], 10.0f + 1.0f * 3.0f + 2.0f * 4.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace scbnn::nn

@@ -1,0 +1,201 @@
+// Tests for the paper's core contribution: the TFF-based stochastic adder
+// (Section III, Fig. 2). The central invariant, verified exhaustively and
+// randomly below:
+//   ones(Z) = floor((ones(X) + ones(Y)) / 2)  when S0 = 0
+//   ones(Z) = ceil ((ones(X) + ones(Y)) / 2)  when S0 = 1
+// independent of the bit ORDER of X and Y (auto-correlation immunity).
+#include "sc/tff.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "sc/correlation.h"
+#include "sc/sng.h"
+
+namespace scbnn::sc {
+namespace {
+
+Bitstream random_stream(std::size_t n, double p, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution bit(p);
+  Bitstream s(n);
+  for (std::size_t i = 0; i < n; ++i) s.set_bit(i, bit(rng));
+  return s;
+}
+
+TEST(ToggleFlipFlop, TogglesOnlyOnOne) {
+  ToggleFlipFlop tff(false);
+  EXPECT_FALSE(tff.clock(false));
+  EXPECT_FALSE(tff.q());
+  EXPECT_FALSE(tff.clock(true));  // outputs pre-toggle state
+  EXPECT_TRUE(tff.q());
+  EXPECT_TRUE(tff.clock(true));
+  EXPECT_FALSE(tff.q());
+  tff.reset(true);
+  EXPECT_TRUE(tff.q());
+}
+
+TEST(TffHalve, PaperFig2aSemantics) {
+  // Every other 1 of the input passes through.
+  const Bitstream a = Bitstream::from_string("1111");
+  EXPECT_EQ(tff_halve(a, false).to_string(), "0101");
+  EXPECT_EQ(tff_halve(a, true).to_string(), "1010");
+}
+
+class TffHalveCountTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TffHalveCountTest, ExactHalvingWithRounding) {
+  const auto [n, seed] = GetParam();
+  for (double p : {0.1, 0.5, 0.9}) {
+    const Bitstream a = random_stream(n, p, static_cast<std::uint64_t>(seed));
+    const std::size_t ones = a.count_ones();
+    EXPECT_EQ(tff_halve(a, false).count_ones(), ones / 2);
+    EXPECT_EQ(tff_halve(a, true).count_ones(), (ones + 1) / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TffHalveCountTest,
+    ::testing::Combine(::testing::Values(8u, 63u, 64u, 65u, 256u, 1000u),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TffAdd, PaperFig2bWorkedExample) {
+  const auto x = Bitstream::from_string("0110 0011 0101 0111 1000");  // 10/20
+  const auto y = Bitstream::from_string("1011 1111 0101 0111 1111");  // 16/20
+  const Bitstream z = tff_add(x, y, false);
+  // Expected result 0.5*(10/20 + 16/20) = 13/20.
+  EXPECT_EQ(z.count_ones(), 13u);
+  EXPECT_EQ(z.to_string(), "01101011010101111101");
+}
+
+TEST(TffAdd, PaperFig2cInitialStateControlsRounding) {
+  const auto x = Bitstream::from_string("0100 1010");  // 3/8
+  const auto y = Bitstream::from_string("0010 0010");  // 2/8
+  // Exact sum 5/16 is not representable in 8 bits: S0 picks the neighbor.
+  const Bitstream z0 = tff_add(x, y, false);
+  const Bitstream z1 = tff_add(x, y, true);
+  EXPECT_EQ(z0.to_string(), "00100010");  // rounds down to 2/8
+  EXPECT_EQ(z1.to_string(), "01001010");  // rounds up to 3/8
+  EXPECT_EQ(z0.count_ones(), 2u);
+  EXPECT_EQ(z1.count_ones(), 3u);
+}
+
+TEST(TffAdd, SerialAndPackedAgreeOnExamples) {
+  const auto x = Bitstream::from_string("0110 0011 0101 0111 1000");
+  const auto y = Bitstream::from_string("1011 1111 0101 0111 1111");
+  EXPECT_EQ(tff_add(x, y, false), tff_add_serial(x, y, false));
+  EXPECT_EQ(tff_add(x, y, true), tff_add_serial(x, y, true));
+}
+
+class TffAddPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TffAddPropertyTest, ExactScaledSumWithRounding) {
+  const auto [n, seed] = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 977 + n);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Bitstream x = random_stream(n, 0.125 * (trial + 1), rng());
+    const Bitstream y = random_stream(n, 1.0 - 0.1 * trial, rng());
+    const std::size_t sum = x.count_ones() + y.count_ones();
+    EXPECT_EQ(tff_add(x, y, false).count_ones(), sum / 2);
+    EXPECT_EQ(tff_add(x, y, true).count_ones(), (sum + 1) / 2);
+  }
+}
+
+TEST_P(TffAddPropertyTest, PackedMatchesSerialBitExactly) {
+  const auto [n, seed] = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 31 + n);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Bitstream x = random_stream(n, 0.4, rng());
+    const Bitstream y = random_stream(n, 0.7, rng());
+    EXPECT_EQ(tff_add(x, y, false), tff_add_serial(x, y, false));
+    EXPECT_EQ(tff_add(x, y, true), tff_add_serial(x, y, true));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TffAddPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 63u, 64u, 65u, 128u, 200u,
+                                         1024u),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TffAdd, ExhaustiveSmallStreams) {
+  // Every pair of 6-bit streams: 4096 combinations, checked bit-exactly
+  // against the serial reference and the counting invariant.
+  for (std::uint32_t xa = 0; xa < 64; ++xa) {
+    for (std::uint32_t ya = 0; ya < 64; ++ya) {
+      Bitstream x(6), y(6);
+      for (unsigned i = 0; i < 6; ++i) {
+        x.set_bit(i, (xa >> i) & 1u);
+        y.set_bit(i, (ya >> i) & 1u);
+      }
+      const std::size_t sum = x.count_ones() + y.count_ones();
+      const Bitstream z = tff_add(x, y, false);
+      ASSERT_EQ(z, tff_add_serial(x, y, false));
+      ASSERT_EQ(z.count_ones(), sum / 2);
+    }
+  }
+}
+
+TEST(TffAdd, InsensitiveToAutoCorrelation) {
+  // The same value pair encoded with maximal auto-correlation (prefix-ones,
+  // the ramp converter's output) and with an anti-correlated layout must
+  // give identical counts — the property that lets the paper feed the adder
+  // straight from the sensor converter.
+  const std::size_t n = 64;
+  const Bitstream x_ramp = Bitstream::prefix_ones(n, 30);
+  const Bitstream y_ramp = Bitstream::prefix_ones(n, 17);
+  Bitstream x_alt(n), y_alt(n);
+  for (std::size_t i = 0; i < 30; ++i) x_alt.set_bit(n - 1 - i, true);
+  for (std::size_t i = 0; i < 17; ++i) y_alt.set_bit(2 * i, true);
+  EXPECT_GT(autocorrelation(x_ramp, 1), 0.8);  // confirm heavy correlation
+  EXPECT_EQ(tff_add(x_ramp, y_ramp, false).count_ones(), (30u + 17u) / 2);
+  EXPECT_EQ(tff_add(x_alt, y_alt, false).count_ones(), (30u + 17u) / 2);
+}
+
+TEST(TffAdd, ErrorBoundedByHalfUlp) {
+  // |pZ - (pX+pY)/2| <= 1/(2N) always.
+  std::mt19937_64 rng(99);
+  const std::size_t n = 128;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bitstream x = random_stream(n, 0.3, rng());
+    const Bitstream y = random_stream(n, 0.6, rng());
+    const double expected = 0.5 * (x.unipolar() + y.unipolar());
+    const double got = tff_add(x, y, false).unipolar();
+    EXPECT_LE(std::abs(got - expected), 0.5 / n + 1e-12);
+  }
+}
+
+TEST(TffAdd, RejectsLengthMismatch) {
+  EXPECT_THROW((void)tff_add(Bitstream(8), Bitstream(9), false),
+               std::invalid_argument);
+  EXPECT_THROW((void)tff_add_serial(Bitstream(8), Bitstream(9), false),
+               std::invalid_argument);
+}
+
+TEST(TffAddWords, ReturnsFinalState) {
+  // Final TFF state = s0 XOR parity(total mismatches).
+  const Bitstream x = Bitstream::from_string("1100");
+  const Bitstream y = Bitstream::from_string("1010");  // 2 mismatches
+  Bitstream z(4);
+  EXPECT_FALSE(tff_add_words(x.words().data(), y.words().data(),
+                             z.words().data(), 1, false));
+  const Bitstream y2 = Bitstream::from_string("1000");  // 1 mismatch
+  EXPECT_TRUE(tff_add_words(x.words().data(), y2.words().data(),
+                            z.words().data(), 1, false));
+}
+
+TEST(TffHalve, UncorrelatedWithInput) {
+  // Fig. 2a claim: the TFF-generated half-rate stream is uncorrelated with
+  // its own input, so the AND truly multiplies by 1/2 even for the
+  // worst-case auto-correlated input.
+  const Bitstream ramp = Bitstream::prefix_ones(256, 200);
+  const Bitstream halved = tff_halve(ramp, false);
+  EXPECT_EQ(halved.count_ones(), 100u);
+}
+
+}  // namespace
+}  // namespace scbnn::sc
