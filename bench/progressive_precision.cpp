@@ -17,6 +17,7 @@
 #include "nn/loss.h"
 #include "nn/quantize.h"
 #include "nn/trainer.h"
+#include "runtime/inference_engine.h"
 
 int main() {
   using namespace scbnn;
@@ -49,7 +50,13 @@ int main() {
     nn::Rng rng(cfg.seed + bits);
     rung.tail = hybrid::build_tail(cfg.lenet, rng);
     hybrid::copy_tail_params(prep.base, rung.tail);
-    nn::Tensor feats = rung.engine->compute_batch(prep.data.train.images);
+    // Full-train-split feature pass goes through the threaded runtime (a
+    // twin engine is rebuilt for it — cheap and bit-identical).
+    runtime::InferenceEngine rt(
+        make_first_layer_engine(hybrid::FirstLayerDesign::kScProposed, qw,
+                                flc),
+        cfg.runtime_config());
+    nn::Tensor feats = rt.features(prep.data.train.images);
     nn::Adam opt(cfg.retrain_lr);
     nn::TrainConfig tc;
     tc.epochs = cfg.retrain_epochs;

@@ -1,0 +1,162 @@
+// Batched end-to-end serving throughput across first-layer backends and
+// thread counts.
+//
+// For every registered backend the same image batch is served by the
+// inference runtime at 1..8 worker threads: images/sec and latency come
+// from the runtime's BatchStats, the energy column from the calibrated
+// 65nm hardware model, and a bit-identity check confirms the determinism
+// contract (fixed seed => identical predictions at every thread count).
+// Results are printed as a table and written to BENCH_throughput.json so
+// the performance trajectory is tracked from PR to PR.
+//
+// Scale knobs: SCBNN_BENCH_N (batch size, default 96), SCBNN_BENCH_BITS
+// (first-layer precision, default 4).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_mnist.h"
+#include "hw/report.h"
+#include "hybrid/hybrid_network.h"
+#include "nn/init.h"
+#include "nn/quantize.h"
+#include "runtime/backend_registry.h"
+#include "runtime/inference_engine.h"
+
+namespace {
+
+long env_long(const char* name, long fallback, long lo, long hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < lo || parsed > hi) {
+    std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n", name, v);
+    return fallback;
+  }
+  return parsed;
+}
+
+struct Row {
+  std::string backend;
+  unsigned threads = 1;
+  double latency_ms = 0.0;
+  double images_per_sec = 0.0;
+  double energy_nj_per_frame = 0.0;
+  bool identical_predictions = true;
+  double speedup_vs_1t = 1.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace scbnn;
+
+  const int n = static_cast<int>(env_long("SCBNN_BENCH_N", 96, 1, 100000));
+  const auto bits =
+      static_cast<unsigned>(env_long("SCBNN_BENCH_BITS", 4, 2, 8));
+  const unsigned kThreadCounts[] = {1, 2, 4, 8};
+  constexpr std::uint64_t kSeed = 7;
+
+  // Frozen random first-layer weights + a fixed tail: the bench measures
+  // serving throughput, not accuracy, so no training is needed.
+  nn::Rng wrng(kSeed);
+  nn::Tensor w({32, 1, 5, 5});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = wrng.normal(0.0f, 0.3f);
+  const auto qw = nn::quantize_conv_weights(w, bits);
+  hybrid::FirstLayerConfig flc;
+  flc.bits = bits;
+  flc.soft_threshold = 0.30;
+  flc.seed = static_cast<std::uint32_t>(kSeed | 1u);
+
+  const data::DataSplit split =
+      data::generate_synthetic_mnist(static_cast<std::size_t>(n), 1, kSeed);
+  const hybrid::LeNetConfig lenet{32, 8, 32, 0.0f};
+
+  std::printf("Serving throughput: %d images, %u-bit first layer\n\n", n,
+              bits);
+  hw::TableWriter table({"backend", "threads", "latency (ms)", "images/sec",
+                         "speedup", "nJ/frame", "bit-identical"},
+                        {16, 7, 12, 12, 8, 10, 13});
+  table.print_header();
+
+  std::vector<Row> rows;
+  for (const std::string& backend :
+       runtime::BackendRegistry::instance().names()) {
+    std::vector<int> reference_predictions;
+    double images_per_sec_1t = 0.0;
+    for (unsigned threads : kThreadCounts) {
+      runtime::RuntimeConfig rc;
+      rc.threads = threads;
+      runtime::InferenceEngine engine(backend, qw, flc, rc);
+      nn::Rng trng(kSeed + 1);  // identical tail for every run
+      nn::Network tail = hybrid::build_tail(lenet, trng);
+
+      (void)engine.features(split.train.images);  // warm-up (page-in, pool)
+      const auto predictions = engine.predict(split.train.images, tail);
+      const runtime::BatchStats& stats = engine.last_stats();
+
+      Row row;
+      row.backend = backend;
+      row.threads = threads;
+      row.latency_ms = stats.latency_ms;
+      row.images_per_sec = stats.images_per_sec;
+      row.energy_nj_per_frame =
+          stats.images > 0
+              ? stats.first_layer_energy_j * 1e9 / stats.images
+              : 0.0;
+      if (threads == kThreadCounts[0]) {
+        reference_predictions = predictions;
+        images_per_sec_1t = stats.images_per_sec;
+      }
+      row.identical_predictions = predictions == reference_predictions;
+      row.speedup_vs_1t = images_per_sec_1t > 0.0
+                              ? stats.images_per_sec / images_per_sec_1t
+                              : 1.0;
+      rows.push_back(row);
+
+      table.print_row({backend, std::to_string(threads),
+                       hw::TableWriter::fmt(row.latency_ms),
+                       hw::TableWriter::fmt(row.images_per_sec, 1),
+                       hw::TableWriter::fmt(row.speedup_vs_1t) + "x",
+                       hw::TableWriter::fmt(row.energy_nj_per_frame, 1),
+                       row.identical_predictions ? "yes" : "NO"});
+    }
+    table.print_rule();
+  }
+
+  bool all_identical = true;
+  for (const Row& row : rows) all_identical &= row.identical_predictions;
+  std::printf("\npredictions bit-identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO — determinism bug!");
+
+  std::FILE* json = std::fopen("BENCH_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"throughput_serving\",\n"
+               "  \"images\": %d,\n  \"bits\": %u,\n"
+               "  \"all_predictions_identical\": %s,\n  \"results\": [\n",
+               n, bits, all_identical ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(json,
+                 "    {\"backend\": \"%s\", \"threads\": %u, "
+                 "\"latency_ms\": %.3f, \"images_per_sec\": %.1f, "
+                 "\"speedup_vs_1t\": %.2f, \"energy_nj_per_frame\": %.2f, "
+                 "\"identical_predictions\": %s}%s\n",
+                 row.backend.c_str(), row.threads, row.latency_ms,
+                 row.images_per_sec, row.speedup_vs_1t,
+                 row.energy_nj_per_frame,
+                 row.identical_predictions ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_throughput.json\n");
+  return all_identical ? 0 : 1;
+}

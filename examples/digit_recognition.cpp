@@ -13,6 +13,7 @@
 #include "hw/binary_design.h"
 #include "hw/stochastic_design.h"
 #include "hybrid/experiment.h"
+#include "runtime/backend_registry.h"
 
 int main() {
   using namespace scbnn;
@@ -32,6 +33,12 @@ int main() {
   std::printf("  float model misclassification: %.2f%%%s\n\n",
               100.0 * (1.0 - prep.float_accuracy),
               prep.base_from_cache ? " (from cache)" : "");
+
+  std::printf("Registered first-layer backends:");
+  for (const auto& name : runtime::BackendRegistry::instance().names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
 
   std::printf("Evaluating %u-bit first-layer designs (frozen layer + tail "
               "retraining):\n\n", kBits);

@@ -49,9 +49,15 @@ int main() {
   tc.batch_size = cfg.batch_size;
   (void)net.retrain(train_feat, prep.data.train.labels, tc, cfg.retrain_lr);
 
-  // "Sensor" stream = the first frames of the test split.
+  // "Sensor" stream = the first frames of the test split, served as one
+  // batch through the threaded inference runtime.
   const data::Dataset frames = data::head(prep.data.test, kFrames);
   const auto predictions = net.predict(frames.images);
+  const runtime::BatchStats& stats = net.last_stats();
+  std::printf("served %d frames on %u worker threads: %.2f ms, %.0f "
+              "images/sec (simulation)\n\n",
+              stats.images, stats.threads, stats.latency_ms,
+              stats.images_per_sec);
 
   hw::StochasticConvDesign sc(kBits);
   hw::BinaryConvDesign bin(kBits);

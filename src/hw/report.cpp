@@ -3,7 +3,27 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "hw/binary_design.h"
+#include "hw/stochastic_design.h"
+
 namespace scbnn::hw {
+
+double backend_energy_per_frame_j(const std::string& backend, unsigned bits,
+                                  int kernels) {
+  ConvGeometry geo;
+  geo.kernels = kernels;
+  try {
+    if (backend == "binary-quantized") {
+      return BinaryConvDesign(bits, /*engines=*/46, geo).energy_per_frame_j();
+    }
+    if (backend == "sc-proposed" || backend == "sc-conventional") {
+      return StochasticConvDesign(bits, geo).energy_per_frame_j();
+    }
+  } catch (const std::exception&) {
+    // Precision outside the calibrated model's range.
+  }
+  return 0.0;
+}
 
 TableWriter::TableWriter(std::vector<std::string> headers,
                          std::vector<int> widths)

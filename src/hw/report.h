@@ -55,6 +55,16 @@ struct PaperTables12 {
   }};
 };
 
+/// First-layer energy estimate (J/frame) for a named backend at `bits`
+/// precision and `kernels` first-layer kernels, from the calibrated 65nm
+/// design models. "sc-conventional" shares the stochastic chip model (the
+/// paper gives no separate old-SC cost sheet; stream length and counter
+/// structure match). Unknown backend names or unsupported precisions
+/// return 0.0 — callers treat that as "no estimate".
+[[nodiscard]] double backend_energy_per_frame_j(const std::string& backend,
+                                                unsigned bits,
+                                                int kernels = 32);
+
 /// Fixed-width console table writer used by the bench harness.
 class TableWriter {
  public:

@@ -18,7 +18,18 @@ BinaryFirstLayer::BinaryFirstLayer(const nn::QuantizedConvWeights& weights,
   for (const auto& k : weights.kernels) levels_.push_back(k.levels);
 }
 
-void BinaryFirstLayer::compute(const float* image, float* out) const {
+void BinaryFirstLayer::compute_batch(const float* images, int n, float* out,
+                                     Scratch& /*scratch*/) const {
+  // The integer path needs no workspace beyond the stack; any scratch works.
+  const std::size_t in_stride = kImageSize * kImageSize;
+  const std::size_t out_stride = levels_.size() * kOutputsPerKernel;
+  for (int i = 0; i < n; ++i) {
+    compute_one(images + static_cast<std::size_t>(i) * in_stride,
+                out + static_cast<std::size_t>(i) * out_stride);
+  }
+}
+
+void BinaryFirstLayer::compute_one(const float* image, float* out) const {
   const auto full = static_cast<long>(std::uint32_t{1} << bits_);
   // Quantize the image once: levels in [0, 2^bits].
   long x[kImageSize * kImageSize];

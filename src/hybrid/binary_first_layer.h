@@ -17,13 +17,18 @@ class BinaryFirstLayer final : public FirstLayerEngine {
   BinaryFirstLayer(const nn::QuantizedConvWeights& weights,
                    const FirstLayerConfig& config);
 
-  void compute(const float* image, float* out) const override;
+  using FirstLayerEngine::compute_batch;
+  void compute_batch(const float* images, int n, float* out,
+                     Scratch& scratch) const override;
   [[nodiscard]] std::string name() const override { return "binary-quantized"; }
   [[nodiscard]] int kernels() const noexcept override {
     return static_cast<int>(levels_.size());
   }
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
 
  private:
+  void compute_one(const float* image, float* out) const;
+
   unsigned bits_;
   double soft_threshold_;
   std::vector<std::vector<int>> levels_;  // [kernel][tap] signed weight levels

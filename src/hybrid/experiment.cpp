@@ -1,5 +1,6 @@
 #include "hybrid/experiment.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,12 +13,39 @@ namespace scbnn::hybrid {
 
 namespace {
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* v = std::getenv(name); v != nullptr) {
-    const long parsed = std::atol(v);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+/// Maximum accepted by any SCBNN_* size/count override — far above every
+/// legitimate setting, low enough to catch garbage like "1e99" remnants.
+constexpr long kEnvMax = 100'000'000;
+
+/// Strict integer parse of an SCBNN_* variable into [lo, hi]. The whole
+/// value must be digits (optional leading '+'): anything else — empty,
+/// negative, trailing junk, overflow, out of range — is rejected with a
+/// warning on stderr and `fallback` is kept, instead of the undefined-ish
+/// atol parse that silently turned "4k" into 4 and "banana" into the
+/// default.
+std::size_t env_size(const char* name, std::size_t fallback, long lo = 1,
+                     long hi = kEnvMax) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const char* p = v;
+  if (*p == '+') ++p;
+  // Reject anything strtol would quietly tolerate (leading whitespace) or
+  // trail past (suffix junk): the value must be digits, start to end.
+  bool digits = *p != '\0';
+  for (const char* c = p; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') digits = false;
   }
-  return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = digits ? std::strtol(p, &end, 10) : 0;
+  if (!digits || errno == ERANGE || parsed < lo || parsed > hi) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed %s='%s' (want integer in "
+                 "[%ld, %ld]); keeping %zu\n",
+                 name, v, lo, hi, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 bool env_flag(const char* name) {
@@ -34,6 +62,11 @@ void ExperimentConfig::apply_env_overrides() {
                                           static_cast<std::size_t>(base_epochs)));
   retrain_epochs = static_cast<int>(env_size(
       "SCBNN_RETRAIN_EPOCHS", static_cast<std::size_t>(retrain_epochs)));
+  // 0 is the documented "auto" setting for threads; the cap keeps a wild
+  // value from asking the pool for thousands of OS threads.
+  threads = static_cast<unsigned>(env_size(
+      "SCBNN_THREADS", static_cast<std::size_t>(threads), /*lo=*/0,
+      /*hi=*/256));
   if (env_flag("SCBNN_QUICK")) {
     train_n = 1500;
     test_n = 500;
@@ -112,18 +145,26 @@ DesignPointResult evaluate_design_point(PreparedExperiment& prep,
                            : config.sc_soft_threshold;
   flc.seed = static_cast<std::uint32_t>(config.seed | 1u);
 
-  auto engine = make_first_layer_engine(design, qw, flc);
-  nn::Tensor train_feat = engine->compute_batch(prep.data.train.images);
-  nn::Tensor test_feat = engine->compute_batch(prep.data.test.images);
+  // Tail initialized from the trained base model (= paper's retraining
+  // starting point), evaluated before and after retraining. The first
+  // layer serves batches through the threaded inference runtime.
+  nn::Rng rng(config.seed + 1);
+  nn::Network tail = build_tail(config.lenet, rng);
+  copy_tail_params(prep.base, tail);
+  HybridNetwork hybrid(make_first_layer_engine(design, qw, flc),
+                       std::move(tail), config.runtime_config());
+
+  nn::Tensor train_feat = hybrid.features(prep.data.train.images);
+  nn::Tensor test_feat = hybrid.features(prep.data.test.images);
 
   // Feature-level agreement against the exact quantized-binary reference
   // (how much noise SC injects before any retraining).
   if (design != FirstLayerDesign::kBinaryQuantized) {
     // Same soft threshold on the reference so the metric measures SC
     // arithmetic noise, not the intentional dead zone.
-    auto ref = make_first_layer_engine(FirstLayerDesign::kBinaryQuantized, qw,
-                                       flc);
-    nn::Tensor ref_feat = ref->compute_batch(prep.data.test.images);
+    runtime::InferenceEngine ref(backend_name(FirstLayerDesign::kBinaryQuantized),
+                                 qw, flc, config.runtime_config());
+    nn::Tensor ref_feat = ref.features(prep.data.test.images);
     std::size_t same = 0;
     for (std::size_t i = 0; i < ref_feat.size(); ++i) {
       if (ref_feat[i] == test_feat[i]) ++same;
@@ -131,13 +172,6 @@ DesignPointResult evaluate_design_point(PreparedExperiment& prep,
     result.feature_agreement_vs_binary =
         static_cast<double>(same) / static_cast<double>(ref_feat.size());
   }
-
-  // Tail initialized from the trained base model (= paper's retraining
-  // starting point), evaluated before and after retraining.
-  nn::Rng rng(config.seed + 1);
-  nn::Network tail = build_tail(config.lenet, rng);
-  copy_tail_params(prep.base, tail);
-  HybridNetwork hybrid(std::move(engine), std::move(tail));
 
   result.before_retrain_pct = misclassification_pct(
       hybrid.evaluate(test_feat, prep.data.test.labels));

@@ -14,6 +14,7 @@
 #include "data/dataset.h"
 #include "hybrid/first_layer.h"
 #include "hybrid/hybrid_network.h"
+#include "runtime/inference_engine.h"
 
 namespace scbnn::hybrid {
 
@@ -30,11 +31,21 @@ struct ExperimentConfig {
   std::uint64_t seed = 7;
   std::string cache_path;  ///< base-model parameter cache ("" = no cache)
   bool verbose = false;
+  unsigned threads = 0;  ///< first-layer runtime workers; 0 = hardware
 
   /// Read scale overrides from SCBNN_* environment variables
   /// (SCBNN_TRAIN_N, SCBNN_TEST_N, SCBNN_BASE_EPOCHS, SCBNN_RETRAIN_EPOCHS,
-  /// SCBNN_QUICK, SCBNN_FULL, SCBNN_VERBOSE).
+  /// SCBNN_THREADS, SCBNN_QUICK, SCBNN_FULL, SCBNN_VERBOSE). Malformed or
+  /// out-of-range values are rejected with a warning on stderr and the
+  /// current value is kept.
   void apply_env_overrides();
+
+  /// Runtime configuration for the first-layer serving engine.
+  [[nodiscard]] runtime::RuntimeConfig runtime_config() const {
+    runtime::RuntimeConfig rc;
+    rc.threads = threads;
+    return rc;
+  }
 };
 
 struct PreparedExperiment {

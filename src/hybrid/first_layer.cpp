@@ -2,10 +2,36 @@
 
 #include <stdexcept>
 
-#include "hybrid/binary_first_layer.h"
-#include "hybrid/sc_first_layer.h"
+#include "runtime/backend_registry.h"
 
 namespace scbnn::hybrid {
+
+FirstLayerEngine::Scratch::~Scratch() = default;
+
+FirstLayerEngine::~FirstLayerEngine() = default;
+
+std::unique_ptr<FirstLayerEngine::Scratch> FirstLayerEngine::make_scratch()
+    const {
+  return std::make_unique<Scratch>();
+}
+
+void FirstLayerEngine::compute(const float* image, float* out) const {
+  const auto scratch = make_scratch();
+  compute_batch(image, 1, out, *scratch);
+}
+
+nn::Tensor FirstLayerEngine::compute_batch(const nn::Tensor& images) const {
+  if (images.rank() != 4 || images.dim(1) != 1 ||
+      images.dim(2) != kImageSize || images.dim(3) != kImageSize) {
+    throw std::invalid_argument("compute_batch: expected [N,1,28,28], got " +
+                                images.shape_string());
+  }
+  const int n = images.dim(0);
+  nn::Tensor out({n, kernels(), kImageSize, kImageSize});
+  const auto scratch = make_scratch();
+  compute_batch(images.data(), n, out.data(), *scratch);
+  return out;
+}
 
 std::string to_string(FirstLayerDesign d) {
   switch (d) {
@@ -16,20 +42,20 @@ std::string to_string(FirstLayerDesign d) {
   return "?";
 }
 
+std::string backend_name(FirstLayerDesign d) {
+  switch (d) {
+    case FirstLayerDesign::kBinaryQuantized: return "binary-quantized";
+    case FirstLayerDesign::kScProposed: return "sc-proposed";
+    case FirstLayerDesign::kScConventional: return "sc-conventional";
+  }
+  throw std::invalid_argument("backend_name: unknown design");
+}
+
 std::unique_ptr<FirstLayerEngine> make_first_layer_engine(
     FirstLayerDesign design, const nn::QuantizedConvWeights& weights,
     const FirstLayerConfig& config) {
-  switch (design) {
-    case FirstLayerDesign::kBinaryQuantized:
-      return std::make_unique<BinaryFirstLayer>(weights, config);
-    case FirstLayerDesign::kScProposed:
-      return std::make_unique<StochasticFirstLayer>(
-          StochasticFirstLayer::Style::kProposed, weights, config);
-    case FirstLayerDesign::kScConventional:
-      return std::make_unique<StochasticFirstLayer>(
-          StochasticFirstLayer::Style::kConventional, weights, config);
-  }
-  throw std::invalid_argument("make_first_layer_engine: unknown design");
+  return runtime::BackendRegistry::instance().create(backend_name(design),
+                                                     weights, config);
 }
 
 }  // namespace scbnn::hybrid

@@ -4,9 +4,15 @@
 // near the sensor: 784 dot-product units evaluate a 5x5 kernel over every
 // (same-padded) position of the 28x28 input, 32 kernel passes per image,
 // with a sign(x . w) activation in {-1, 0, +1}. Everything after this layer
-// runs in the binary domain. An engine maps an input image to those ternary
+// runs in the binary domain. An engine maps input images to those ternary
 // feature maps; implementations differ in the arithmetic used (exact
 // quantized binary vs bit-exact stochastic simulation, old or new design).
+//
+// Batched evaluation is the primary entry point: engines process a run of
+// images against caller-provided per-thread scratch, so the serving runtime
+// (runtime::InferenceEngine) can chunk a batch across a thread pool without
+// per-image allocation. Results are independent of batch split and thread
+// count — same seed, same features, bit for bit.
 #pragma once
 
 #include <memory>
@@ -32,17 +38,37 @@ struct FirstLayerConfig {
 
 class FirstLayerEngine {
  public:
+  /// Opaque per-thread workspace. A Scratch may be reused across any number
+  /// of compute_batch calls on the same engine, but never shared between
+  /// threads concurrently. Engines that need no workspace use this base.
+  class Scratch {
+   public:
+    virtual ~Scratch();
+  };
+
   virtual ~FirstLayerEngine();
 
-  /// image: 28x28 floats in [0,1]; out: kernels x 28 x 28 floats in
-  /// {-1, 0, +1} (row-major, kernel-major).
-  virtual void compute(const float* image, float* out) const = 0;
+  /// Primary entry point: `n` images (28x28 floats in [0,1] each,
+  /// contiguous) -> `n` feature blocks (kernels x 28 x 28 floats in
+  /// {-1, 0, +1}, row-major, kernel-major). `scratch` must come from this
+  /// engine's make_scratch().
+  virtual void compute_batch(const float* images, int n, float* out,
+                             Scratch& scratch) const = 0;
+
+  /// Allocate a workspace sized for this engine.
+  [[nodiscard]] virtual std::unique_ptr<Scratch> make_scratch() const;
 
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual int kernels() const noexcept = 0;
+  /// Precision the engine was built at (stream length is 2^bits for SC).
+  [[nodiscard]] virtual unsigned bits() const noexcept = 0;
 
-  /// Batch wrapper, OpenMP-parallel over images.
-  /// images: [N,1,28,28] -> features [N, kernels, 28, 28].
+  /// Single-image convenience; allocates a fresh scratch per call.
+  void compute(const float* image, float* out) const;
+
+  /// Tensor convenience: [N,1,28,28] -> [N, kernels, 28, 28], evaluated on
+  /// the calling thread. Throughput paths should go through
+  /// runtime::InferenceEngine, which chunks batches across a thread pool.
   [[nodiscard]] nn::Tensor compute_batch(const nn::Tensor& images) const;
 };
 
@@ -54,7 +80,12 @@ enum class FirstLayerDesign {
 
 [[nodiscard]] std::string to_string(FirstLayerDesign d);
 
-/// Build an engine over quantized first-layer weights.
+/// Registry key of a built-in design ("binary-quantized", "sc-proposed",
+/// "sc-conventional") — the names runtime::BackendRegistry resolves.
+[[nodiscard]] std::string backend_name(FirstLayerDesign d);
+
+/// Build an engine over quantized first-layer weights. Resolves through
+/// runtime::BackendRegistry, so it sees the same backends as name lookup.
 [[nodiscard]] std::unique_ptr<FirstLayerEngine> make_first_layer_engine(
     FirstLayerDesign design, const nn::QuantizedConvWeights& weights,
     const FirstLayerConfig& config);

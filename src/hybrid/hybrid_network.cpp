@@ -70,38 +70,14 @@ const nn::Tensor& base_conv1_weights(nn::Network& base) {
   return conv1->weights();
 }
 
-FirstLayerEngine::~FirstLayerEngine() = default;
-
-nn::Tensor FirstLayerEngine::compute_batch(const nn::Tensor& images) const {
-  if (images.rank() != 4 || images.dim(1) != 1 ||
-      images.dim(2) != kImageSize || images.dim(3) != kImageSize) {
-    throw std::invalid_argument("compute_batch: expected [N,1,28,28], got " +
-                                images.shape_string());
-  }
-  const int n = images.dim(0);
-  const int k = kernels();
-  nn::Tensor out({n, k, kImageSize, kImageSize});
-  const std::size_t in_stride = kImageSize * kImageSize;
-  const std::size_t out_stride =
-      static_cast<std::size_t>(k) * kImageSize * kImageSize;
-#pragma omp parallel for schedule(dynamic, 8)
-  for (int i = 0; i < n; ++i) {
-    compute(images.data() + static_cast<std::size_t>(i) * in_stride,
-            out.data() + static_cast<std::size_t>(i) * out_stride);
-  }
-  return out;
-}
-
 HybridNetwork::HybridNetwork(std::unique_ptr<FirstLayerEngine> first_layer,
-                             nn::Network tail)
-    : first_(std::move(first_layer)), tail_(std::move(tail)) {
-  if (!first_) {
-    throw std::invalid_argument("HybridNetwork: null first layer");
-  }
-}
+                             nn::Network tail,
+                             runtime::RuntimeConfig runtime_config)
+    : runtime_(std::move(first_layer), runtime_config),
+      tail_(std::move(tail)) {}
 
-nn::Tensor HybridNetwork::features(const nn::Tensor& images) const {
-  return first_->compute_batch(images);
+nn::Tensor HybridNetwork::features(const nn::Tensor& images) {
+  return runtime_.features(images);
 }
 
 std::vector<nn::EpochStats> HybridNetwork::retrain(
@@ -117,7 +93,7 @@ double HybridNetwork::evaluate(const nn::Tensor& test_features,
 }
 
 std::vector<int> HybridNetwork::predict(const nn::Tensor& images) {
-  return tail_.predict(features(images));
+  return runtime_.predict(images, tail_);
 }
 
 }  // namespace scbnn::hybrid

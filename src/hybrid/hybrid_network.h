@@ -19,6 +19,7 @@
 #include "hybrid/first_layer.h"
 #include "nn/network.h"
 #include "nn/trainer.h"
+#include "runtime/inference_engine.h"
 
 namespace scbnn::hybrid {
 
@@ -47,14 +48,17 @@ void copy_tail_params(nn::Network& base, nn::Network& tail);
 /// First-layer conv weights of a base model.
 [[nodiscard]] const nn::Tensor& base_conv1_weights(nn::Network& base);
 
-/// A frozen first-layer engine plus a trainable binary tail.
+/// A frozen first-layer engine plus a trainable binary tail. The first
+/// layer runs through the batched serving runtime: features/predict chunk
+/// each batch across a thread pool with bit-identical results at any
+/// thread count.
 class HybridNetwork {
  public:
   HybridNetwork(std::unique_ptr<FirstLayerEngine> first_layer,
-                nn::Network tail);
+                nn::Network tail, runtime::RuntimeConfig runtime_config = {});
 
   /// Precompute frozen-first-layer features for a set of images.
-  [[nodiscard]] nn::Tensor features(const nn::Tensor& images) const;
+  [[nodiscard]] nn::Tensor features(const nn::Tensor& images);
 
   /// Retrain the tail on precomputed features (paper Section V.B).
   std::vector<nn::EpochStats> retrain(const nn::Tensor& train_features,
@@ -70,12 +74,19 @@ class HybridNetwork {
   [[nodiscard]] std::vector<int> predict(const nn::Tensor& images);
 
   [[nodiscard]] const FirstLayerEngine& first_layer() const {
-    return *first_;
+    return runtime_.engine();
   }
   [[nodiscard]] nn::Network& tail() noexcept { return tail_; }
+  [[nodiscard]] runtime::InferenceEngine& runtime() noexcept {
+    return runtime_;
+  }
+  /// Serving stats of the most recent features()/predict() batch.
+  [[nodiscard]] const runtime::BatchStats& last_stats() const noexcept {
+    return runtime_.last_stats();
+  }
 
  private:
-  std::unique_ptr<FirstLayerEngine> first_;
+  runtime::InferenceEngine runtime_;
   nn::Network tail_;
 };
 

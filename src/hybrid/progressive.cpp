@@ -23,6 +23,13 @@ ProgressiveClassifier::ProgressiveClassifier(std::vector<PrecisionRung> rungs,
     throw std::invalid_argument(
         "ProgressiveClassifier: margin must be in [0,1]");
   }
+  scratch_.reserve(rungs_.size());
+  for (const PrecisionRung& rung : rungs_) {
+    if (!rung.engine) {
+      throw std::invalid_argument("ProgressiveClassifier: null rung engine");
+    }
+    scratch_.push_back(rung.engine->make_scratch());
+  }
 }
 
 double ProgressiveClassifier::fixed_cycles(unsigned bits, int kernels) {
@@ -37,7 +44,7 @@ ProgressiveClassifier::Outcome ProgressiveClassifier::classify(
     auto& rung = rungs_[r];
     const int k = rung.engine->kernels();
     nn::Tensor features({1, k, kImageSize, kImageSize});
-    rung.engine->compute(image, features.data());
+    rung.engine->compute_batch(image, 1, features.data(), *scratch_[r]);
     nn::Tensor logits = rung.tail.forward(features, /*training=*/false);
     nn::Tensor probs = nn::softmax(logits);
 

@@ -54,6 +54,9 @@ class ProgressiveClassifier {
 
  private:
   std::vector<PrecisionRung> rungs_;
+  // One reusable workspace per rung; classify() is called per frame, so
+  // per-call scratch allocation would dominate the cheap low-bit rungs.
+  std::vector<std::unique_ptr<FirstLayerEngine::Scratch>> scratch_;
   double confidence_margin_;
 };
 

@@ -134,7 +134,25 @@ void StochasticFirstLayer::reduce_tree(std::uint64_t* slots) const {
   }
 }
 
-void StochasticFirstLayer::compute(const float* image, float* out) const {
+std::unique_ptr<FirstLayerEngine::Scratch> StochasticFirstLayer::make_scratch()
+    const {
+  return std::make_unique<SlotScratch>(words_);
+}
+
+void StochasticFirstLayer::compute_batch(const float* images, int n,
+                                         float* out, Scratch& scratch) const {
+  auto& slots = dynamic_cast<SlotScratch&>(scratch);
+  const std::size_t in_stride = kImageSize * kImageSize;
+  const std::size_t out_stride =
+      static_cast<std::size_t>(kernels_) * kOutputsPerKernel;
+  for (int i = 0; i < n; ++i) {
+    compute_one(images + static_cast<std::size_t>(i) * in_stride,
+                out + static_cast<std::size_t>(i) * out_stride, slots);
+  }
+}
+
+void StochasticFirstLayer::compute_one(const float* image, float* out,
+                                       SlotScratch& scratch) const {
   const auto full = static_cast<double>(n_);
   // Quantize pixels to levels once per image (the analog-to-stochastic
   // converter's resolution).
@@ -145,9 +163,8 @@ void StochasticFirstLayer::compute(const float* image, float* out) const {
         std::lround(static_cast<double>(v) * full));
   }
 
-  // Scratch: two banks of kSlots streams (pos and neg trees).
-  std::vector<std::uint64_t> pos_slots(kSlots * words_);
-  std::vector<std::uint64_t> neg_slots(kSlots * words_);
+  std::vector<std::uint64_t>& pos_slots = scratch.pos;
+  std::vector<std::uint64_t>& neg_slots = scratch.neg;
 
   // Normalized value of one count difference: counts encode dot/(32*N) of
   // unit-range inputs; multiply back by 32/N to get dot in [-25, 25] units.

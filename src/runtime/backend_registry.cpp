@@ -1,0 +1,82 @@
+#include "runtime/backend_registry.h"
+
+#include <stdexcept>
+
+#include "hybrid/binary_first_layer.h"
+#include "hybrid/sc_first_layer.h"
+
+namespace scbnn::runtime {
+
+BackendRegistry::BackendRegistry() {
+  using hybrid::StochasticFirstLayer;
+  factories_["binary-quantized"] =
+      [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
+        return std::make_unique<hybrid::BinaryFirstLayer>(w, c);
+      };
+  factories_["sc-proposed"] =
+      [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
+        return std::make_unique<StochasticFirstLayer>(
+            StochasticFirstLayer::Style::kProposed, w, c);
+      };
+  factories_["sc-conventional"] =
+      [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
+        return std::make_unique<StochasticFirstLayer>(
+            StochasticFirstLayer::Style::kConventional, w, c);
+      };
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       BackendFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("BackendRegistry: empty backend name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("BackendRegistry: null factory for " + name);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("BackendRegistry: duplicate backend " + name);
+  }
+}
+
+std::unique_ptr<hybrid::FirstLayerEngine> BackendRegistry::create(
+    const std::string& name, const nn::QuantizedConvWeights& weights,
+    const hybrid::FirstLayerConfig& config) const {
+  BackendFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [key, unused] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      throw std::out_of_range("BackendRegistry: unknown backend '" + name +
+                              "' (known: " + known + ")");
+    }
+    factory = it->second;
+  }
+  // Invoke outside the lock: factories may be arbitrarily expensive.
+  return factory(weights, config);
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) out.push_back(key);
+  return out;  // std::map iterates sorted
+}
+
+}  // namespace scbnn::runtime

@@ -1,0 +1,51 @@
+// String-keyed factory registry for first-layer backends.
+//
+// The three paper designs register themselves as built-ins; new designs
+// (alternate SNGs, different adder trees, accelerator offloads) plug in via
+// register_backend without touching any switch statement. Lookup is by the
+// same names the engines report from FirstLayerEngine::name().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hybrid/first_layer.h"
+
+namespace scbnn::runtime {
+
+using BackendFactory = std::function<std::unique_ptr<hybrid::FirstLayerEngine>(
+    const nn::QuantizedConvWeights& weights,
+    const hybrid::FirstLayerConfig& config)>;
+
+class BackendRegistry {
+ public:
+  /// Process-wide registry, built-ins pre-registered. Thread-safe.
+  [[nodiscard]] static BackendRegistry& instance();
+
+  /// Register a named factory. Throws std::invalid_argument if `name` is
+  /// empty or already taken (built-ins included).
+  void register_backend(const std::string& name, BackendFactory factory);
+
+  /// Instantiate a backend. Throws std::out_of_range listing the known
+  /// names when `name` is not registered.
+  [[nodiscard]] std::unique_ptr<hybrid::FirstLayerEngine> create(
+      const std::string& name, const nn::QuantizedConvWeights& weights,
+      const hybrid::FirstLayerConfig& config) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered backend names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();  // registers the built-in designs
+
+  mutable std::mutex mutex_;
+  std::map<std::string, BackendFactory> factories_;
+};
+
+}  // namespace scbnn::runtime

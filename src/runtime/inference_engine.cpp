@@ -1,0 +1,92 @@
+#include "runtime/inference_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "hw/report.h"
+#include "runtime/backend_registry.h"
+
+namespace scbnn::runtime {
+
+namespace {
+
+std::unique_ptr<hybrid::FirstLayerEngine> require_engine(
+    std::unique_ptr<hybrid::FirstLayerEngine> engine) {
+  if (!engine) {
+    throw std::invalid_argument("InferenceEngine: null first-layer engine");
+  }
+  return engine;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(
+    std::unique_ptr<hybrid::FirstLayerEngine> engine, RuntimeConfig config)
+    : engine_(require_engine(std::move(engine))),
+      config_(config),
+      pool_(config.threads) {
+  if (config_.chunk_images <= 0) {
+    throw std::invalid_argument("InferenceEngine: chunk_images must be > 0");
+  }
+  scratch_.reserve(pool_.size());
+  for (unsigned i = 0; i < pool_.size(); ++i) {
+    scratch_.push_back(engine_->make_scratch());
+  }
+}
+
+InferenceEngine::InferenceEngine(const std::string& backend,
+                                 const nn::QuantizedConvWeights& weights,
+                                 const hybrid::FirstLayerConfig& flc,
+                                 RuntimeConfig config)
+    : InferenceEngine(BackendRegistry::instance().create(backend, weights, flc),
+                      config) {}
+
+nn::Tensor InferenceEngine::features(const nn::Tensor& images) {
+  if (images.rank() != 4 || images.dim(1) != 1 ||
+      images.dim(2) != hybrid::kImageSize ||
+      images.dim(3) != hybrid::kImageSize) {
+    throw std::invalid_argument(
+        "InferenceEngine::features: expected [N,1,28,28], got " +
+        images.shape_string());
+  }
+  const int n = images.dim(0);
+  const int k = engine_->kernels();
+  nn::Tensor out({n, k, hybrid::kImageSize, hybrid::kImageSize});
+
+  const int chunk = config_.chunk_images;
+  const int jobs = (n + chunk - 1) / chunk;
+  const std::size_t in_stride =
+      static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
+  const std::size_t out_stride =
+      static_cast<std::size_t>(k) * hybrid::kOutputsPerKernel;
+
+  const auto start = std::chrono::steady_clock::now();
+  pool_.parallel_for(jobs, [&](int job, unsigned worker) {
+    const int first = job * chunk;
+    const int count = std::min(chunk, n - first);
+    engine_->compute_batch(
+        images.data() + static_cast<std::size_t>(first) * in_stride, count,
+        out.data() + static_cast<std::size_t>(first) * out_stride,
+        *scratch_[worker]);
+  });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  stats_.images = n;
+  stats_.threads = pool_.size();
+  stats_.latency_ms = elapsed.count() * 1e3;
+  stats_.images_per_sec =
+      elapsed.count() > 0.0 ? static_cast<double>(n) / elapsed.count() : 0.0;
+  stats_.first_layer_energy_j =
+      static_cast<double>(n) *
+      hw::backend_energy_per_frame_j(engine_->name(), engine_->bits(), k);
+  return out;
+}
+
+std::vector<int> InferenceEngine::predict(const nn::Tensor& images,
+                                          nn::Network& tail) {
+  return tail.predict(features(images));
+}
+
+}  // namespace scbnn::runtime

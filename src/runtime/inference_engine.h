@@ -1,0 +1,76 @@
+// Batched first-layer inference runtime.
+//
+// Wraps a FirstLayerEngine with a thread pool: image batches are split into
+// fixed-size chunks, each worker evaluates its chunks against a private
+// scratch buffer, and results land in pre-assigned slices of the output
+// tensor — so features are bit-identical to the serial path at every thread
+// count. Each batch reports latency, throughput, and a first-layer energy
+// estimate from the calibrated 65nm hardware model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hybrid/first_layer.h"
+#include "nn/network.h"
+#include "runtime/thread_pool.h"
+
+namespace scbnn::runtime {
+
+struct RuntimeConfig {
+  unsigned threads = 0;  ///< worker threads; 0 = hardware concurrency
+  int chunk_images = 8;  ///< images per work item handed to a worker
+};
+
+/// Per-batch serving statistics, refreshed by every features()/predict().
+struct BatchStats {
+  int images = 0;
+  unsigned threads = 1;
+  double latency_ms = 0.0;
+  double images_per_sec = 0.0;
+  /// Estimated first-layer energy for the whole batch (J) if this batch ran
+  /// on the paper's 65nm silicon; 0 when the backend has no hardware model.
+  double first_layer_energy_j = 0.0;
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(std::unique_ptr<hybrid::FirstLayerEngine> engine,
+                  RuntimeConfig config = {});
+
+  /// Resolve `backend` through the BackendRegistry.
+  InferenceEngine(const std::string& backend,
+                  const nn::QuantizedConvWeights& weights,
+                  const hybrid::FirstLayerConfig& first_layer_config,
+                  RuntimeConfig config = {});
+
+  /// [N,1,28,28] -> [N, kernels, 28, 28] ternary features, chunked across
+  /// the pool. Updates last_stats().
+  [[nodiscard]] nn::Tensor features(const nn::Tensor& images);
+
+  /// Full pipeline: threaded first layer, then the binary tail's argmax.
+  /// last_stats() covers the first-layer stage only (the near-sensor part).
+  [[nodiscard]] std::vector<int> predict(const nn::Tensor& images,
+                                         nn::Network& tail);
+
+  [[nodiscard]] const BatchStats& last_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const hybrid::FirstLayerEngine& engine() const noexcept {
+    return *engine_;
+  }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const RuntimeConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::unique_ptr<hybrid::FirstLayerEngine> engine_;
+  RuntimeConfig config_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>> scratch_;
+  BatchStats stats_;
+};
+
+}  // namespace scbnn::runtime

@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace scbnn::runtime {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, kMaxThreads);
+  workers_.reserve(threads);
+  for (unsigned slot = 0; slot < threads; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned slot) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(slot);  // packaged_task captures exceptions into its future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  Task wrapped([t = std::move(task)](unsigned /*slot*/) { t(); });
+  std::future<void> result = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool::submit: pool is shut down");
+    }
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::parallel_for(int jobs,
+                              const std::function<void(int, unsigned)>& fn) {
+  if (jobs <= 0) return;
+
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+
+  // Work-stealing drain loop run by pool workers. The caller blocks on
+  // every future below, so capturing fn and jobs by reference is safe.
+  const auto drain = [state, &fn, jobs](unsigned slot) {
+    for (;;) {
+      const int job = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (job >= jobs || state->failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(job, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // One drain task per worker (no more than jobs): slot id comes from
+  // whichever worker picks it up, so concurrent drainers never share a
+  // slot — and exactly size() threads compute, keeping reported thread
+  // counts honest.
+  const unsigned drainers = std::min(size(), static_cast<unsigned>(jobs));
+  std::vector<std::future<void>> pending;
+  pending.reserve(drainers);
+  for (unsigned i = 0; i < drainers; ++i) {
+    Task wrapped(drain);
+    std::future<void> f = wrapped.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) {
+        throw std::runtime_error("ThreadPool::parallel_for: pool is shut down");
+      }
+      queue_.push_back(std::move(wrapped));
+    }
+    cv_.notify_one();
+    pending.push_back(std::move(f));
+  }
+
+  for (auto& f : pending) f.get();  // drain() swallows; nothing rethrows here
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace scbnn::runtime

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for the batched inference runtime.
+//
+//   - submit() returns a future that rethrows the task's exception, so a
+//     throwing task can never take down a worker thread;
+//   - parallel_for() hands each job an explicit worker slot id, which the
+//     inference engine uses to index per-thread scratch buffers;
+//   - the destructor drains every queued task before joining, and
+//     submitting after shutdown throws instead of deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scbnn::runtime {
+
+class ThreadPool {
+ public:
+  /// Hard ceiling on worker threads — far above any sane serving setup,
+  /// low enough that a wild config value cannot exhaust OS resources.
+  static constexpr unsigned kMaxThreads = 512;
+
+  /// `threads` = 0 picks std::thread::hardware_concurrency() (min 1);
+  /// values above kMaxThreads are clamped.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task. The returned future rethrows whatever the task
+  /// throws. Throws std::runtime_error if the pool is shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(job, worker) for every job in [0, jobs), blocking until all
+  /// complete. `worker` is a stable slot id in [0, size()): jobs run only
+  /// on pool workers, so exactly size() threads compute and two jobs with
+  /// the same slot never overlap. If any job throws, remaining unstarted
+  /// jobs are skipped and the first exception is rethrown here; the pool
+  /// stays usable. Must not be called from inside a pool task (the inner
+  /// loop's jobs could never be scheduled).
+  void parallel_for(int jobs, const std::function<void(int, unsigned)>& fn);
+
+ private:
+  // A queued task receives the slot id of the worker that runs it.
+  using Task = std::packaged_task<void(unsigned)>;
+
+  void worker_loop(unsigned slot);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scbnn::runtime

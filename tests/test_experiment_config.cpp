@@ -1,0 +1,138 @@
+// ExperimentConfig environment-override hardening: malformed SCBNN_* values
+// must be rejected with the defaults kept, never half-parsed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hybrid/experiment.h"
+
+namespace scbnn::hybrid {
+namespace {
+
+/// Clears the given SCBNN_* variables on construction and destruction so
+/// each test starts and ends with a clean environment.
+class EnvGuard {
+ public:
+  explicit EnvGuard(std::vector<std::string> names)
+      : names_(std::move(names)) {
+    clear();
+  }
+  ~EnvGuard() { clear(); }
+
+  void set(const std::string& name, const std::string& value) {
+    ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+  }
+
+ private:
+  void clear() {
+    for (const auto& n : names_) ::unsetenv(n.c_str());
+  }
+  std::vector<std::string> names_;
+};
+
+const std::vector<std::string> kAllVars = {
+    "SCBNN_TRAIN_N", "SCBNN_TEST_N",  "SCBNN_BASE_EPOCHS",
+    "SCBNN_RETRAIN_EPOCHS", "SCBNN_THREADS", "SCBNN_QUICK",
+    "SCBNN_FULL",    "SCBNN_VERBOSE"};
+
+TEST(ExperimentConfigEnv, NoVariablesKeepsDefaults) {
+  EnvGuard env(kAllVars);
+  ExperimentConfig cfg;
+  const ExperimentConfig defaults;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, defaults.train_n);
+  EXPECT_EQ(cfg.test_n, defaults.test_n);
+  EXPECT_EQ(cfg.base_epochs, defaults.base_epochs);
+  EXPECT_EQ(cfg.retrain_epochs, defaults.retrain_epochs);
+  EXPECT_FALSE(cfg.verbose);
+}
+
+TEST(ExperimentConfigEnv, ValidValuesApply) {
+  EnvGuard env(kAllVars);
+  env.set("SCBNN_TRAIN_N", "123");
+  env.set("SCBNN_TEST_N", "+45");  // explicit plus sign is fine
+  env.set("SCBNN_BASE_EPOCHS", "2");
+  env.set("SCBNN_RETRAIN_EPOCHS", "1");
+  env.set("SCBNN_THREADS", "4");
+  ExperimentConfig cfg;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, 123u);
+  EXPECT_EQ(cfg.test_n, 45u);
+  EXPECT_EQ(cfg.base_epochs, 2);
+  EXPECT_EQ(cfg.retrain_epochs, 1);
+  EXPECT_EQ(cfg.threads, 4u);
+}
+
+TEST(ExperimentConfigEnv, MalformedValuesRejectedKeepingDefaults) {
+  const ExperimentConfig defaults;
+  for (const char* bad : {"banana", "", "-100", "0", "12abc", "4k", "1e6",
+                          "2.5", " 7", "99999999999999999999"}) {
+    EnvGuard env(kAllVars);
+    env.set("SCBNN_TRAIN_N", bad);
+    env.set("SCBNN_TEST_N", bad);
+    env.set("SCBNN_BASE_EPOCHS", bad);
+    ExperimentConfig cfg;
+    cfg.apply_env_overrides();
+    EXPECT_EQ(cfg.train_n, defaults.train_n) << "value: '" << bad << "'";
+    EXPECT_EQ(cfg.test_n, defaults.test_n) << "value: '" << bad << "'";
+    EXPECT_EQ(cfg.base_epochs, defaults.base_epochs)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(ExperimentConfigEnv, ThreadsAcceptsZeroAsAuto) {
+  EnvGuard env(kAllVars);
+  env.set("SCBNN_THREADS", "0");  // documented "auto" setting, not malformed
+  ExperimentConfig cfg;
+  cfg.threads = 4;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.threads, 0u);
+  // ...but absurd thread counts are rejected.
+  EnvGuard env2(kAllVars);
+  env2.set("SCBNN_THREADS", "1000000");
+  ExperimentConfig cfg2;
+  cfg2.apply_env_overrides();
+  EXPECT_EQ(cfg2.threads, 0u);
+}
+
+TEST(ExperimentConfigEnv, OutOfRangeValuesRejected) {
+  EnvGuard env(kAllVars);
+  env.set("SCBNN_TRAIN_N", "100000001");  // just above the accepted cap
+  ExperimentConfig cfg;
+  const ExperimentConfig defaults;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, defaults.train_n);
+}
+
+TEST(ExperimentConfigEnv, MalformedValueDoesNotBlockOtherOverrides) {
+  EnvGuard env(kAllVars);
+  env.set("SCBNN_TRAIN_N", "garbage");
+  env.set("SCBNN_TEST_N", "250");
+  ExperimentConfig cfg;
+  const ExperimentConfig defaults;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, defaults.train_n);
+  EXPECT_EQ(cfg.test_n, 250u);
+}
+
+TEST(ExperimentConfigEnv, QuickAndVerboseFlags) {
+  EnvGuard env(kAllVars);
+  env.set("SCBNN_QUICK", "1");
+  env.set("SCBNN_VERBOSE", "1");
+  ExperimentConfig cfg;
+  cfg.apply_env_overrides();
+  EXPECT_EQ(cfg.train_n, 1500u);
+  EXPECT_EQ(cfg.test_n, 500u);
+  EXPECT_TRUE(cfg.verbose);
+  // "0" means off for flags.
+  EnvGuard env2(kAllVars);
+  env2.set("SCBNN_VERBOSE", "0");
+  ExperimentConfig cfg2;
+  cfg2.apply_env_overrides();
+  EXPECT_FALSE(cfg2.verbose);
+}
+
+}  // namespace
+}  // namespace scbnn::hybrid

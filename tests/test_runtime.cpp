@@ -1,0 +1,289 @@
+// Serving-runtime tests: thread-pool lifecycle and exception safety, the
+// backend registry, and the determinism contract of the batched inference
+// engine (same seed => bit-identical features at any thread count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_mnist.h"
+#include "hybrid/binary_first_layer.h"
+#include "hybrid/first_layer.h"
+#include "hybrid/hybrid_network.h"
+#include "nn/init.h"
+#include "nn/quantize.h"
+#include "runtime/backend_registry.h"
+#include "runtime/inference_engine.h"
+#include "runtime/thread_pool.h"
+
+namespace scbnn::runtime {
+namespace {
+
+nn::QuantizedConvWeights sample_qweights(int kernels, unsigned bits,
+                                         std::uint64_t seed) {
+  nn::Rng rng(seed);
+  nn::Tensor w({kernels, 1, 5, 5});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.normal(0.0f, 0.3f);
+  return nn::quantize_conv_weights(w, bits);
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, TaskExceptionSurfacesInFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      });
+    }
+  }  // ~ThreadPool joins after draining
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryJobOnceWithValidSlots) {
+  ThreadPool pool(4);
+  constexpr int kJobs = 123;
+  std::vector<std::atomic<int>> hits(kJobs);
+  std::vector<std::atomic<int>> slot_seen(kJobs);
+  pool.parallel_for(kJobs, [&](int job, unsigned worker) {
+    ASSERT_LT(worker, pool.size());  // jobs run on pool workers only
+    hits[static_cast<std::size_t>(job)]++;
+    slot_seen[static_cast<std::size_t>(job)] = static_cast<int>(worker);
+  });
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [](int job, unsigned) {
+                                   if (job == 7) {
+                                     throw std::invalid_argument("job 7");
+                                   }
+                                 }),
+               std::invalid_argument);
+  // Pool is reusable after a failed loop.
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](int, unsigned) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForZeroJobsIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](int, unsigned) { FAIL() << "must not run"; });
+}
+
+// -------------------------------------------------------- BackendRegistry
+
+TEST(BackendRegistry, BuiltinsRegistered) {
+  auto& reg = BackendRegistry::instance();
+  EXPECT_TRUE(reg.contains("binary-quantized"));
+  EXPECT_TRUE(reg.contains("sc-proposed"));
+  EXPECT_TRUE(reg.contains("sc-conventional"));
+  EXPECT_FALSE(reg.contains("tpu-offload"));
+}
+
+TEST(BackendRegistry, CreateBuiltinsMatchesEngineNames) {
+  const auto qw = sample_qweights(2, 4, 1);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  auto& reg = BackendRegistry::instance();
+  for (const char* name :
+       {"binary-quantized", "sc-proposed", "sc-conventional"}) {
+    const auto engine = reg.create(name, qw, cfg);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->name(), name);
+    EXPECT_EQ(engine->bits(), 4u);
+  }
+}
+
+TEST(BackendRegistry, UnknownBackendThrowsListingKnownNames) {
+  const auto qw = sample_qweights(2, 4, 2);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  try {
+    (void)BackendRegistry::instance().create("no-such-backend", qw, cfg);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(what.find("sc-proposed"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, CustomBackendPlugsInWithoutTouchingFactories) {
+  auto& reg = BackendRegistry::instance();
+  const std::string name = "test-binary-alias";
+  if (!reg.contains(name)) {
+    reg.register_backend(name, [](const nn::QuantizedConvWeights& w,
+                                  const hybrid::FirstLayerConfig& c) {
+      return std::make_unique<hybrid::BinaryFirstLayer>(w, c);
+    });
+  }
+  EXPECT_TRUE(reg.contains(name));
+  const auto qw = sample_qweights(2, 4, 3);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  const auto engine = reg.create(name, qw, cfg);
+  EXPECT_EQ(engine->kernels(), 2);
+  // Duplicate registration is rejected.
+  EXPECT_THROW(reg.register_backend(
+                   name, [](const nn::QuantizedConvWeights& w,
+                            const hybrid::FirstLayerConfig& c) {
+                     return std::make_unique<hybrid::BinaryFirstLayer>(w, c);
+                   }),
+               std::invalid_argument);
+}
+
+TEST(BackendRegistry, InvalidRegistrationsRejected) {
+  auto& reg = BackendRegistry::instance();
+  EXPECT_THROW(reg.register_backend("", [](const nn::QuantizedConvWeights& w,
+                                           const hybrid::FirstLayerConfig& c) {
+                 return std::make_unique<hybrid::BinaryFirstLayer>(w, c);
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_backend("null-factory", BackendFactory{}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- InferenceEngine
+
+TEST(InferenceEngine, RejectsNullEngineAndBadConfig) {
+  EXPECT_THROW(InferenceEngine(nullptr), std::invalid_argument);
+  const auto qw = sample_qweights(2, 4, 4);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  RuntimeConfig rc;
+  rc.chunk_images = 0;
+  EXPECT_THROW(InferenceEngine("sc-proposed", qw, cfg, rc),
+               std::invalid_argument);
+}
+
+TEST(InferenceEngine, FeaturesMatchSerialReference) {
+  const auto qw = sample_qweights(3, 4, 5);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  const data::DataSplit split = data::generate_synthetic_mnist(17, 1, 23);
+
+  const auto serial =
+      hybrid::make_first_layer_engine(hybrid::FirstLayerDesign::kScProposed,
+                                      qw, cfg);
+  const nn::Tensor expect = serial->compute_batch(split.train.images);
+
+  RuntimeConfig rc;
+  rc.threads = 3;
+  rc.chunk_images = 4;  // 17 images -> 5 uneven chunks
+  InferenceEngine engine("sc-proposed", qw, cfg, rc);
+  const nn::Tensor got = engine.features(split.train.images);
+
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(got[i], expect[i]) << "feature " << i;
+  }
+}
+
+TEST(InferenceEngine, DeterministicAcrossThreadCounts) {
+  // The acceptance contract: fixed seed => identical predictions whether
+  // the batch is served by 1 thread or many.
+  const unsigned kSeed = 11;
+  const auto qw = sample_qweights(4, 4, kSeed);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  cfg.seed = kSeed;
+  const data::DataSplit split = data::generate_synthetic_mnist(24, 1, kSeed);
+
+  std::vector<nn::Tensor> features;
+  for (unsigned threads : {1u, 2u, 5u}) {
+    RuntimeConfig rc;
+    rc.threads = threads;
+    rc.chunk_images = 3;
+    InferenceEngine engine("sc-conventional", qw, cfg, rc);
+    features.push_back(engine.features(split.train.images));
+    EXPECT_EQ(engine.last_stats().threads, threads);
+  }
+  for (std::size_t v = 1; v < features.size(); ++v) {
+    ASSERT_EQ(features[v].size(), features[0].size());
+    for (std::size_t i = 0; i < features[0].size(); ++i) {
+      ASSERT_EQ(features[v][i], features[0][i])
+          << "thread variant " << v << " diverged at " << i;
+    }
+  }
+}
+
+TEST(InferenceEngine, PredictionsIdenticalAt1VsNThreads) {
+  const auto qw = sample_qweights(4, 4, 6);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  const data::DataSplit split = data::generate_synthetic_mnist(16, 1, 29);
+
+  hybrid::LeNetConfig lenet{4, 4, 16, 0.0f};
+  auto predictions_with = [&](unsigned threads) {
+    RuntimeConfig rc;
+    rc.threads = threads;
+    rc.chunk_images = 2;
+    nn::Rng rng(99);  // same seed => same tail weights
+    hybrid::HybridNetwork net(
+        hybrid::make_first_layer_engine(hybrid::FirstLayerDesign::kScProposed,
+                                        qw, cfg),
+        hybrid::build_tail(lenet, rng), rc);
+    return net.predict(split.train.images);
+  };
+  EXPECT_EQ(predictions_with(1), predictions_with(4));
+}
+
+TEST(InferenceEngine, StatsReportBatchAndEnergy) {
+  const auto qw = sample_qweights(4, 4, 7);
+  hybrid::FirstLayerConfig cfg;
+  cfg.bits = 4;
+  const data::DataSplit split = data::generate_synthetic_mnist(10, 1, 31);
+
+  RuntimeConfig rc;
+  rc.threads = 2;
+  InferenceEngine engine("sc-proposed", qw, cfg, rc);
+  (void)engine.features(split.train.images);
+  const BatchStats& stats = engine.last_stats();
+  EXPECT_EQ(stats.images, 10);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GE(stats.latency_ms, 0.0);
+  EXPECT_GT(stats.images_per_sec, 0.0);
+  // 4-bit proposed SC has a calibrated hardware model -> non-zero energy.
+  EXPECT_GT(stats.first_layer_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace scbnn::runtime
