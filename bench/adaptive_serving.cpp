@@ -1,0 +1,216 @@
+// Batched adaptive-precision serving vs fixed highest-precision serving.
+//
+// Trains a precision ladder (default 3/5/8-bit proposed-SC rungs with
+// retrained tails), then serves the synthetic-MNIST test split through
+// runtime::AdaptivePipeline at several confidence margins and thread
+// counts. A single-rung pipeline holding only the top rung is the fixed
+// high-precision baseline. For every operating point the pipeline's
+// per-rung stats give misclassification, mean SC cycles/image, first-layer
+// energy, throughput, and the exit histogram; a bit-identity check confirms
+// that predictions do not depend on the thread count. Results are printed
+// and written to BENCH_adaptive.json.
+//
+// Scale knobs: the SCBNN_* experiment variables (SCBNN_TRAIN_N,
+// SCBNN_TEST_N, SCBNN_BASE_EPOCHS, SCBNN_RETRAIN_EPOCHS, SCBNN_THREADS,
+// SCBNN_QUICK, ...) plus SCBNN_BENCH_RUNGS (2 or 3, default 3).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/report.h"
+#include "hybrid/experiment.h"
+#include "runtime/adaptive_pipeline.h"
+
+namespace {
+
+struct Row {
+  double margin = 0.0;
+  unsigned threads = 1;
+  double miscl_pct = 0.0;
+  double mean_cycles = 0.0;
+  double energy_nj_per_image = 0.0;
+  double latency_ms = 0.0;
+  double images_per_sec = 0.0;
+  std::vector<int> exits;  ///< images accepted per rung
+  bool identical_vs_1t = true;
+};
+
+double miscl_pct(const std::vector<int>& predictions,
+                 std::span<const int> labels) {
+  int correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return 100.0 *
+         (1.0 - static_cast<double>(correct) / predictions.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace scbnn;
+
+  hybrid::ExperimentConfig cfg;
+  cfg.train_n = 3000;
+  cfg.test_n = 800;
+  cfg.cache_path = "scbnn_base_model_cache.bin";
+  cfg.apply_env_overrides();
+
+  int rung_count = 3;
+  if (const char* v = std::getenv("SCBNN_BENCH_RUNGS")) {
+    if (std::strcmp(v, "2") == 0) rung_count = 2;
+  }
+  const std::vector<unsigned> rung_bits =
+      rung_count == 2 ? std::vector<unsigned>{3u, 8u}
+                      : std::vector<unsigned>{3u, 5u, 8u};
+
+  std::printf("Adaptive-precision serving (%d rungs:", rung_count);
+  for (unsigned b : rung_bits) std::printf(" %u-bit", b);
+  std::printf(") — train=%zu test=%zu\n\n", cfg.train_n, cfg.test_n);
+
+  hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
+  std::vector<hybrid::TrainedRung> ladder =
+      hybrid::train_precision_ladder(prep, cfg, rung_bits);
+  const int n = static_cast<int>(prep.data.test.size());
+
+  // Fixed baseline: only the most precise rung, served through the same
+  // runtime (margin is irrelevant for a single rung).
+  Row fixed;
+  {
+    runtime::AdaptivePipeline pipeline(
+        hybrid::instantiate_ladder({&ladder.back(), 1}, cfg), 0.0,
+        cfg.runtime_config());
+    const auto predictions = pipeline.predict(prep.data.test.images);
+    const runtime::PipelineStats& stats = pipeline.last_stats();
+    fixed.margin = -1.0;
+    fixed.threads = stats.threads;
+    fixed.miscl_pct = miscl_pct(predictions, prep.data.test.labels);
+    fixed.mean_cycles = stats.mean_cycles_per_image();
+    fixed.energy_nj_per_image = stats.energy_j * 1e9 / n;
+    fixed.latency_ms = stats.latency_ms;
+    fixed.images_per_sec = stats.images_per_sec;
+  }
+
+  const double margins[] = {0.0, 0.3, 0.6, 0.9};
+  const unsigned thread_counts[] = {1, 2, 4};
+
+  hw::TableWriter table({"margin", "threads", "miscl (%)", "cycles/img",
+                         "nJ/img", "images/sec", "exits per rung",
+                         "bit-identical"},
+                        {7, 7, 9, 11, 9, 11, 16, 13});
+  table.print_header();
+  table.print_row({"fixed", std::to_string(fixed.threads),
+                   hw::TableWriter::fmt(fixed.miscl_pct),
+                   hw::TableWriter::fmt(fixed.mean_cycles, 1),
+                   hw::TableWriter::fmt(fixed.energy_nj_per_image, 1),
+                   hw::TableWriter::fmt(fixed.images_per_sec, 0), "-", "-"});
+  table.print_rule();
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (double margin : margins) {
+    std::vector<int> reference;  // predictions at 1 thread
+    for (unsigned threads : thread_counts) {
+      runtime::RuntimeConfig rc = cfg.runtime_config();
+      rc.threads = threads;
+      runtime::AdaptivePipeline pipeline(
+          hybrid::instantiate_ladder(ladder, cfg), margin, rc);
+      const auto predictions = pipeline.predict(prep.data.test.images);
+      const runtime::PipelineStats& stats = pipeline.last_stats();
+
+      Row row;
+      row.margin = margin;
+      row.threads = threads;
+      row.miscl_pct = miscl_pct(predictions, prep.data.test.labels);
+      row.mean_cycles = stats.mean_cycles_per_image();
+      row.energy_nj_per_image = stats.energy_j * 1e9 / n;
+      row.latency_ms = stats.latency_ms;
+      row.images_per_sec = stats.images_per_sec;
+      for (const runtime::RungStats& rs : stats.rungs) {
+        row.exits.push_back(rs.images_exited);
+      }
+      if (threads == thread_counts[0]) reference = predictions;
+      row.identical_vs_1t = predictions == reference;
+      all_identical &= row.identical_vs_1t;
+      rows.push_back(row);
+
+      std::string exits;
+      for (std::size_t r = 0; r < row.exits.size(); ++r) {
+        if (!exits.empty()) exits += "/";
+        exits += std::to_string(row.exits[r]);
+      }
+      table.print_row({hw::TableWriter::fmt(margin, 2),
+                       std::to_string(threads),
+                       hw::TableWriter::fmt(row.miscl_pct),
+                       hw::TableWriter::fmt(row.mean_cycles, 1),
+                       hw::TableWriter::fmt(row.energy_nj_per_image, 1),
+                       hw::TableWriter::fmt(row.images_per_sec, 0), exits,
+                       row.identical_vs_1t ? "yes" : "NO"});
+    }
+    table.print_rule();
+  }
+
+  // Does some adaptive operating point beat fixed top-precision serving:
+  // fewer mean SC cycles/image at no accuracy loss (small tolerance for
+  // the discreteness of a finite test split)?
+  const double tol_pct = 100.0 * 1.0 / n;
+  bool adaptive_beats_fixed = false;
+  for (const Row& row : rows) {
+    if (row.mean_cycles < fixed.mean_cycles &&
+        row.miscl_pct <= fixed.miscl_pct + tol_pct) {
+      adaptive_beats_fixed = true;
+    }
+  }
+
+  std::printf("\npredictions bit-identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO — determinism bug!");
+  std::printf("adaptive beats fixed %u-bit (fewer cycles, equal accuracy): "
+              "%s\n", rung_bits.back(), adaptive_beats_fixed ? "yes" : "no");
+
+  std::FILE* json = std::fopen("BENCH_adaptive.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_adaptive.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"adaptive_serving\",\n  \"images\": %d,\n"
+               "  \"rung_bits\": [", n);
+  for (std::size_t i = 0; i < rung_bits.size(); ++i) {
+    std::fprintf(json, "%u%s", rung_bits[i],
+                 i + 1 < rung_bits.size() ? ", " : "");
+  }
+  std::fprintf(json,
+               "],\n  \"all_predictions_identical\": %s,\n"
+               "  \"adaptive_beats_fixed\": %s,\n"
+               "  \"fixed\": {\"bits\": %u, \"miscl_pct\": %.3f, "
+               "\"mean_cycles_per_image\": %.1f, \"energy_nj_per_image\": "
+               "%.2f, \"images_per_sec\": %.1f},\n  \"results\": [\n",
+               all_identical ? "true" : "false",
+               adaptive_beats_fixed ? "true" : "false", rung_bits.back(),
+               fixed.miscl_pct, fixed.mean_cycles, fixed.energy_nj_per_image,
+               fixed.images_per_sec);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(json,
+                 "    {\"margin\": %.2f, \"threads\": %u, \"miscl_pct\": "
+                 "%.3f, \"mean_cycles_per_image\": %.1f, "
+                 "\"energy_nj_per_image\": %.2f, \"latency_ms\": %.3f, "
+                 "\"images_per_sec\": %.1f, \"exits\": [",
+                 row.margin, row.threads, row.miscl_pct, row.mean_cycles,
+                 row.energy_nj_per_image, row.latency_ms, row.images_per_sec);
+    for (std::size_t r = 0; r < row.exits.size(); ++r) {
+      std::fprintf(json, "%d%s", row.exits[r],
+                   r + 1 < row.exits.size() ? ", " : "");
+    }
+    std::fprintf(json, "], \"identical_vs_1t\": %s}%s\n",
+                 row.identical_vs_1t ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_adaptive.json\n");
+  return all_identical ? 0 : 1;
+}

@@ -2,10 +2,12 @@
 // trade-off of Kim et al. [16] realized on the paper's hybrid design.
 //
 // Builds precision rungs (3, 5, 8 bits) with retrained tails, then sweeps
-// the confidence margin: a margin of 0 always accepts the cheap 3-bit
-// verdict; a margin of 1 always escalates to 8-bit. In between, easy inputs
-// stop early and the AVERAGE energy approaches the cheap rung while
-// accuracy approaches the precise rung.
+// the confidence margin through the batched runtime::AdaptivePipeline: a
+// margin of 0 always accepts the cheap 3-bit verdict; a margin of 1 always
+// escalates to 8-bit. In between, easy inputs stop early and the AVERAGE
+// energy approaches the cheap rung while accuracy approaches the precise
+// rung. The whole test split is served as one batch per margin, so the
+// per-rung breakdown comes straight from the pipeline's stats.
 //
 // Scale knobs: same SCBNN_* environment variables as table3_accuracy.
 #include <cstdio>
@@ -13,11 +15,7 @@
 
 #include "hw/stochastic_design.h"
 #include "hybrid/experiment.h"
-#include "hybrid/progressive.h"
-#include "nn/loss.h"
-#include "nn/quantize.h"
-#include "nn/trainer.h"
-#include "runtime/inference_engine.h"
+#include "runtime/adaptive_pipeline.h"
 
 int main() {
   using namespace scbnn;
@@ -33,104 +31,44 @@ int main() {
 
   hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
 
-  // Build each rung: proposed-SC engine + tail retrained on its features.
-  const unsigned rung_bits[] = {3u, 5u, 8u};
-  std::vector<hybrid::PrecisionRung> rungs;
-  for (unsigned bits : rung_bits) {
-    hybrid::PrecisionRung rung;
-    rung.bits = bits;
-    const auto qw =
-        nn::quantize_conv_weights(hybrid::base_conv1_weights(prep.base), bits);
-    hybrid::FirstLayerConfig flc;
-    flc.bits = bits;
-    flc.soft_threshold = cfg.sc_soft_threshold;
-    rung.engine = make_first_layer_engine(
-        hybrid::FirstLayerDesign::kScProposed, qw, flc);
-
-    nn::Rng rng(cfg.seed + bits);
-    rung.tail = hybrid::build_tail(cfg.lenet, rng);
-    hybrid::copy_tail_params(prep.base, rung.tail);
-    // Full-train-split feature pass goes through the threaded runtime (a
-    // twin engine is rebuilt for it — cheap and bit-identical).
-    runtime::InferenceEngine rt(
-        make_first_layer_engine(hybrid::FirstLayerDesign::kScProposed, qw,
-                                flc),
-        cfg.runtime_config());
-    nn::Tensor feats = rt.features(prep.data.train.images);
-    nn::Adam opt(cfg.retrain_lr);
-    nn::TrainConfig tc;
-    tc.epochs = cfg.retrain_epochs;
-    tc.batch_size = cfg.batch_size;
-    tc.shuffle_seed = cfg.seed + bits;
-    (void)nn::fit(rung.tail, opt, feats, prep.data.train.labels, tc);
-    rungs.push_back(std::move(rung));
-  }
+  // One retrained tail per rung; engines + tails are re-instantiated per
+  // pipeline (cheap and bit-reproducible).
+  const std::vector<unsigned> rung_bits = {3u, 5u, 8u};
+  std::vector<hybrid::TrainedRung> ladder =
+      hybrid::train_precision_ladder(prep, cfg, rung_bits);
 
   // Per-cycle energy of the SC design (power / clock) converts average
   // cycles into average energy.
   const hw::StochasticConvDesign sc8(8);
-  const double joules_per_cycle =
-      sc8.power_w() / sc8.tech().sc_clock_hz;
-
-  // Classifier factory: engines are rebuilt (cheap, deterministic) and the
-  // retrained tail parameters copied — used to give every worker thread its
-  // own classifier, since layer forward passes are not thread-safe.
-  auto make_classifier = [&](double margin) {
-    std::vector<hybrid::PrecisionRung> rung_copies;
-    for (auto& r : rungs) {
-      hybrid::PrecisionRung copy;
-      copy.bits = r.bits;
-      const auto qw = nn::quantize_conv_weights(
-          hybrid::base_conv1_weights(prep.base), r.bits);
-      hybrid::FirstLayerConfig flc;
-      flc.bits = r.bits;
-      flc.soft_threshold = cfg.sc_soft_threshold;
-      copy.engine = make_first_layer_engine(
-          hybrid::FirstLayerDesign::kScProposed, qw, flc);
-      nn::Rng rng(1);
-      copy.tail = hybrid::build_tail(cfg.lenet, rng);
-      const auto src = r.tail.params();
-      const auto dst = copy.tail.params();
-      for (std::size_t i = 0; i < src.size(); ++i) {
-        std::copy(src[i].value->data(),
-                  src[i].value->data() + src[i].value->size(),
-                  dst[i].value->data());
-      }
-      rung_copies.push_back(std::move(copy));
-    }
-    return hybrid::ProgressiveClassifier(std::move(rung_copies), margin);
-  };
+  const double joules_per_cycle = sc8.power_w() / sc8.tech().sc_clock_hz;
+  const int n = static_cast<int>(prep.data.test.size());
 
   std::printf("%10s %12s %14s %16s %18s %14s\n", "margin", "miscl (%)",
               "avg cycles", "avg energy (nJ)", "vs fixed 8-bit", "8b usage");
   for (double margin : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0}) {
-    int correct = 0, used8 = 0;
-    double cycles = 0.0;
-    const int n = static_cast<int>(prep.data.test.size());
-#pragma omp parallel reduction(+ : correct, used8, cycles)
-    {
-      hybrid::ProgressiveClassifier cls = make_classifier(margin);
-#pragma omp for schedule(dynamic, 8)
-      for (int i = 0; i < n; ++i) {
-        const auto out = cls.classify(prep.data.test.images.data() +
-                                      static_cast<std::size_t>(i) * 784);
-        if (out.predicted ==
-            prep.data.test.labels[static_cast<std::size_t>(i)]) {
-          ++correct;
-        }
-        if (out.bits_used == 8u) ++used8;
-        cycles += out.cycles;
+    runtime::AdaptivePipeline pipeline(hybrid::instantiate_ladder(ladder, cfg),
+                                       margin, cfg.runtime_config());
+    const std::vector<int> predictions =
+        pipeline.predict(prep.data.test.images);
+    const runtime::PipelineStats& stats = pipeline.last_stats();
+
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+      if (predictions[static_cast<std::size_t>(i)] ==
+          prep.data.test.labels[static_cast<std::size_t>(i)]) {
+        ++correct;
       }
     }
-    const double avg_cycles = cycles / n;
+    const double avg_cycles = stats.mean_cycles_per_image();
     const double avg_nj = avg_cycles * joules_per_cycle * 1e9;
-    const double fixed8_nj =
-        hybrid::ProgressiveClassifier::fixed_cycles(8) * joules_per_cycle *
-        1e9;
+    const double fixed8_cycles =
+        pipeline.rung_cycles_per_image(pipeline.rung_count() - 1);
+    const double fixed8_nj = fixed8_cycles * joules_per_cycle * 1e9;
+    const int entered_last = stats.rungs.back().images_in;
     std::printf("%10.2f %12.2f %14.1f %16.2f %17.1f%% %13.1f%%\n", margin,
                 100.0 * (1.0 - static_cast<double>(correct) / n), avg_cycles,
                 avg_nj, 100.0 * avg_nj / fixed8_nj,
-                100.0 * used8 / n);
+                100.0 * entered_last / n);
   }
 
   std::printf("\nReading: between the extremes, most inputs accept the "

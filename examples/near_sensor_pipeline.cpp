@@ -5,18 +5,28 @@
 // convolution layer, then the binary tail classifies the digit. Per-frame
 // latency and energy come from the calibrated 65nm model; the same stream
 // is also run through the all-binary design for comparison.
+//
+// The second half serves the same stream through the adaptive-precision
+// pipeline: a cheap 3-bit rung classifies every frame first and only the
+// uncertain ones escalate to the 6-bit rung, so the stream's average
+// first-layer energy drops below the fixed-precision design at matching
+// accuracy.
 #include <cstdio>
+#include <vector>
 
 #include "hw/binary_design.h"
+#include "hw/report.h"
 #include "hw/stochastic_design.h"
 #include "hybrid/experiment.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "runtime/adaptive_pipeline.h"
 
 int main() {
   using namespace scbnn;
   constexpr unsigned kBits = 6;
   constexpr int kFrames = 16;
+  constexpr double kMargin = 0.5;
 
   hybrid::ExperimentConfig cfg;
   cfg.train_n = 1500;
@@ -30,34 +40,26 @@ int main() {
               "layer)...\n\n", kBits);
   hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
 
-  // Assemble the deployed pipeline: proposed SC engine + retrained tail.
-  const auto qw =
-      nn::quantize_conv_weights(hybrid::base_conv1_weights(prep.base), kBits);
-  hybrid::FirstLayerConfig flc;
-  flc.bits = kBits;
-  flc.soft_threshold = cfg.sc_soft_threshold;
-  auto engine = hybrid::make_first_layer_engine(
-      hybrid::FirstLayerDesign::kScProposed, qw, flc);
-  nn::Rng rng(cfg.seed + 1);
-  nn::Network tail = hybrid::build_tail(cfg.lenet, rng);
-  hybrid::copy_tail_params(prep.base, tail);
-  hybrid::HybridNetwork net(std::move(engine), std::move(tail));
-
-  nn::Tensor train_feat = net.features(prep.data.train.images);
-  nn::TrainConfig tc;
-  tc.epochs = cfg.retrain_epochs;
-  tc.batch_size = cfg.batch_size;
-  (void)net.retrain(train_feat, prep.data.train.labels, tc, cfg.retrain_lr);
+  // Train the precision ladder once: a cheap 3-bit rung and the deployed
+  // kBits rung, each with a tail retrained on its frozen features.
+  const std::vector<unsigned> rung_bits = {3u, kBits};
+  std::vector<hybrid::TrainedRung> ladder =
+      hybrid::train_precision_ladder(prep, cfg, rung_bits);
 
   // "Sensor" stream = the first frames of the test split, served as one
-  // batch through the threaded inference runtime.
+  // batch through the threaded inference runtime at fixed kBits precision
+  // (a single-rung pipeline is exactly the fixed design).
   const data::Dataset frames = data::head(prep.data.test, kFrames);
-  const auto predictions = net.predict(frames.images);
-  const runtime::BatchStats& stats = net.last_stats();
+  runtime::AdaptivePipeline fixed_pipeline(
+      hybrid::instantiate_ladder({&ladder.back(), 1}, cfg), 0.0,
+      cfg.runtime_config());
+
+  const auto predictions = fixed_pipeline.predict(frames.images);
+  const runtime::PipelineStats& fixed_stats = fixed_pipeline.last_stats();
   std::printf("served %d frames on %u worker threads: %.2f ms, %.0f "
               "images/sec (simulation)\n\n",
-              stats.images, stats.threads, stats.latency_ms,
-              stats.images_per_sec);
+              fixed_stats.images, fixed_stats.threads, fixed_stats.latency_ms,
+              fixed_stats.images_per_sec);
 
   hw::StochasticConvDesign sc(kBits);
   hw::BinaryConvDesign bin(kBits);
@@ -87,6 +89,41 @@ int main() {
               "design: %.2f uJ, %.1fx more)\n",
               total_nj * 1e-3, bin.energy_per_frame_j() * 1e9 * kFrames * 1e-3,
               bin.energy_per_frame_j() / sc.energy_per_frame_j());
+
+  // ---- Adaptive precision: same stream, 3-bit rung first ----------------
+  runtime::AdaptivePipeline adaptive(hybrid::instantiate_ladder(ladder, cfg),
+                                     kMargin, cfg.runtime_config());
+  const auto outcomes = adaptive.classify(frames.images);
+  const runtime::PipelineStats& stats = adaptive.last_stats();
+  int adaptive_correct = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    if (outcomes[static_cast<std::size_t>(i)].predicted ==
+        frames.labels[static_cast<std::size_t>(i)]) {
+      ++adaptive_correct;
+    }
+  }
+
+  std::printf("\nAdaptive precision (margin %.2f): %d/%d correct\n", kMargin,
+              adaptive_correct, kFrames);
+  std::printf("exit histogram:\n");
+  for (std::size_t r = 0; r < stats.rungs.size(); ++r) {
+    const runtime::RungStats& rs = stats.rungs[r];
+    std::printf("  rung %zu (%u-bit): %3d frames entered, %3d exited "
+                "(%.2f ms, %.0f SC cycles)\n",
+                r, rs.bits, rs.images_in, rs.images_exited, rs.latency_ms,
+                rs.sc_cycles);
+  }
+  // Energy of a fixed kBits design over the stream, from the same per-rung
+  // aggregation the pipeline uses internally.
+  const int kernels = adaptive.rung(0).engine->kernels();
+  const double fixed_j = hw::aggregate_rung_energy_j(
+      {{adaptive.rung(0).engine->name(), kBits, kernels, kFrames}});
+  std::printf("adaptive first-layer energy: %.1f nJ vs %.1f nJ fixed "
+              "%u-bit — %.1f%% saved at %+d correct\n",
+              stats.energy_j * 1e9, fixed_j * 1e9, kBits,
+              100.0 * (1.0 - stats.energy_j / fixed_j),
+              adaptive_correct - correct);
+
   std::printf("\nNote: sensor conversion energy is excluded, as in the "
               "paper (Section IV.A) — prior work\nputs ramp-compare "
               "conversion at ~100 pJ/frame, negligible next to "

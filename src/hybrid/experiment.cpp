@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -187,6 +188,70 @@ DesignPointResult evaluate_design_point(PreparedExperiment& prep,
   result.misclassification_pct = misclassification_pct(
       hybrid.evaluate(test_feat, prep.data.test.labels));
   return result;
+}
+
+std::vector<TrainedRung> train_precision_ladder(PreparedExperiment& prep,
+                                                const ExperimentConfig& config,
+                                                std::span<const unsigned> ladder,
+                                                FirstLayerDesign design) {
+  if (ladder.empty()) {
+    throw std::invalid_argument("train_precision_ladder: empty ladder");
+  }
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    if (ladder[i] <= ladder[i - 1]) {
+      throw std::invalid_argument(
+          "train_precision_ladder: bits must be strictly increasing");
+    }
+  }
+
+  std::vector<TrainedRung> rungs;
+  rungs.reserve(ladder.size());
+  for (unsigned bits : ladder) {
+    TrainedRung rung;
+    rung.bits = bits;
+    rung.design = design;
+    rung.qw = nn::quantize_conv_weights(base_conv1_weights(prep.base), bits);
+    rung.flc.bits = bits;
+    rung.flc.soft_threshold = design == FirstLayerDesign::kBinaryQuantized
+                                  ? 0.0
+                                  : config.sc_soft_threshold;
+    rung.flc.seed = static_cast<std::uint32_t>(config.seed | 1u);
+
+    nn::Rng rng(config.seed + 1);
+    rung.tail = build_tail(config.lenet, rng);
+    copy_tail_params(prep.base, rung.tail);
+
+    runtime::InferenceEngine rt(
+        make_first_layer_engine(design, rung.qw, rung.flc),
+        config.runtime_config());
+    nn::Tensor features = rt.features(prep.data.train.images);
+    nn::Adam opt(config.retrain_lr);
+    nn::TrainConfig tc;
+    tc.epochs = config.retrain_epochs;
+    tc.batch_size = config.batch_size;
+    tc.verbose = config.verbose;
+    tc.shuffle_seed = config.seed + bits;
+    (void)nn::fit(rung.tail, opt, features, prep.data.train.labels, tc);
+    rungs.push_back(std::move(rung));
+  }
+  return rungs;
+}
+
+std::vector<runtime::AdaptiveRung> instantiate_ladder(
+    std::span<TrainedRung> ladder, const ExperimentConfig& config) {
+  std::vector<runtime::AdaptiveRung> rungs;
+  rungs.reserve(ladder.size());
+  for (TrainedRung& trained : ladder) {
+    runtime::AdaptiveRung rung;
+    rung.bits = trained.bits;
+    rung.engine =
+        make_first_layer_engine(trained.design, trained.qw, trained.flc);
+    nn::Rng rng(config.seed + 1);
+    rung.tail = build_tail(config.lenet, rng);
+    nn::copy_params(trained.tail, rung.tail);
+    rungs.push_back(std::move(rung));
+  }
+  return rungs;
 }
 
 }  // namespace scbnn::hybrid

@@ -8,12 +8,14 @@
 // base model, dataset, and tail-training recipe.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
 #include "hybrid/first_layer.h"
 #include "hybrid/hybrid_network.h"
+#include "runtime/adaptive_pipeline.h"
 #include "runtime/inference_engine.h"
 
 namespace scbnn::hybrid {
@@ -72,5 +74,34 @@ struct DesignPointResult {
 [[nodiscard]] DesignPointResult evaluate_design_point(
     PreparedExperiment& prep, const ExperimentConfig& config,
     FirstLayerDesign design, unsigned bits);
+
+/// One trained precision rung of an adaptive ladder: everything needed to
+/// instantiate fresh engine + tail pairs for a runtime::AdaptivePipeline.
+/// Engines are deterministic functions of (design, weights, config), so
+/// instantiation is cheap and bit-reproducible.
+struct TrainedRung {
+  unsigned bits = 8;
+  FirstLayerDesign design = FirstLayerDesign::kScProposed;
+  nn::QuantizedConvWeights qw;
+  FirstLayerConfig flc;
+  nn::Network tail;  ///< retrained on this rung's frozen features
+};
+
+/// Quantize the base model's first layer at every precision in `ladder`
+/// (strictly increasing) and retrain one binary tail per rung on its
+/// features; feature passes run through the threaded serving runtime.
+[[nodiscard]] std::vector<TrainedRung> train_precision_ladder(
+    PreparedExperiment& prep, const ExperimentConfig& config,
+    std::span<const unsigned> ladder,
+    FirstLayerDesign design = FirstLayerDesign::kScProposed);
+
+/// Fresh pipeline rungs from trained ladder rungs: engines rebuilt through
+/// the registry, trained tail weights copied into newly built twins. Call
+/// once per AdaptivePipeline instance (the pipeline consumes its rungs).
+/// Accepts any contiguous slice — e.g. just the top rung for a fixed
+/// highest-precision baseline. The rungs are only read, but
+/// Network::params() is a mutable view, so the span is non-const.
+[[nodiscard]] std::vector<runtime::AdaptiveRung> instantiate_ladder(
+    std::span<TrainedRung> ladder, const ExperimentConfig& config);
 
 }  // namespace scbnn::hybrid

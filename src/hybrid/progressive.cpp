@@ -1,71 +1,52 @@
 #include "hybrid/progressive.h"
 
-#include <cmath>
-#include <stdexcept>
+#include <algorithm>
+#include <utility>
 
-#include "nn/loss.h"
+#include "hw/report.h"
 
 namespace scbnn::hybrid {
 
-ProgressiveClassifier::ProgressiveClassifier(std::vector<PrecisionRung> rungs,
-                                             double confidence_margin)
-    : rungs_(std::move(rungs)), confidence_margin_(confidence_margin) {
-  if (rungs_.empty()) {
-    throw std::invalid_argument("ProgressiveClassifier: no rungs");
+namespace {
+
+std::vector<runtime::AdaptiveRung> to_adaptive(
+    std::vector<PrecisionRung> rungs) {
+  std::vector<runtime::AdaptiveRung> out;
+  out.reserve(rungs.size());
+  for (PrecisionRung& rung : rungs) {
+    out.push_back({rung.bits, std::move(rung.engine), std::move(rung.tail)});
   }
-  for (std::size_t i = 1; i < rungs_.size(); ++i) {
-    if (rungs_[i].bits <= rungs_[i - 1].bits) {
-      throw std::invalid_argument(
-          "ProgressiveClassifier: rungs must have increasing precision");
-    }
-  }
-  if (confidence_margin < 0.0 || confidence_margin > 1.0) {
-    throw std::invalid_argument(
-        "ProgressiveClassifier: margin must be in [0,1]");
-  }
-  scratch_.reserve(rungs_.size());
-  for (const PrecisionRung& rung : rungs_) {
-    if (!rung.engine) {
-      throw std::invalid_argument("ProgressiveClassifier: null rung engine");
-    }
-    scratch_.push_back(rung.engine->make_scratch());
-  }
+  return out;
 }
 
+runtime::RuntimeConfig single_image_config() {
+  runtime::RuntimeConfig rc;
+  rc.threads = 1;  // one frame per call; no point spinning a wide pool
+  rc.chunk_images = 1;
+  return rc;
+}
+
+}  // namespace
+
+ProgressiveClassifier::ProgressiveClassifier(std::vector<PrecisionRung> rungs,
+                                             double confidence_margin)
+    : pipeline_(to_adaptive(std::move(rungs)), confidence_margin,
+                single_image_config()) {}
+
 double ProgressiveClassifier::fixed_cycles(unsigned bits, int kernels) {
-  return static_cast<double>(kernels) *
-         std::ldexp(1.0, static_cast<int>(bits));
+  return hw::sc_cycles_per_frame(bits, kernels);
 }
 
 ProgressiveClassifier::Outcome ProgressiveClassifier::classify(
     const float* image) {
+  nn::Tensor frame({1, 1, kImageSize, kImageSize});
+  std::copy(image, image + frame.size(), frame.data());
+  const runtime::AdaptiveOutcome res = pipeline_.classify(frame)[0];
   Outcome out;
-  for (std::size_t r = 0; r < rungs_.size(); ++r) {
-    auto& rung = rungs_[r];
-    const int k = rung.engine->kernels();
-    nn::Tensor features({1, k, kImageSize, kImageSize});
-    rung.engine->compute_batch(image, 1, features.data(), *scratch_[r]);
-    nn::Tensor logits = rung.tail.forward(features, /*training=*/false);
-    nn::Tensor probs = nn::softmax(logits);
-
-    int best = 0, second = 1;
-    if (probs.at2(0, second) > probs.at2(0, best)) std::swap(best, second);
-    for (int c = 2; c < probs.dim(1); ++c) {
-      if (probs.at2(0, c) > probs.at2(0, best)) {
-        second = best;
-        best = c;
-      } else if (probs.at2(0, c) > probs.at2(0, second)) {
-        second = c;
-      }
-    }
-    out.cycles += fixed_cycles(rung.bits, k);
-    out.predicted = best;
-    out.bits_used = rung.bits;
-    out.margin =
-        static_cast<double>(probs.at2(0, best)) - probs.at2(0, second);
-    const bool confident = out.margin >= confidence_margin_;
-    if (confident || r + 1 == rungs_.size()) break;
-  }
+  out.predicted = res.predicted;
+  out.bits_used = res.bits_used;
+  out.margin = res.margin;
+  out.cycles = res.cycles;
   return out;
 }
 

@@ -1,11 +1,16 @@
 // Progressive-precision classification — the dynamic energy-accuracy
 // trade-off of Kim et al. [16] applied to the paper's hybrid design.
 //
-// The stochastic first layer's run time is 32 * 2^bits cycles, so a 3-bit
-// pass costs 1/32 of an 8-bit pass. A progressive classifier tries the
-// cheapest precision first and escalates only when the classification is
-// uncertain (small softmax margin), so easy inputs — most of them — pay the
-// low-precision energy and hard inputs still get high-precision treatment.
+// The stochastic first layer's run time is kernels * 2^bits cycles, so a
+// 3-bit pass costs 1/32 of an 8-bit pass. A progressive classifier tries
+// the cheapest precision first and escalates only when the classification
+// is uncertain (small softmax margin), so easy inputs — most of them — pay
+// the low-precision energy and hard inputs still get high-precision
+// treatment.
+//
+// This class is a thin single-image adapter over the batched
+// runtime::AdaptivePipeline, which is the serving-scale implementation of
+// the same ladder; use the pipeline directly for batch traffic.
 #pragma once
 
 #include <memory>
@@ -13,6 +18,7 @@
 
 #include "hybrid/first_layer.h"
 #include "nn/network.h"
+#include "runtime/adaptive_pipeline.h"
 
 namespace scbnn::hybrid {
 
@@ -42,22 +48,20 @@ class ProgressiveClassifier {
   /// Classify one 28x28 image in [0,1].
   [[nodiscard]] Outcome classify(const float* image);
 
-  /// Cycles a fixed single-rung classifier at `bits` would spend.
+  /// Cycles a fixed single-rung classifier at `bits` would spend. The
+  /// default kernel count matches the paper's 32-kernel first layer; the
+  /// pipeline itself always derives kernels from the rung's engine.
   [[nodiscard]] static double fixed_cycles(unsigned bits, int kernels = 32);
 
   [[nodiscard]] std::size_t rung_count() const noexcept {
-    return rungs_.size();
+    return pipeline_.rung_count();
   }
   [[nodiscard]] double confidence_margin() const noexcept {
-    return confidence_margin_;
+    return pipeline_.confidence_margin();
   }
 
  private:
-  std::vector<PrecisionRung> rungs_;
-  // One reusable workspace per rung; classify() is called per frame, so
-  // per-call scratch allocation would dominate the cheap low-bit rungs.
-  std::vector<std::unique_ptr<FirstLayerEngine::Scratch>> scratch_;
-  double confidence_margin_;
+  runtime::AdaptivePipeline pipeline_;
 };
 
 }  // namespace scbnn::hybrid

@@ -23,6 +23,32 @@ Tensor softmax(const Tensor& logits) {
   return p;
 }
 
+std::vector<SoftmaxMargin> softmax_margins(const Tensor& logits) {
+  if (logits.rank() != 2 || logits.dim(1) < 2) {
+    throw std::invalid_argument("softmax_margins: expected [B, classes>=2]");
+  }
+  const Tensor p = softmax(logits);
+  const int batch = p.dim(0), classes = p.dim(1);
+  std::vector<SoftmaxMargin> out(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    int best = 0, second = 1;
+    if (p.at2(b, second) > p.at2(b, best)) std::swap(best, second);
+    for (int c = 2; c < classes; ++c) {
+      if (p.at2(b, c) > p.at2(b, best)) {
+        second = best;
+        best = c;
+      } else if (p.at2(b, c) > p.at2(b, second)) {
+        second = c;
+      }
+    }
+    auto& m = out[static_cast<std::size_t>(b)];
+    m.best = best;
+    m.second = second;
+    m.margin = static_cast<double>(p.at2(b, best)) - p.at2(b, second);
+  }
+  return out;
+}
+
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const int> labels) {
   const int batch = logits.dim(0), classes = logits.dim(1);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "nn/tensor.h"
 
@@ -19,6 +20,17 @@ struct LossResult {
 
 /// Row-wise softmax probabilities.
 [[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Top-1/top-2 softmax analysis of one batch row, used for confidence-based
+/// precision escalation (adaptive serving + progressive classification).
+struct SoftmaxMargin {
+  int best = 0;         ///< argmax class
+  int second = 0;       ///< runner-up class
+  double margin = 0.0;  ///< p(best) - p(second), in [0, 1]
+};
+
+/// Per-row softmax margins for a [B, classes] logits batch (classes >= 2).
+[[nodiscard]] std::vector<SoftmaxMargin> softmax_margins(const Tensor& logits);
 
 /// Fraction of rows whose argmax equals the label.
 [[nodiscard]] double accuracy(const Tensor& logits,

@@ -1,5 +1,8 @@
 #include "nn/network.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace scbnn::nn {
 
 Layer::~Layer() = default;
@@ -48,6 +51,23 @@ std::vector<int> Network::predict(const Tensor& x) {
     out[static_cast<std::size_t>(b)] = best;
   }
   return out;
+}
+
+void copy_params(Network& src, Network& dst) {
+  const auto sp = src.params();
+  const auto dp = dst.params();
+  if (sp.size() != dp.size()) {
+    throw std::invalid_argument("copy_params: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    const Tensor& s = *sp[i].value;
+    Tensor& d = *dp[i].value;
+    if (s.shape() != d.shape()) {
+      throw std::invalid_argument("copy_params: shape mismatch at " +
+                                  dp[i].name);
+    }
+    std::copy(s.data(), s.data() + s.size(), d.data());
+  }
 }
 
 std::size_t Network::parameter_count() {

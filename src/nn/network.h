@@ -54,4 +54,10 @@ class Network {
   std::vector<std::unique_ptr<Layer>> layers_;
 };
 
+/// Copy every trainable parameter of `src` into `dst`. Both networks must
+/// have identical architecture (same parameter count and shapes); throws
+/// std::invalid_argument otherwise. Network is move-only, so this is the
+/// way to stamp trained weights into a freshly built twin.
+void copy_params(Network& src, Network& dst);
+
 }  // namespace scbnn::nn

@@ -1,0 +1,188 @@
+#include "runtime/adaptive_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "hw/report.h"
+#include "nn/loss.h"
+
+namespace scbnn::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
+}
+
+std::vector<AdaptiveRung> validate_rungs(std::vector<AdaptiveRung> rungs) {
+  if (rungs.empty()) {
+    throw std::invalid_argument("AdaptivePipeline: no rungs");
+  }
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    if (!rungs[i].engine) {
+      throw std::invalid_argument("AdaptivePipeline: null engine in rung " +
+                                  std::to_string(i));
+    }
+    // bits drives the cycle/energy accounting; a mismatch with the engine's
+    // actual precision would silently misreport every stat.
+    if (rungs[i].bits != rungs[i].engine->bits()) {
+      throw std::invalid_argument(
+          "AdaptivePipeline: rung " + std::to_string(i) + " declares " +
+          std::to_string(rungs[i].bits) + " bits but its engine runs at " +
+          std::to_string(rungs[i].engine->bits()));
+    }
+    if (i > 0 && rungs[i].bits <= rungs[i - 1].bits) {
+      throw std::invalid_argument(
+          "AdaptivePipeline: rungs must have strictly increasing bits");
+    }
+  }
+  return rungs;
+}
+
+}  // namespace
+
+AdaptivePipeline::AdaptivePipeline(std::vector<AdaptiveRung> rungs,
+                                   double confidence_margin,
+                                   RuntimeConfig config)
+    : rungs_(validate_rungs(std::move(rungs))),
+      confidence_margin_(confidence_margin),
+      config_(config.validate()),
+      pool_(config.threads) {
+  if (confidence_margin < 0.0 || confidence_margin > 1.0) {
+    throw std::invalid_argument("AdaptivePipeline: margin must be in [0,1]");
+  }
+  scratch_.reserve(rungs_.size());
+  for (const AdaptiveRung& rung : rungs_) {
+    auto& per_worker = scratch_.emplace_back();
+    per_worker.reserve(pool_.size());
+    for (unsigned w = 0; w < pool_.size(); ++w) {
+      per_worker.push_back(rung.engine->make_scratch());
+    }
+  }
+}
+
+double AdaptivePipeline::rung_cycles_per_image(std::size_t i) const {
+  const AdaptiveRung& r = rungs_.at(i);
+  return hw::sc_cycles_per_frame(r.bits, r.engine->kernels());
+}
+
+std::vector<AdaptiveOutcome> AdaptivePipeline::classify(
+    const nn::Tensor& images) {
+  if (images.rank() != 4 || images.dim(1) != 1 ||
+      images.dim(2) != hybrid::kImageSize ||
+      images.dim(3) != hybrid::kImageSize) {
+    throw std::invalid_argument(
+        "AdaptivePipeline::classify: expected [N,1,28,28], got " +
+        images.shape_string());
+  }
+  const int n = images.dim(0);
+  constexpr std::size_t kPixels =
+      static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
+
+  stats_ = PipelineStats{};
+  stats_.images = n;
+  stats_.threads = pool_.size();
+  stats_.rungs.assign(rungs_.size(), RungStats{});
+  for (std::size_t r = 0; r < rungs_.size(); ++r) {
+    stats_.rungs[r].bits = rungs_[r].bits;
+  }
+
+  std::vector<AdaptiveOutcome> out(static_cast<std::size_t>(n));
+  std::vector<int> active(static_cast<std::size_t>(n));
+  std::iota(active.begin(), active.end(), 0);
+
+  const auto batch_start = Clock::now();
+  std::vector<hw::RungEnergy> energy;  // per-rung traffic for the hw model
+  nn::Tensor survivors;  // dense sub-batch of escalated images (rung > 0)
+  for (std::size_t r = 0; r < rungs_.size() && !active.empty(); ++r) {
+    AdaptiveRung& rung = rungs_[r];
+    RungStats& rs = stats_.rungs[r];
+    const auto rung_start = Clock::now();
+    const int m = static_cast<int>(active.size());
+
+    // Rung 0 sees the full batch in place; later rungs compact the
+    // unconfident survivors into a dense sub-batch so the chunked first
+    // layer and the tail forward stay contiguous.
+    const float* batch = images.data();
+    if (r > 0) {
+      survivors = nn::Tensor(
+          {m, 1, hybrid::kImageSize, hybrid::kImageSize});
+      for (int j = 0; j < m; ++j) {
+        const float* src =
+            images.data() +
+            static_cast<std::size_t>(active[static_cast<std::size_t>(j)]) *
+                kPixels;
+        std::copy(src, src + kPixels,
+                  survivors.data() + static_cast<std::size_t>(j) * kPixels);
+      }
+      batch = survivors.data();
+    }
+
+    const int k = rung.engine->kernels();
+    nn::Tensor features({m, k, hybrid::kImageSize, hybrid::kImageSize});
+    const std::size_t out_stride = static_cast<std::size_t>(k) * kPixels;
+    const int chunk = config_.chunk_images;
+    const int jobs = (m + chunk - 1) / chunk;
+    pool_.parallel_for(jobs, [&](int job, unsigned worker) {
+      const int first = job * chunk;
+      const int count = std::min(chunk, m - first);
+      rung.engine->compute_batch(
+          batch + static_cast<std::size_t>(first) * kPixels, count,
+          features.data() + static_cast<std::size_t>(first) * out_stride,
+          *scratch_[r][worker]);
+    });
+
+    // Tail + margins run on the calling thread: the tail forward is batch
+    // math (per-image independent), and keeping it serial preserves the
+    // bit-identity contract without per-worker tail copies.
+    const nn::Tensor logits = rung.tail.forward(features, /*training=*/false);
+    const std::vector<nn::SoftmaxMargin> margins = nn::softmax_margins(logits);
+
+    const double cycles_per_image = rung_cycles_per_image(r);
+    energy.push_back({rung.engine->name(), rung.bits, k, m});
+    const bool last = r + 1 == rungs_.size();
+    std::vector<int> next;
+    for (int j = 0; j < m; ++j) {
+      const int idx = active[static_cast<std::size_t>(j)];
+      const nn::SoftmaxMargin& sm = margins[static_cast<std::size_t>(j)];
+      AdaptiveOutcome& o = out[static_cast<std::size_t>(idx)];
+      o.predicted = sm.best;
+      o.rung = static_cast<int>(r);
+      o.bits_used = rung.bits;
+      o.margin = sm.margin;
+      o.cycles += cycles_per_image;
+      if (sm.margin < confidence_margin_ && !last) next.push_back(idx);
+    }
+
+    rs.images_in = m;
+    rs.images_exited = m - static_cast<int>(next.size());
+    rs.sc_cycles = static_cast<double>(m) * cycles_per_image;
+    rs.energy_j = hw::aggregate_rung_energy_j({energy.back()});
+    rs.latency_ms = ms_since(rung_start);
+    active = std::move(next);
+  }
+
+  stats_.latency_ms = ms_since(batch_start);
+  stats_.images_per_sec = stats_.latency_ms > 0.0
+                              ? static_cast<double>(n) * 1e3 / stats_.latency_ms
+                              : 0.0;
+  stats_.energy_j = hw::aggregate_rung_energy_j(energy);
+  for (const RungStats& rs : stats_.rungs) stats_.sc_cycles += rs.sc_cycles;
+  return out;
+}
+
+std::vector<int> AdaptivePipeline::predict(const nn::Tensor& images) {
+  const std::vector<AdaptiveOutcome> outcomes = classify(images);
+  std::vector<int> predictions(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    predictions[i] = outcomes[i].predicted;
+  }
+  return predictions;
+}
+
+}  // namespace scbnn::runtime

@@ -1,0 +1,122 @@
+// Batched adaptive-precision serving pipeline.
+//
+// The paper's dynamic energy-accuracy trade-off (run the stochastic first
+// layer at few bits, escalate to high precision only for uncertain inputs)
+// as a first-class serving construct: an ordered ladder of precision rungs,
+// each a {bits, FirstLayerEngine, retrained binary tail} triple. A batch
+// enters the cheapest rung, the first layer is chunked across the shared
+// ThreadPool, the rung's tail scores every image, and only the images whose
+// softmax top1-top2 margin falls below the confidence threshold are
+// compacted into a dense sub-batch and escalated to the next rung.
+//
+// Determinism contract: escalation decisions depend only on per-image
+// arithmetic (first-layer features are bit-identical at any chunking, the
+// tail forward is per-image independent), so predictions, margins, and
+// cycle totals are bit-identical across thread counts and match a serial
+// rung-by-rung escalation of each image.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hybrid/first_layer.h"
+#include "nn/network.h"
+#include "runtime/inference_engine.h"
+#include "runtime/thread_pool.h"
+
+namespace scbnn::runtime {
+
+/// One precision rung: a frozen first-layer engine and the binary tail
+/// retrained for that precision. Rungs are ordered cheapest first and must
+/// have strictly increasing bits; `bits` must equal the engine's bits()
+/// (it drives the rung's cycle/energy accounting).
+struct AdaptiveRung {
+  unsigned bits = 8;
+  std::unique_ptr<hybrid::FirstLayerEngine> engine;
+  nn::Network tail;
+};
+
+/// Per-rung serving statistics for one classify() batch.
+struct RungStats {
+  unsigned bits = 0;
+  int images_in = 0;      ///< images entering this rung
+  int images_exited = 0;  ///< images accepted (confident or last rung)
+  double latency_ms = 0.0;
+  double sc_cycles = 0.0;  ///< SC cycles spent: images_in * kernels * 2^bits
+  double energy_j = 0.0;   ///< first-layer energy from the 65nm model
+};
+
+/// Whole-pipeline statistics for one classify() batch.
+struct PipelineStats {
+  int images = 0;
+  unsigned threads = 1;
+  double latency_ms = 0.0;
+  double images_per_sec = 0.0;
+  double sc_cycles = 0.0;  ///< summed over rungs
+  double energy_j = 0.0;   ///< summed over rungs
+  std::vector<RungStats> rungs;
+
+  [[nodiscard]] double mean_cycles_per_image() const noexcept {
+    return images > 0 ? sc_cycles / images : 0.0;
+  }
+};
+
+/// Per-image result of an adaptive classification.
+struct AdaptiveOutcome {
+  int predicted = -1;
+  int rung = 0;            ///< index of the accepting rung
+  unsigned bits_used = 0;  ///< precision of the accepting rung
+  double margin = 0.0;     ///< softmax margin at acceptance
+  double cycles = 0.0;     ///< total SC cycles spent (all rungs tried)
+};
+
+class AdaptivePipeline {
+ public:
+  /// `rungs` must be non-empty, engines non-null, bits strictly increasing
+  /// and matching each engine's precision;
+  /// `confidence_margin` in [0, 1] is the minimum softmax top1-top2 gap to
+  /// accept a rung's verdict without escalating. Throws
+  /// std::invalid_argument on any violation (config included).
+  AdaptivePipeline(std::vector<AdaptiveRung> rungs, double confidence_margin,
+                   RuntimeConfig config = {});
+
+  /// Serve one [N,1,28,28] batch through the ladder. Updates last_stats().
+  [[nodiscard]] std::vector<AdaptiveOutcome> classify(const nn::Tensor& images);
+
+  /// classify() reduced to the predicted class indices.
+  [[nodiscard]] std::vector<int> predict(const nn::Tensor& images);
+
+  [[nodiscard]] const PipelineStats& last_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t rung_count() const noexcept {
+    return rungs_.size();
+  }
+  [[nodiscard]] const AdaptiveRung& rung(std::size_t i) const {
+    return rungs_.at(i);
+  }
+  [[nodiscard]] double confidence_margin() const noexcept {
+    return confidence_margin_;
+  }
+  [[nodiscard]] const RuntimeConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// SC cycles one image costs at rung `i` — kernels taken from the rung's
+  /// engine, not assumed to be 32.
+  [[nodiscard]] double rung_cycles_per_image(std::size_t i) const;
+
+ private:
+  std::vector<AdaptiveRung> rungs_;
+  double confidence_margin_;
+  RuntimeConfig config_;
+  ThreadPool pool_;
+  // scratch_[rung][worker]: each rung's engine keeps one workspace per pool
+  // worker, reused across batches.
+  std::vector<std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>>>
+      scratch_;
+  PipelineStats stats_;
+};
+
+}  // namespace scbnn::runtime

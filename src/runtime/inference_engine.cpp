@@ -21,14 +21,26 @@ std::unique_ptr<hybrid::FirstLayerEngine> require_engine(
 
 }  // namespace
 
+const RuntimeConfig& RuntimeConfig::validate() const {
+  if (chunk_images < 1) {
+    throw std::invalid_argument(
+        "RuntimeConfig: chunk_images must be >= 1, got " +
+        std::to_string(chunk_images));
+  }
+  if (threads > ThreadPool::kMaxThreads) {
+    throw std::invalid_argument(
+        "RuntimeConfig: threads must be <= " +
+        std::to_string(ThreadPool::kMaxThreads) + " (0 = auto), got " +
+        std::to_string(threads));
+  }
+  return *this;
+}
+
 InferenceEngine::InferenceEngine(
     std::unique_ptr<hybrid::FirstLayerEngine> engine, RuntimeConfig config)
     : engine_(require_engine(std::move(engine))),
-      config_(config),
+      config_(config.validate()),
       pool_(config.threads) {
-  if (config_.chunk_images <= 0) {
-    throw std::invalid_argument("InferenceEngine: chunk_images must be > 0");
-  }
   scratch_.reserve(pool_.size());
   for (unsigned i = 0; i < pool_.size(); ++i) {
     scratch_.push_back(engine_->make_scratch());

@@ -21,6 +21,13 @@ namespace scbnn::runtime {
 struct RuntimeConfig {
   unsigned threads = 0;  ///< worker threads; 0 = hardware concurrency
   int chunk_images = 8;  ///< images per work item handed to a worker
+
+  /// Reject nonsense before any pool or scratch is built: chunk_images must
+  /// be >= 1 and threads must not exceed ThreadPool::kMaxThreads (0 stays
+  /// the documented "auto" setting). Throws std::invalid_argument naming
+  /// the offending field; returns *this so constructors can validate in
+  /// their initializer lists.
+  const RuntimeConfig& validate() const;
 };
 
 /// Per-batch serving statistics, refreshed by every features()/predict().

@@ -60,6 +60,16 @@ void ThreadPool::parallel_for(int jobs,
                               const std::function<void(int, unsigned)>& fn) {
   if (jobs <= 0) return;
 
+  // A single-worker pool gains nothing from a queue handoff: run the jobs
+  // inline on the caller under the worker's slot id. No job can overlap
+  // with pool tasks on scratch slot 0 because parallel_for would have
+  // blocked the caller anyway. This keeps single-frame serving (e.g. the
+  // progressive-classifier adapter) free of per-call wakeup latency.
+  if (size() == 1) {
+    for (int job = 0; job < jobs; ++job) fn(job, 0);
+    return;
+  }
+
   struct State {
     std::atomic<int> next{0};
     std::atomic<bool> failed{false};

@@ -192,6 +192,22 @@ TEST(InferenceEngine, RejectsNullEngineAndBadConfig) {
   rc.chunk_images = 0;
   EXPECT_THROW(InferenceEngine("sc-proposed", qw, cfg, rc),
                std::invalid_argument);
+  rc.chunk_images = 8;
+  rc.threads = ThreadPool::kMaxThreads + 1;  // absurd, not silently clamped
+  EXPECT_THROW(InferenceEngine("sc-proposed", qw, cfg, rc),
+               std::invalid_argument);
+}
+
+TEST(RuntimeConfig, ValidateAcceptsDefaultsAndRejectsNonsense) {
+  EXPECT_NO_THROW(RuntimeConfig{}.validate());
+  RuntimeConfig rc;
+  rc.threads = ThreadPool::kMaxThreads;  // at the cap is still fine
+  EXPECT_NO_THROW(rc.validate());
+  rc.threads = ThreadPool::kMaxThreads + 1;
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+  rc.threads = 0;
+  rc.chunk_images = -3;
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
 }
 
 TEST(InferenceEngine, FeaturesMatchSerialReference) {
