@@ -12,14 +12,13 @@
 //
 // Scale knobs: the SCBNN_* experiment variables (SCBNN_TRAIN_N,
 // SCBNN_TEST_N, SCBNN_BASE_EPOCHS, SCBNN_RETRAIN_EPOCHS, SCBNN_THREADS,
-// SCBNN_QUICK, ...) plus SCBNN_BENCH_RUNGS (2 or 3, default 3).
+// SCBNN_QUICK, ...) plus --rungs / SCBNN_BENCH_RUNGS (2 or 3, default 3).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "hw/report.h"
 #include "hybrid/experiment.h"
 #include "runtime/adaptive_pipeline.h"
@@ -50,7 +49,7 @@ double miscl_pct(const std::vector<int>& predictions,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scbnn;
 
   hybrid::ExperimentConfig cfg;
@@ -59,10 +58,9 @@ int main() {
   cfg.cache_path = "scbnn_base_model_cache.bin";
   cfg.apply_env_overrides();
 
-  int rung_count = 3;
-  if (const char* v = std::getenv("SCBNN_BENCH_RUNGS")) {
-    if (std::strcmp(v, "2") == 0) rung_count = 2;
-  }
+  const bench::Flags flags(argc, argv);
+  const int rung_count =
+      static_cast<int>(flags.get_long("rungs", "SCBNN_BENCH_RUNGS", 3, 2, 3));
   const std::vector<unsigned> rung_bits =
       rung_count == 2 ? std::vector<unsigned>{3u, 8u}
                       : std::vector<unsigned>{3u, 5u, 8u};

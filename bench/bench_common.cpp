@@ -1,0 +1,136 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+namespace scbnn::bench {
+
+namespace {
+
+std::optional<long> parse_long(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+void warn(const std::string& source, const std::string& value) {
+  std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n",
+               source.c_str(), value.c_str());
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> pieces;
+  std::string::size_type start = 0;
+  while (start <= csv.size()) {
+    const std::string::size_type comma = csv.find(',', start);
+    const std::string piece =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!piece.empty()) pieces.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return pieces;
+}
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const std::string::size_type eq = token.find('=');
+    if (token.rfind("--", 0) != 0 || eq == std::string::npos || eq <= 2) {
+      std::fprintf(stderr,
+                   "warning: ignoring argument '%s' (expected --key=value)\n",
+                   token.c_str());
+      continue;
+    }
+    values_[token.substr(2, eq - 2)] = token.substr(eq + 1);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> Flags::sources(
+    const std::string& key, const char* env) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (const auto it = values_.find(key); it != values_.end()) {
+    out.emplace_back("--" + key, it->second);
+  }
+  if (env != nullptr) {
+    if (const char* v = std::getenv(env); v != nullptr && *v != '\0') {
+      out.emplace_back(env, v);
+    }
+  }
+  return out;
+}
+
+long Flags::get_long(const std::string& key, const char* env, long fallback,
+                     long lo, long hi) const {
+  for (const auto& [source, text] : sources(key, env)) {
+    const auto parsed = parse_long(text);
+    if (parsed && *parsed >= lo && *parsed <= hi) return *parsed;
+    warn(source, text);  // fall through to the next source
+  }
+  return fallback;
+}
+
+double Flags::get_double(const std::string& key, const char* env,
+                         double fallback, double lo, double hi) const {
+  for (const auto& [source, text] : sources(key, env)) {
+    const auto parsed = parse_double(text);
+    if (parsed && *parsed >= lo && *parsed <= hi) return *parsed;
+    warn(source, text);
+  }
+  return fallback;
+}
+
+std::string Flags::get_string(const std::string& key, const char* env,
+                              const std::string& fallback) const {
+  const auto candidates = sources(key, env);
+  return candidates.empty() ? fallback : candidates.front().second;
+}
+
+std::vector<std::string> Flags::get_list(const std::string& key,
+                                         const char* env,
+                                         const std::string& fallback_csv) const {
+  for (const auto& [source, text] : sources(key, env)) {
+    std::vector<std::string> pieces = split_csv(text);
+    if (!pieces.empty()) return pieces;
+    warn(source, text);
+  }
+  return split_csv(fallback_csv);
+}
+
+std::vector<double> Flags::get_double_list(const std::string& key,
+                                           const char* env,
+                                           const std::string& fallback_csv,
+                                           double lo, double hi) const {
+  const auto parse_list = [lo, hi](const std::string& csv) {
+    std::vector<double> parsed;
+    for (const std::string& piece : split_csv(csv)) {
+      const auto value = parse_double(piece);
+      if (!value || *value < lo || *value > hi) return std::vector<double>{};
+      parsed.push_back(*value);
+    }
+    return parsed;
+  };
+
+  for (const auto& [source, text] : sources(key, env)) {
+    std::vector<double> parsed = parse_list(text);
+    if (!parsed.empty()) return parsed;
+    warn(source, text);  // malformed, out of range, or empty
+  }
+  return parse_list(fallback_csv);
+}
+
+}  // namespace scbnn::bench

@@ -1,0 +1,61 @@
+// Shared flag/env parsing for the bench binaries.
+//
+// Every bench used to hand-roll its own getenv + strtol checking; this
+// helper centralizes the one policy they all want: values resolve from
+// `--key=value` argv flags first, then a SCBNN_* environment variable,
+// then the built-in default — and anything malformed or out of range is
+// rejected with a warning on stderr while the next source is used
+// (warn-and-default, matching the ExperimentConfig env hardening: a typo
+// never turns into a silent zero or a crashed bench).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scbnn::bench {
+
+class Flags {
+ public:
+  /// Collect `--key=value` tokens from argv. Tokens in any other shape
+  /// warn on stderr and are ignored.
+  Flags(int argc, char** argv);
+
+  /// Integer in [lo, hi]. `env` may be nullptr for flag-only options.
+  [[nodiscard]] long get_long(const std::string& key, const char* env,
+                              long fallback, long lo, long hi) const;
+
+  /// Floating-point value in [lo, hi].
+  [[nodiscard]] double get_double(const std::string& key, const char* env,
+                                  double fallback, double lo, double hi) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key, const char* env,
+                                       const std::string& fallback) const;
+
+  /// Comma-separated list of non-empty strings.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& key, const char* env,
+      const std::string& fallback_csv) const;
+
+  /// Comma-separated list of doubles, each in [lo, hi]. One malformed
+  /// element rejects the whole list (the fallback is used instead).
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key, const char* env, const std::string& fallback_csv,
+      double lo, double hi) const;
+
+ private:
+  /// Present sources for `key` in resolution order: the flag value (if
+  /// given), then the environment value (if set). Each entry is
+  /// {warn label, raw text}; a malformed earlier source falls through to
+  /// the next one.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> sources(
+      const std::string& key, const char* env) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+/// Split a comma-separated string into non-empty trimmed-as-is pieces.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& csv);
+
+}  // namespace scbnn::bench

@@ -9,14 +9,13 @@
 // Results are printed as a table and written to BENCH_throughput.json so
 // the performance trajectory is tracked from PR to PR.
 //
-// Scale knobs: SCBNN_BENCH_N (batch size, default 96), SCBNN_BENCH_BITS
-// (first-layer precision, default 4).
+// Scale knobs: --n / SCBNN_BENCH_N (batch size, default 96) and
+// --bits / SCBNN_BENCH_BITS (first-layer precision, default 4).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "data/synthetic_mnist.h"
 #include "hw/report.h"
 #include "hybrid/hybrid_network.h"
@@ -26,18 +25,6 @@
 #include "runtime/inference_engine.h"
 
 namespace {
-
-long env_long(const char* name, long fallback, long lo, long hi) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || parsed < lo || parsed > hi) {
-    std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n", name, v);
-    return fallback;
-  }
-  return parsed;
-}
 
 struct Row {
   std::string backend;
@@ -51,12 +38,14 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scbnn;
 
-  const int n = static_cast<int>(env_long("SCBNN_BENCH_N", 96, 1, 100000));
-  const auto bits =
-      static_cast<unsigned>(env_long("SCBNN_BENCH_BITS", 4, 2, 8));
+  const bench::Flags flags(argc, argv);
+  const int n =
+      static_cast<int>(flags.get_long("n", "SCBNN_BENCH_N", 96, 1, 100000));
+  const auto bits = static_cast<unsigned>(
+      flags.get_long("bits", "SCBNN_BENCH_BITS", 4, 2, 8));
   const unsigned kThreadCounts[] = {1, 2, 4, 8};
   constexpr std::uint64_t kSeed = 7;
 
@@ -104,9 +93,7 @@ int main() {
       row.latency_ms = stats.latency_ms;
       row.images_per_sec = stats.images_per_sec;
       row.energy_nj_per_frame =
-          stats.images > 0
-              ? stats.first_layer_energy_j * 1e9 / stats.images
-              : 0.0;
+          stats.images > 0 ? stats.energy_j * 1e9 / stats.images : 0.0;
       if (threads == kThreadCounts[0]) {
         reference_predictions = predictions;
         images_per_sec_1t = stats.images_per_sec;

@@ -1,17 +1,22 @@
 // Near-sensor system pipeline (Fig. 3 of the paper, middle row).
 //
-// Simulates a camera producing frames: each frame passes through the
-// ramp-compare analog-to-stochastic converter into the 784-unit stochastic
-// convolution layer, then the binary tail classifies the digit. Per-frame
-// latency and energy come from the calibrated 65nm model; the same stream
-// is also run through the all-binary design for comparison.
+// Simulates a camera producing frames one at a time — the way work actually
+// arrives near a sensor. Each frame is submitted as a single request to
+// runtime::Server, whose batch former coalesces whatever is waiting into a
+// dense micro-batch before handing it to the backend (enqueue -> batch
+// former -> Servable -> future resolution). The fixed-precision stream runs
+// against a single-rung pipeline at kBits; per-frame latency and energy
+// come from the calibrated 65nm model, with the all-binary design for
+// comparison.
 //
-// The second half serves the same stream through the adaptive-precision
-// pipeline: a cheap 3-bit rung classifies every frame first and only the
-// uncertain ones escalate to the 6-bit rung, so the stream's average
-// first-layer energy drops below the fixed-precision design at matching
-// accuracy.
+// The second half serves the same stream, again request by request, through
+// the adaptive-precision ladder: a cheap 3-bit rung classifies every frame
+// first and only the uncertain ones escalate to the 6-bit rung, so the
+// stream's average first-layer energy drops below the fixed-precision
+// design at matching accuracy. Every prediction also reports its queue
+// wait, compute time, and the micro-batch it rode in.
 #include <cstdio>
+#include <future>
 #include <vector>
 
 #include "hw/binary_design.h"
@@ -21,9 +26,35 @@
 #include "nn/loss.h"
 #include "nn/trainer.h"
 #include "runtime/adaptive_pipeline.h"
+#include "runtime/server.h"
+
+namespace {
+
+using namespace scbnn;
+
+constexpr std::size_t kPixels =
+    static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
+
+/// Submit every frame of the stream as its own request and wait for all
+/// predictions — the sensor-side view of the serving core.
+std::vector<runtime::Prediction> serve_stream(runtime::Server& server,
+                                              const data::Dataset& frames) {
+  const int n = static_cast<int>(frames.size());
+  std::vector<std::future<runtime::Prediction>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(server.submit(frames.images.data() +
+                                    static_cast<std::size_t>(i) * kPixels));
+  }
+  std::vector<runtime::Prediction> predictions;
+  predictions.reserve(futures.size());
+  for (auto& f : futures) predictions.push_back(f.get());
+  return predictions;
+}
+
+}  // namespace
 
 int main() {
-  using namespace scbnn;
   constexpr unsigned kBits = 6;
   constexpr int kFrames = 16;
   constexpr double kMargin = 0.5;
@@ -46,38 +77,48 @@ int main() {
   std::vector<hybrid::TrainedRung> ladder =
       hybrid::train_precision_ladder(prep, cfg, rung_bits);
 
-  // "Sensor" stream = the first frames of the test split, served as one
-  // batch through the threaded inference runtime at fixed kBits precision
-  // (a single-rung pipeline is exactly the fixed design).
+  // "Sensor" stream = the first frames of the test split. A single-rung
+  // pipeline at kBits is exactly the fixed design; the Server in front of
+  // it coalesces the one-frame requests into micro-batches (dispatching
+  // when 8 wait or the oldest has waited 2 ms).
   const data::Dataset frames = data::head(prep.data.test, kFrames);
   runtime::AdaptivePipeline fixed_pipeline(
       hybrid::instantiate_ladder({&ladder.back(), 1}, cfg), 0.0,
       cfg.runtime_config());
+  runtime::ServerConfig server_cfg;
+  server_cfg.max_batch = 8;
+  server_cfg.max_delay_us = 2000;
 
-  const auto predictions = fixed_pipeline.predict(frames.images);
-  const runtime::PipelineStats& fixed_stats = fixed_pipeline.last_stats();
-  std::printf("served %d frames on %u worker threads: %.2f ms, %.0f "
-              "images/sec (simulation)\n\n",
-              fixed_stats.images, fixed_stats.threads, fixed_stats.latency_ms,
-              fixed_stats.images_per_sec);
+  std::vector<runtime::Prediction> predictions;
+  {
+    runtime::Server server(fixed_pipeline, server_cfg);
+    predictions = serve_stream(server, frames);
+    server.shutdown();
+    const runtime::ServerStats stats = server.stats();
+    std::printf("served %ld single-frame requests on %u worker threads in "
+                "%ld micro-batches (mean batch %.1f)\n\n",
+                stats.completed, fixed_pipeline.threads(), stats.batches,
+                stats.mean_batch_size());
+  }
 
   hw::StochasticConvDesign sc(kBits);
   hw::BinaryConvDesign bin(kBits);
   const double frame_us = sc.frame_time_s() * 1e6;
   const double frame_nj = sc.energy_per_frame_j() * 1e9;
 
-  std::printf("frame | truth | predicted | first-layer latency | energy "
-              "(this work vs binary)\n");
+  std::printf("frame | truth | predicted | wait+compute (ms) | batch | "
+              "energy (this work vs binary)\n");
   int correct = 0;
   double total_nj = 0.0;
   for (int i = 0; i < kFrames; ++i) {
-    const bool ok = predictions[static_cast<std::size_t>(i)] ==
-                    frames.labels[static_cast<std::size_t>(i)];
+    const runtime::Prediction& p = predictions[static_cast<std::size_t>(i)];
+    const bool ok = p.label == frames.labels[static_cast<std::size_t>(i)];
     correct += ok ? 1 : 0;
     total_nj += frame_nj;
-    std::printf("%5d | %5d | %9d | %16.2f us | %6.1f nJ vs %6.1f nJ %s\n", i,
-                frames.labels[static_cast<std::size_t>(i)],
-                predictions[static_cast<std::size_t>(i)], frame_us, frame_nj,
+    std::printf("%5d | %5d | %9d | %7.2f + %6.2f  | %5d | %6.1f nJ vs "
+                "%6.1f nJ %s\n",
+                i, frames.labels[static_cast<std::size_t>(i)], p.label,
+                p.queue_wait_ms, p.compute_ms, p.batch_size, frame_nj,
                 bin.energy_per_frame_j() * 1e9, ok ? "" : "  <- miss");
   }
 
@@ -90,28 +131,35 @@ int main() {
               total_nj * 1e-3, bin.energy_per_frame_j() * 1e9 * kFrames * 1e-3,
               bin.energy_per_frame_j() / sc.energy_per_frame_j());
 
-  // ---- Adaptive precision: same stream, 3-bit rung first ----------------
+  // ---- Adaptive precision: same stream of requests, 3-bit rung first ----
   runtime::AdaptivePipeline adaptive(hybrid::instantiate_ladder(ladder, cfg),
                                      kMargin, cfg.runtime_config());
-  const auto outcomes = adaptive.classify(frames.images);
-  const runtime::PipelineStats& stats = adaptive.last_stats();
+  double adaptive_energy_j = 0.0;
+  std::vector<runtime::Prediction> outcomes;
+  {
+    runtime::Server server(adaptive, server_cfg);
+    outcomes = serve_stream(server, frames);
+    server.shutdown();
+    adaptive_energy_j = server.stats().energy_j;
+  }
   int adaptive_correct = 0;
+  std::vector<int> exits(adaptive.rung_count(), 0);
   for (int i = 0; i < kFrames; ++i) {
-    if (outcomes[static_cast<std::size_t>(i)].predicted ==
-        frames.labels[static_cast<std::size_t>(i)]) {
+    const runtime::Prediction& p = outcomes[static_cast<std::size_t>(i)];
+    if (p.label == frames.labels[static_cast<std::size_t>(i)]) {
       ++adaptive_correct;
     }
+    ++exits[static_cast<std::size_t>(p.rung)];
   }
 
   std::printf("\nAdaptive precision (margin %.2f): %d/%d correct\n", kMargin,
               adaptive_correct, kFrames);
   std::printf("exit histogram:\n");
-  for (std::size_t r = 0; r < stats.rungs.size(); ++r) {
-    const runtime::RungStats& rs = stats.rungs[r];
-    std::printf("  rung %zu (%u-bit): %3d frames entered, %3d exited "
-                "(%.2f ms, %.0f SC cycles)\n",
-                r, rs.bits, rs.images_in, rs.images_exited, rs.latency_ms,
-                rs.sc_cycles);
+  int entering = kFrames;
+  for (std::size_t r = 0; r < adaptive.rung_count(); ++r) {
+    std::printf("  rung %zu (%u-bit): %3d frames entered, %3d exited\n", r,
+                adaptive.rung(r).bits, entering, exits[r]);
+    entering -= exits[r];
   }
   // Energy of a fixed kBits design over the stream, from the same per-rung
   // aggregation the pipeline uses internally.
@@ -120,8 +168,8 @@ int main() {
       {{adaptive.rung(0).engine->name(), kBits, kernels, kFrames}});
   std::printf("adaptive first-layer energy: %.1f nJ vs %.1f nJ fixed "
               "%u-bit — %.1f%% saved at %+d correct\n",
-              stats.energy_j * 1e9, fixed_j * 1e9, kBits,
-              100.0 * (1.0 - stats.energy_j / fixed_j),
+              adaptive_energy_j * 1e9, fixed_j * 1e9, kBits,
+              100.0 * (1.0 - adaptive_energy_j / fixed_j),
               adaptive_correct - correct);
 
   std::printf("\nNote: sensor conversion energy is excluded, as in the "

@@ -29,6 +29,14 @@ double sc_cycles_per_frame(unsigned bits, int kernels) {
   return static_cast<double>(kernels) * static_cast<double>(1ULL << bits);
 }
 
+double backend_sc_cycles_per_frame(const std::string& backend, unsigned bits,
+                                   int kernels) {
+  if (backend == "sc-proposed" || backend == "sc-conventional") {
+    return sc_cycles_per_frame(bits, kernels);
+  }
+  return 0.0;
+}
+
 double aggregate_rung_energy_j(const std::vector<RungEnergy>& rungs) {
   double total = 0.0;
   for (const RungEnergy& rung : rungs) {

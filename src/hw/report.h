@@ -69,6 +69,12 @@ struct PaperTables12 {
 /// time-multiplexed kernel passes of 2^bits cycles each (Section IV.A).
 [[nodiscard]] double sc_cycles_per_frame(unsigned bits, int kernels);
 
+/// sc_cycles_per_frame for a named backend, 0.0 for backends with no
+/// stochastic-cycle notion (e.g. "binary-quantized") — the backend->model
+/// mapping lives here, beside the energy dispatch, not in callers.
+[[nodiscard]] double backend_sc_cycles_per_frame(const std::string& backend,
+                                                 unsigned bits, int kernels);
+
 /// One precision rung's traffic in an adaptive serving pipeline: `images`
 /// frames entered a `backend` first layer running at `bits` precision.
 struct RungEnergy {

@@ -73,8 +73,9 @@ const nn::Tensor& base_conv1_weights(nn::Network& base) {
 HybridNetwork::HybridNetwork(std::unique_ptr<FirstLayerEngine> first_layer,
                              nn::Network tail,
                              runtime::RuntimeConfig runtime_config)
-    : runtime_(std::move(first_layer), runtime_config),
-      tail_(std::move(tail)) {}
+    : runtime_(std::move(first_layer), runtime_config) {
+  runtime_.set_tail(std::move(tail));
+}
 
 nn::Tensor HybridNetwork::features(const nn::Tensor& images) {
   return runtime_.features(images);
@@ -84,16 +85,21 @@ std::vector<nn::EpochStats> HybridNetwork::retrain(
     const nn::Tensor& train_features, std::span<const int> labels,
     const nn::TrainConfig& config, float lr) {
   nn::Adam opt(lr);
-  return nn::fit(tail_, opt, train_features, labels, config);
+  return nn::fit(tail(), opt, train_features, labels, config);
 }
 
 double HybridNetwork::evaluate(const nn::Tensor& test_features,
                                std::span<const int> labels) {
-  return nn::evaluate_accuracy(tail_, test_features, labels);
+  return nn::evaluate_accuracy(tail(), test_features, labels);
 }
 
 std::vector<int> HybridNetwork::predict(const nn::Tensor& images) {
-  return runtime_.predict(images, tail_);
+  return runtime_.predict(images, tail());
+}
+
+std::vector<runtime::Prediction> HybridNetwork::classify(
+    const nn::Tensor& images) {
+  return runtime_.Servable::classify(images);
 }
 
 }  // namespace scbnn::hybrid

@@ -51,7 +51,9 @@ void copy_tail_params(nn::Network& base, nn::Network& tail);
 /// A frozen first-layer engine plus a trainable binary tail. The first
 /// layer runs through the batched serving runtime: features/predict chunk
 /// each batch across a thread pool with bit-identical results at any
-/// thread count.
+/// thread count. The tail lives inside the runtime engine, so the whole
+/// network is directly a runtime::Servable (see servable()) and can sit
+/// behind a runtime::Server without any adapter.
 class HybridNetwork {
  public:
   HybridNetwork(std::unique_ptr<FirstLayerEngine> first_layer,
@@ -73,13 +75,19 @@ class HybridNetwork {
   /// End-to-end prediction from raw images.
   [[nodiscard]] std::vector<int> predict(const nn::Tensor& images);
 
+  /// End-to-end classification with per-image softmax margins.
+  [[nodiscard]] std::vector<runtime::Prediction> classify(
+      const nn::Tensor& images);
+
   [[nodiscard]] const FirstLayerEngine& first_layer() const {
     return runtime_.engine();
   }
-  [[nodiscard]] nn::Network& tail() noexcept { return tail_; }
+  [[nodiscard]] nn::Network& tail() { return runtime_.tail(); }
   [[nodiscard]] runtime::InferenceEngine& runtime() noexcept {
     return runtime_;
   }
+  /// This network as a request-serving backend for runtime::Server.
+  [[nodiscard]] runtime::Servable& servable() noexcept { return runtime_; }
   /// Serving stats of the most recent features()/predict() batch.
   [[nodiscard]] const runtime::BatchStats& last_stats() const noexcept {
     return runtime_.last_stats();
@@ -87,7 +95,6 @@ class HybridNetwork {
 
  private:
   runtime::InferenceEngine runtime_;
-  nn::Network tail_;
 };
 
 /// Misclassification rate (%) = 100 * (1 - accuracy), the paper's metric.

@@ -41,7 +41,7 @@ ProgressiveClassifier::Outcome ProgressiveClassifier::classify(
     const float* image) {
   nn::Tensor frame({1, 1, kImageSize, kImageSize});
   std::copy(image, image + frame.size(), frame.data());
-  const runtime::AdaptiveOutcome res = pipeline_.classify(frame)[0];
+  const runtime::AdaptiveOutcome res = pipeline_.classify_outcomes(frame)[0];
   Outcome out;
   out.predicted = res.predicted;
   out.bits_used = res.bits_used;

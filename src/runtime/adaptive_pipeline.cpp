@@ -13,10 +13,10 @@ namespace scbnn::runtime {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = ServeClock;
 
 double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
+  return ms_between(start, Clock::now());
 }
 
 std::vector<AdaptiveRung> validate_rungs(std::vector<AdaptiveRung> rungs) {
@@ -71,16 +71,14 @@ double AdaptivePipeline::rung_cycles_per_image(std::size_t i) const {
   return hw::sc_cycles_per_frame(r.bits, r.engine->kernels());
 }
 
-std::vector<AdaptiveOutcome> AdaptivePipeline::classify(
+std::vector<AdaptiveOutcome> AdaptivePipeline::classify_outcomes(
     const nn::Tensor& images) {
-  if (images.rank() != 4 || images.dim(1) != 1 ||
-      images.dim(2) != hybrid::kImageSize ||
-      images.dim(3) != hybrid::kImageSize) {
-    throw std::invalid_argument(
-        "AdaptivePipeline::classify: expected [N,1,28,28], got " +
-        images.shape_string());
-  }
-  const int n = images.dim(0);
+  check_image_batch(images, "AdaptivePipeline::classify_outcomes");
+  return run_ladder(images.data(), images.dim(0));
+}
+
+std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
+                                                          int n) {
   constexpr std::size_t kPixels =
       static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
 
@@ -108,13 +106,13 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::classify(
     // Rung 0 sees the full batch in place; later rungs compact the
     // unconfident survivors into a dense sub-batch so the chunked first
     // layer and the tail forward stay contiguous.
-    const float* batch = images.data();
+    const float* batch = images;
     if (r > 0) {
       survivors = nn::Tensor(
           {m, 1, hybrid::kImageSize, hybrid::kImageSize});
       for (int j = 0; j < m; ++j) {
         const float* src =
-            images.data() +
+            images +
             static_cast<std::size_t>(active[static_cast<std::size_t>(j)]) *
                 kPixels;
         std::copy(src, src + kPixels,
@@ -167,17 +165,38 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::classify(
     active = std::move(next);
   }
 
-  stats_.latency_ms = ms_since(batch_start);
-  stats_.images_per_sec = stats_.latency_ms > 0.0
-                              ? static_cast<double>(n) * 1e3 / stats_.latency_ms
-                              : 0.0;
+  stats_.set_timing(n, pool_.size(), ms_since(batch_start));
   stats_.energy_j = hw::aggregate_rung_energy_j(energy);
   for (const RungStats& rs : stats_.rungs) stats_.sc_cycles += rs.sc_cycles;
   return out;
 }
 
+ServeStats AdaptivePipeline::classify(const float* images, int n,
+                                      Prediction* out) {
+  const std::vector<AdaptiveOutcome> outcomes = run_ladder(images, n);
+  for (int i = 0; i < n; ++i) {
+    const AdaptiveOutcome& o = outcomes[static_cast<std::size_t>(i)];
+    Prediction& p = out[i];
+    p = Prediction{};
+    p.label = o.predicted;
+    p.margin = o.margin;
+    p.rung = o.rung;
+    p.bits_used = o.bits_used;
+  }
+  return stats_;
+}
+
+std::string AdaptivePipeline::name() const {
+  std::string bits;
+  for (const AdaptiveRung& rung : rungs_) {
+    if (!bits.empty()) bits += "/";
+    bits += std::to_string(rung.bits);
+  }
+  return "adaptive(" + bits + "-bit " + rungs_.front().engine->name() + ")";
+}
+
 std::vector<int> AdaptivePipeline::predict(const nn::Tensor& images) {
-  const std::vector<AdaptiveOutcome> outcomes = classify(images);
+  const std::vector<AdaptiveOutcome> outcomes = classify_outcomes(images);
   std::vector<int> predictions(outcomes.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     predictions[i] = outcomes[i].predicted;

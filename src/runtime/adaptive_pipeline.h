@@ -23,6 +23,7 @@
 #include "hybrid/first_layer.h"
 #include "nn/network.h"
 #include "runtime/inference_engine.h"
+#include "runtime/servable.h"
 #include "runtime/thread_pool.h"
 
 namespace scbnn::runtime {
@@ -47,14 +48,10 @@ struct RungStats {
   double energy_j = 0.0;   ///< first-layer energy from the 65nm model
 };
 
-/// Whole-pipeline statistics for one classify() batch.
-struct PipelineStats {
-  int images = 0;
-  unsigned threads = 1;
-  double latency_ms = 0.0;
-  double images_per_sec = 0.0;
-  double sc_cycles = 0.0;  ///< summed over rungs
-  double energy_j = 0.0;   ///< summed over rungs
+/// Whole-pipeline statistics for one classify() batch: the shared serving
+/// totals (sc_cycles/energy_j summed over rungs) plus the per-rung
+/// breakdown.
+struct PipelineStats : ServeStats {
   std::vector<RungStats> rungs;
 
   [[nodiscard]] double mean_cycles_per_image() const noexcept {
@@ -71,7 +68,7 @@ struct AdaptiveOutcome {
   double cycles = 0.0;     ///< total SC cycles spent (all rungs tried)
 };
 
-class AdaptivePipeline {
+class AdaptivePipeline : public Servable {
  public:
   /// `rungs` must be non-empty, engines non-null, bits strictly increasing
   /// and matching each engine's precision;
@@ -81,11 +78,26 @@ class AdaptivePipeline {
   AdaptivePipeline(std::vector<AdaptiveRung> rungs, double confidence_margin,
                    RuntimeConfig config = {});
 
-  /// Serve one [N,1,28,28] batch through the ladder. Updates last_stats().
-  [[nodiscard]] std::vector<AdaptiveOutcome> classify(const nn::Tensor& images);
+  /// Serve one [N,1,28,28] batch through the ladder, returning the full
+  /// per-image escalation record. Updates last_stats(). Named distinctly
+  /// from classify() so the same expression never silently changes return
+  /// type between AdaptivePipeline and Servable& call sites.
+  [[nodiscard]] std::vector<AdaptiveOutcome> classify_outcomes(
+      const nn::Tensor& images);
 
-  /// classify() reduced to the predicted class indices.
+  /// classify_outcomes() reduced to the predicted class indices.
   [[nodiscard]] std::vector<int> predict(const nn::Tensor& images);
+
+  // ------------------------------------------------------------- Servable
+  /// Ladder escalation over `n` contiguous frames; Predictions carry the
+  /// accepting rung, its precision, and the margin. Updates last_stats().
+  ServeStats classify(const float* images, int n, Prediction* out) override;
+  using Servable::classify;
+  /// "adaptive(<bits>/<bits>/...-bit <backend>)".
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned threads() const noexcept override {
+    return pool_.size();
+  }
 
   [[nodiscard]] const PipelineStats& last_stats() const noexcept {
     return stats_;
@@ -108,6 +120,11 @@ class AdaptivePipeline {
   [[nodiscard]] double rung_cycles_per_image(std::size_t i) const;
 
  private:
+  /// The ladder core shared by both classify() flavors: escalate `n`
+  /// contiguous frames and return per-image outcomes, refreshing stats_.
+  [[nodiscard]] std::vector<AdaptiveOutcome> run_ladder(const float* images,
+                                                        int n);
+
   std::vector<AdaptiveRung> rungs_;
   double confidence_margin_;
   RuntimeConfig config_;

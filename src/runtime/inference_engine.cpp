@@ -1,10 +1,10 @@
 #include "runtime/inference_engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
 
 #include "hw/report.h"
+#include "nn/loss.h"
 #include "runtime/backend_registry.h"
 
 namespace scbnn::runtime {
@@ -54,51 +54,98 @@ InferenceEngine::InferenceEngine(const std::string& backend,
     : InferenceEngine(BackendRegistry::instance().create(backend, weights, flc),
                       config) {}
 
-nn::Tensor InferenceEngine::features(const nn::Tensor& images) {
-  if (images.rank() != 4 || images.dim(1) != 1 ||
-      images.dim(2) != hybrid::kImageSize ||
-      images.dim(3) != hybrid::kImageSize) {
-    throw std::invalid_argument(
-        "InferenceEngine::features: expected [N,1,28,28], got " +
-        images.shape_string());
-  }
-  const int n = images.dim(0);
-  const int k = engine_->kernels();
-  nn::Tensor out({n, k, hybrid::kImageSize, hybrid::kImageSize});
-
+void InferenceEngine::compute_features(const float* images, int n,
+                                       float* out) {
   const int chunk = config_.chunk_images;
   const int jobs = (n + chunk - 1) / chunk;
   const std::size_t in_stride =
       static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
   const std::size_t out_stride =
-      static_cast<std::size_t>(k) * hybrid::kOutputsPerKernel;
+      static_cast<std::size_t>(engine_->kernels()) *
+      hybrid::kOutputsPerKernel;
 
-  const auto start = std::chrono::steady_clock::now();
   pool_.parallel_for(jobs, [&](int job, unsigned worker) {
     const int first = job * chunk;
     const int count = std::min(chunk, n - first);
     engine_->compute_batch(
-        images.data() + static_cast<std::size_t>(first) * in_stride, count,
-        out.data() + static_cast<std::size_t>(first) * out_stride,
+        images + static_cast<std::size_t>(first) * in_stride, count,
+        out + static_cast<std::size_t>(first) * out_stride,
         *scratch_[worker]);
   });
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+}
 
-  stats_.images = n;
-  stats_.threads = pool_.size();
-  stats_.latency_ms = elapsed.count() * 1e3;
-  stats_.images_per_sec =
-      elapsed.count() > 0.0 ? static_cast<double>(n) / elapsed.count() : 0.0;
-  stats_.first_layer_energy_j =
+nn::Tensor InferenceEngine::features(const nn::Tensor& images) {
+  check_image_batch(images, "InferenceEngine::features");
+  const int n = images.dim(0);
+  const int k = engine_->kernels();
+  nn::Tensor out({n, k, hybrid::kImageSize, hybrid::kImageSize});
+
+  const auto start = ServeClock::now();
+  compute_features(images.data(), n, out.data());
+  refresh_stats(n, ms_between(start, ServeClock::now()));
+  return out;
+}
+
+void InferenceEngine::refresh_stats(int n, double elapsed_ms) {
+  const int k = engine_->kernels();
+  stats_ = ServeStats{};
+  stats_.set_timing(n, pool_.size(), elapsed_ms);
+  stats_.energy_j =
       static_cast<double>(n) *
       hw::backend_energy_per_frame_j(engine_->name(), engine_->bits(), k);
-  return out;
+  stats_.sc_cycles =
+      static_cast<double>(n) *
+      hw::backend_sc_cycles_per_frame(engine_->name(), engine_->bits(), k);
 }
 
 std::vector<int> InferenceEngine::predict(const nn::Tensor& images,
                                           nn::Network& tail) {
   return tail.predict(features(images));
 }
+
+void InferenceEngine::set_tail(nn::Network tail) {
+  tail_ = std::move(tail);
+  has_tail_ = true;
+}
+
+nn::Network& InferenceEngine::tail() {
+  if (!has_tail_) {
+    throw std::logic_error(
+        "InferenceEngine::tail: no tail attached (call set_tail first)");
+  }
+  return tail_;
+}
+
+ServeStats InferenceEngine::classify(const float* images, int n,
+                                     Prediction* out) {
+  if (!has_tail_) {
+    throw std::logic_error(
+        "InferenceEngine::classify: no tail attached (call set_tail first)");
+  }
+  const auto start = ServeClock::now();
+  nn::Tensor feats(
+      {n, engine_->kernels(), hybrid::kImageSize, hybrid::kImageSize});
+  compute_features(images, n, feats.data());
+
+  // The tail forward is batch math (per-image independent) and runs on the
+  // calling thread, preserving the bit-identity contract without
+  // per-worker tail copies.
+  const nn::Tensor logits = tail_.forward(feats, /*training=*/false);
+  const std::vector<nn::SoftmaxMargin> margins = nn::softmax_margins(logits);
+  for (int i = 0; i < n; ++i) {
+    const nn::SoftmaxMargin& sm = margins[static_cast<std::size_t>(i)];
+    Prediction& p = out[i];
+    p = Prediction{};
+    p.label = sm.best;
+    p.margin = sm.margin;
+    p.rung = 0;
+    p.bits_used = engine_->bits();
+  }
+
+  refresh_stats(n, ms_between(start, ServeClock::now()));
+  return stats_;
+}
+
+std::string InferenceEngine::name() const { return engine_->name(); }
 
 }  // namespace scbnn::runtime

@@ -6,6 +6,11 @@
 // tensor — so features are bit-identical to the serial path at every thread
 // count. Each batch reports latency, throughput, and a first-layer energy
 // estimate from the calibrated 65nm hardware model.
+//
+// With a tail network attached (set_tail), the engine is a full Servable:
+// classify() runs the threaded first layer, forwards the tail on the
+// calling thread, and reports softmax-margin Predictions — the
+// fixed-precision counterpart of AdaptivePipeline.
 #pragma once
 
 #include <memory>
@@ -14,6 +19,7 @@
 
 #include "hybrid/first_layer.h"
 #include "nn/network.h"
+#include "runtime/servable.h"
 #include "runtime/thread_pool.h"
 
 namespace scbnn::runtime {
@@ -31,20 +37,14 @@ struct RuntimeConfig {
 };
 
 /// Per-batch serving statistics, refreshed by every features()/predict().
-struct BatchStats {
-  int images = 0;
-  unsigned threads = 1;
-  double latency_ms = 0.0;
-  double images_per_sec = 0.0;
-  /// Estimated first-layer energy for the whole batch (J) if this batch ran
-  /// on the paper's 65nm silicon; 0 when the backend has no hardware model.
-  double first_layer_energy_j = 0.0;
-};
+/// Alias of the shared ServeStats — the engine's stats are the serving
+/// layer's stats, one struct, one set of field names.
+using BatchStats = ServeStats;
 
-class InferenceEngine {
+class InferenceEngine : public Servable {
  public:
-  InferenceEngine(std::unique_ptr<hybrid::FirstLayerEngine> engine,
-                  RuntimeConfig config = {});
+  explicit InferenceEngine(std::unique_ptr<hybrid::FirstLayerEngine> engine,
+                           RuntimeConfig config = {});
 
   /// Resolve `backend` through the BackendRegistry.
   InferenceEngine(const std::string& backend,
@@ -61,6 +61,26 @@ class InferenceEngine {
   [[nodiscard]] std::vector<int> predict(const nn::Tensor& images,
                                          nn::Network& tail);
 
+  /// Attach the binary tail that completes the network, making classify()
+  /// available. The engine owns the tail from here on.
+  void set_tail(nn::Network tail);
+  [[nodiscard]] bool has_tail() const noexcept { return has_tail_; }
+  /// Mutable access to the attached tail (retraining happens in place).
+  /// Throws std::logic_error when no tail is attached.
+  [[nodiscard]] nn::Network& tail();
+
+  // ------------------------------------------------------------- Servable
+  /// Threaded first layer + attached tail + softmax margins. Requires
+  /// set_tail() first (throws std::logic_error otherwise). Updates
+  /// last_stats() with whole-call timing (first layer + tail).
+  ServeStats classify(const float* images, int n, Prediction* out) override;
+  using Servable::classify;
+  /// The first-layer backend's registry name (e.g. "sc-proposed").
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned threads() const noexcept override {
+    return pool_.size();
+  }
+
   [[nodiscard]] const BatchStats& last_stats() const noexcept {
     return stats_;
   }
@@ -73,10 +93,21 @@ class InferenceEngine {
   }
 
  private:
+  /// Chunk `n` contiguous frames across the pool into `out` (caller-sized
+  /// [n, kernels, 28, 28] storage). The shared core of features() and
+  /// classify().
+  void compute_features(const float* images, int n, float* out);
+
+  /// Reset stats_ for an `n`-image call that took `elapsed_ms`, including
+  /// the hardware-model energy and SC-cycle estimates.
+  void refresh_stats(int n, double elapsed_ms);
+
   std::unique_ptr<hybrid::FirstLayerEngine> engine_;
   RuntimeConfig config_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>> scratch_;
+  nn::Network tail_;
+  bool has_tail_ = false;
   BatchStats stats_;
 };
 

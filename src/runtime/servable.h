@@ -1,0 +1,95 @@
+// The request-level serving contract of the runtime layer.
+//
+// A Servable is anything that can turn a contiguous run of 28x28 frames
+// into per-frame Predictions with aggregate ServeStats: the fixed-precision
+// InferenceEngine (first layer + one tail) and the multi-rung
+// AdaptivePipeline both implement it, so the request Server, the benches,
+// and the examples can treat "a backend" as one type. The contract's
+// load-bearing clause is determinism: a frame's Prediction depends only on
+// the frame's pixels (plus the backend's frozen state), never on how the
+// caller grouped frames into batches — that is what lets the Server
+// coalesce single-image requests into dense micro-batches while staying
+// bit-identical to direct batch calls.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace scbnn::runtime {
+
+/// Monotonic clock shared by the serving layer (batch timing, queue waits).
+using ServeClock = std::chrono::steady_clock;
+
+/// Milliseconds elapsed since `start` — the serving layer's one way to
+/// turn clock points into reported latencies.
+[[nodiscard]] double ms_between(ServeClock::time_point start,
+                                ServeClock::time_point end);
+
+/// One classified frame. The arithmetic fields (label, margin, rung,
+/// bits_used) are bit-identical however the frame reached the backend; the
+/// timing fields are filled by runtime::Server and stay zero on direct
+/// Servable::classify calls.
+struct Prediction {
+  int label = -1;          ///< argmax class
+  double margin = 0.0;     ///< softmax top1-top2 gap at acceptance
+  int rung = 0;            ///< accepting rung (0 for single-rung backends)
+  unsigned bits_used = 0;  ///< first-layer precision that produced the label
+
+  // Request-level accounting (Server only).
+  double queue_wait_ms = 0.0;  ///< enqueue -> batch dispatch
+  double compute_ms = 0.0;     ///< batch dispatch -> backend done
+  int batch_size = 0;          ///< size of the coalesced batch served with
+
+  /// End-to-end request latency as tracked by the Server.
+  [[nodiscard]] double e2e_ms() const noexcept {
+    return queue_wait_ms + compute_ms;
+  }
+};
+
+/// Aggregate statistics for one batched classify() call — the stats/energy
+/// plumbing previously duplicated between InferenceEngine's BatchStats and
+/// AdaptivePipeline's PipelineStats totals.
+struct ServeStats {
+  int images = 0;
+  unsigned threads = 1;
+  double latency_ms = 0.0;
+  double images_per_sec = 0.0;
+  /// First-layer energy for the whole batch (J) from the calibrated 65nm
+  /// model; 0 when the backend has no hardware model at this precision.
+  double energy_j = 0.0;
+  /// SC cycles spent on the batch; 0 for backends without an SC notion.
+  double sc_cycles = 0.0;
+
+  /// Fill the latency-derived fields from a wall-clock measurement.
+  void set_timing(int n, unsigned thread_count, double elapsed_ms) noexcept;
+};
+
+class Servable {
+ public:
+  virtual ~Servable();
+
+  /// Primary entry point: `n` contiguous 28x28 frames -> `n` Predictions
+  /// written to `out`. Deterministic per frame: splitting or coalescing the
+  /// same frames into different batches must not change any Prediction's
+  /// arithmetic fields, bit for bit.
+  virtual ServeStats classify(const float* images, int n,
+                              Prediction* out) = 0;
+
+  /// Identifies the backend in bench tables and JSON reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Worker threads the backend computes with (its pool size).
+  [[nodiscard]] virtual unsigned threads() const noexcept = 0;
+
+  /// Tensor convenience: validates [N,1,28,28] and classifies the batch.
+  [[nodiscard]] std::vector<Prediction> classify(const nn::Tensor& images);
+};
+
+/// Shared [N,1,28,28] shape check; throws std::invalid_argument naming
+/// `where` on any other shape.
+void check_image_batch(const nn::Tensor& images, const char* where);
+
+}  // namespace scbnn::runtime

@@ -1,0 +1,191 @@
+#include "runtime/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "hybrid/first_layer.h"
+
+namespace scbnn::runtime {
+
+namespace {
+
+constexpr std::size_t kPixels =
+    static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
+
+}  // namespace
+
+const ServerConfig& ServerConfig::validate() const {
+  if (max_batch < 1) {
+    throw std::invalid_argument("ServerConfig: max_batch must be >= 1, got " +
+                                std::to_string(max_batch));
+  }
+  if (max_delay_us < 0 || max_delay_us > kMaxDelayUs) {
+    throw std::invalid_argument(
+        "ServerConfig: max_delay_us must be in [0, " +
+        std::to_string(kMaxDelayUs) + "], got " +
+        std::to_string(max_delay_us));
+  }
+  if (queue_capacity < 1) {
+    throw std::invalid_argument("ServerConfig: queue_capacity must be >= 1");
+  }
+  // A batch larger than the queue could never fill, so the size trigger
+  // would be dead and every dispatch would wait out max_delay_us — worst
+  // exactly when the server is saturated.
+  if (static_cast<std::size_t>(max_batch) > queue_capacity) {
+    throw std::invalid_argument(
+        "ServerConfig: max_batch (" + std::to_string(max_batch) +
+        ") must not exceed queue_capacity (" +
+        std::to_string(queue_capacity) + ")");
+  }
+  return *this;
+}
+
+Server::Server(Servable& backend, ServerConfig config)
+    : backend_(backend),
+      config_(config.validate()),
+      queue_(config.queue_capacity) {
+  stats_.batch_histogram.assign(
+      static_cast<std::size_t>(config_.max_batch) + 1, 0);
+  batch_former_ = std::thread([this] { serve_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+Request Server::make_request(const float* image) const {
+  Request request;
+  request.image.assign(image, image + kPixels);
+  request.enqueued_at = ServeClock::now();
+  return request;
+}
+
+std::future<Prediction> Server::submit(const float* image) {
+  Request request = make_request(image);
+  std::future<Prediction> future = request.result.get_future();
+  // Count acceptance *before* the enqueue: the batch former may complete
+  // the request before this thread regains stats_mutex_, and a stats()
+  // snapshot must never show completed > accepted. Rolled back on reject.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+  }
+  try {
+    queue_.push(std::move(request));
+  } catch (const QueueFullError&) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.accepted;
+    ++stats_.rejected;
+    throw;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.accepted;
+    throw;
+  }
+  return future;
+}
+
+std::vector<std::future<Prediction>> Server::submit_burst(const float* images,
+                                                          int n) {
+  if (n < 1) {
+    throw std::invalid_argument("Server::submit_burst: n must be >= 1");
+  }
+  std::vector<Request> burst;
+  std::vector<std::future<Prediction>> futures;
+  burst.reserve(static_cast<std::size_t>(n));
+  futures.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    burst.push_back(make_request(images + static_cast<std::size_t>(i) *
+                                              kPixels));
+    futures.push_back(burst.back().result.get_future());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.accepted += n;  // pre-counted, same invariant as submit()
+  }
+  try {
+    queue_.push_burst(std::move(burst));
+  } catch (const QueueFullError&) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.accepted -= n;
+    stats_.rejected += n;
+    throw;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.accepted -= n;
+    throw;
+  }
+  return futures;
+}
+
+void Server::serve_loop() {
+  std::vector<float> packed;
+  std::vector<Prediction> predictions;
+  for (;;) {
+    std::vector<Request> batch = queue_.pop_batch(
+        config_.max_batch, std::chrono::microseconds(config_.max_delay_us));
+    if (batch.empty()) return;  // closed and drained
+
+    const int m = static_cast<int>(batch.size());
+    const auto dispatched_at = ServeClock::now();
+    packed.resize(static_cast<std::size_t>(m) * kPixels);
+    for (int i = 0; i < m; ++i) {
+      std::copy(batch[static_cast<std::size_t>(i)].image.begin(),
+                batch[static_cast<std::size_t>(i)].image.end(),
+                packed.begin() + static_cast<std::size_t>(i) * kPixels);
+    }
+
+    predictions.assign(static_cast<std::size_t>(m), Prediction{});
+    ServeStats batch_stats{};
+    std::exception_ptr failure;
+    try {
+      batch_stats = backend_.classify(packed.data(), m, predictions.data());
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    const auto finished_at = ServeClock::now();
+    const double compute_ms = ms_between(dispatched_at, finished_at);
+
+    double queue_wait_sum = 0.0;
+    for (int i = 0; i < m; ++i) {
+      Request& request = batch[static_cast<std::size_t>(i)];
+      if (failure) {
+        request.result.set_exception(failure);
+        continue;
+      }
+      Prediction& p = predictions[static_cast<std::size_t>(i)];
+      p.queue_wait_ms = ms_between(request.enqueued_at, dispatched_at);
+      p.compute_ms = compute_ms;
+      p.batch_size = m;
+      queue_wait_sum += p.queue_wait_ms;
+      request.result.set_value(p);
+    }
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    ++stats_.batch_histogram[static_cast<std::size_t>(m)];
+    if (failure) {
+      stats_.failed += m;
+    } else {
+      stats_.completed += m;
+      stats_.queue_wait_ms_sum += queue_wait_sum;
+      stats_.compute_ms_sum += compute_ms * m;
+      stats_.energy_j += batch_stats.energy_j;
+    }
+  }
+}
+
+void Server::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.close();  // serve_loop drains the backlog, then exits
+    if (batch_former_.joinable()) batch_former_.join();
+  });
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace scbnn::runtime

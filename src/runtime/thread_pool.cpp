@@ -7,25 +7,33 @@
 
 namespace scbnn::runtime {
 
-ThreadPool::ThreadPool(unsigned threads) {
+unsigned ThreadPool::resolve_threads(unsigned threads) noexcept {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  threads = std::min(threads, kMaxThreads);
+  return std::min(threads, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = resolve_threads(threads);
   workers_.reserve(threads);
   for (unsigned slot = 0; slot < threads; ++slot) {
     workers_.emplace_back([this, slot] { worker_loop(slot); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::worker_loop(unsigned slot) {
@@ -97,23 +105,24 @@ void ThreadPool::parallel_for(int jobs,
   // One drain task per worker (no more than jobs): slot id comes from
   // whichever worker picks it up, so concurrent drainers never share a
   // slot — and exactly size() threads compute, keeping reported thread
-  // counts honest.
+  // counts honest. All drainers are enqueued under one lock hold: a
+  // concurrent shutdown() can never interleave with a partial enqueue and
+  // leave queued tasks referencing fn after this frame unwound.
   const unsigned drainers = std::min(size(), static_cast<unsigned>(jobs));
   std::vector<std::future<void>> pending;
   pending.reserve(drainers);
-  for (unsigned i = 0; i < drainers; ++i) {
-    Task wrapped(drain);
-    std::future<void> f = wrapped.get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stop_) {
-        throw std::runtime_error("ThreadPool::parallel_for: pool is shut down");
-      }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool::parallel_for: pool is shut down");
+    }
+    for (unsigned i = 0; i < drainers; ++i) {
+      Task wrapped(drain);
+      pending.push_back(wrapped.get_future());
       queue_.push_back(std::move(wrapped));
     }
-    cv_.notify_one();
-    pending.push_back(std::move(f));
   }
+  cv_.notify_all();
 
   for (auto& f : pending) f.get();  // drain() swallows; nothing rethrows here
   if (state->error) std::rethrow_exception(state->error);

@@ -24,8 +24,14 @@ class ThreadPool {
   /// low enough that a wild config value cannot exhaust OS resources.
   static constexpr unsigned kMaxThreads = 512;
 
-  /// `threads` = 0 picks std::thread::hardware_concurrency() (min 1);
-  /// values above kMaxThreads are clamped.
+  /// The worker count a requested `threads` value actually yields: 0 maps
+  /// to std::thread::hardware_concurrency() (min 1), values above
+  /// kMaxThreads are clamped. The constructor uses exactly this rule, so
+  /// callers sizing per-worker state from a config need not build a pool
+  /// (or re-derive the rule) to know the answer.
+  [[nodiscard]] static unsigned resolve_threads(unsigned threads) noexcept;
+
+  /// `threads` is resolved through resolve_threads().
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
 
@@ -35,6 +41,12 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
+
+  /// Drain every queued task, then join the workers. Idempotent; the
+  /// destructor calls it. After shutdown, submit() and parallel_for()
+  /// throw std::runtime_error instead of enqueueing work that would never
+  /// run.
+  void shutdown();
 
   /// Enqueue one task. The returned future rethrows whatever the task
   /// throws. Throws std::runtime_error if the pool is shutting down.

@@ -116,7 +116,7 @@ TEST_F(AdaptivePipelineTest, RuntimeConfigValidatedOnConstruction) {
 
 TEST_F(AdaptivePipelineTest, ZeroMarginExitsEveryImageAtRungZero) {
   AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 6u}), 0.0);
-  const auto outcomes = pipeline.classify(split_.train.images);
+  const auto outcomes = pipeline.classify_outcomes(split_.train.images);
   const int n = split_.train.images.dim(0);
   for (const AdaptiveOutcome& o : outcomes) {
     EXPECT_EQ(o.rung, 0);
@@ -134,7 +134,7 @@ TEST_F(AdaptivePipelineTest, ZeroMarginExitsEveryImageAtRungZero) {
 
 TEST_F(AdaptivePipelineTest, ImpossibleMarginEscalatesEveryImageToLastRung) {
   AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 6u}), 1.0);
-  const auto outcomes = pipeline.classify(split_.train.images);
+  const auto outcomes = pipeline.classify_outcomes(split_.train.images);
   const int n = split_.train.images.dim(0);
   const double all_rungs = pipeline.rung_cycles_per_image(0) +
                            pipeline.rung_cycles_per_image(1);
@@ -155,12 +155,12 @@ TEST_F(AdaptivePipelineTest, MarginExactlyAtThresholdAcceptsWithoutEscalating) {
   // confidence threshold: >= semantics must accept at rung 0.
   const nn::Tensor one = data::head(split_.train, 1).images;
   AdaptivePipeline probe(make_rungs(base_, tiny_lenet(), {3u, 6u}), 0.0);
-  const double margin = probe.classify(one)[0].margin;
+  const double margin = probe.classify_outcomes(one)[0].margin;
   ASSERT_GT(margin, 0.0);
   ASSERT_LE(margin, 1.0);
 
   AdaptivePipeline exact(make_rungs(base_, tiny_lenet(), {3u, 6u}), margin);
-  const auto outcome = exact.classify(one)[0];
+  const auto outcome = exact.classify_outcomes(one)[0];
   EXPECT_EQ(outcome.rung, 0);
   EXPECT_DOUBLE_EQ(outcome.margin, margin);
 
@@ -168,7 +168,7 @@ TEST_F(AdaptivePipelineTest, MarginExactlyAtThresholdAcceptsWithoutEscalating) {
   const double above = std::nextafter(margin, 2.0);
   if (above <= 1.0) {
     AdaptivePipeline strict(make_rungs(base_, tiny_lenet(), {3u, 6u}), above);
-    EXPECT_EQ(strict.classify(one)[0].rung, 1);
+    EXPECT_EQ(strict.classify_outcomes(one)[0].rung, 1);
   }
 }
 
@@ -193,7 +193,7 @@ TEST_F(AdaptivePipelineTest, BitIdenticalAcrossThreadCounts) {
     rc.chunk_images = 3;  // 14 images -> 5 uneven chunks
     AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 5u, 7u}),
                               margin, rc);
-    auto outcomes = pipeline.classify(split_.train.images);
+    auto outcomes = pipeline.classify_outcomes(split_.train.images);
     EXPECT_EQ(pipeline.last_stats().threads, threads);
     return outcomes;
   };
@@ -241,7 +241,7 @@ TEST_F(AdaptivePipelineTest, MatchesSerialRungByRungEscalationReference) {
   rc.chunk_images = 4;
   AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 5u, 7u}),
                             margin, rc);
-  const auto got = pipeline.classify(split_.train.images);
+  const auto got = pipeline.classify_outcomes(split_.train.images);
   for (int i = 0; i < n; ++i) {
     const auto& e = expected[static_cast<std::size_t>(i)];
     const auto& g = got[static_cast<std::size_t>(i)];
@@ -266,7 +266,7 @@ TEST_F(AdaptivePipelineTest, ProgressiveAdapterMatchesPipeline) {
   hybrid::ProgressiveClassifier cls(std::move(cls_rungs), margin);
   AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 6u}),
                             margin);
-  const auto outcomes = pipeline.classify(split_.train.images);
+  const auto outcomes = pipeline.classify_outcomes(split_.train.images);
   const int n = split_.train.images.dim(0);
   for (int i = 0; i < n; ++i) {
     const auto single = cls.classify(split_.train.images.data() +
@@ -281,7 +281,7 @@ TEST_F(AdaptivePipelineTest, ProgressiveAdapterMatchesPipeline) {
 
 TEST_F(AdaptivePipelineTest, StatsAreConsistentAndEnergyPositive) {
   AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 6u}), 0.35);
-  const auto outcomes = pipeline.classify(split_.train.images);
+  const auto outcomes = pipeline.classify_outcomes(split_.train.images);
   const int n = split_.train.images.dim(0);
   const PipelineStats& stats = pipeline.last_stats();
   EXPECT_EQ(stats.images, n);
@@ -307,7 +307,7 @@ TEST_F(AdaptivePipelineTest, StatsAreConsistentAndEnergyPositive) {
 
 TEST_F(AdaptivePipelineTest, RejectsBadInputShape) {
   AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u}), 0.5);
-  EXPECT_THROW((void)pipeline.classify(nn::Tensor({2, 1, 14, 14})),
+  EXPECT_THROW((void)pipeline.classify_outcomes(nn::Tensor({2, 1, 14, 14})),
                std::invalid_argument);
 }
 

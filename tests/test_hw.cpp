@@ -181,5 +181,58 @@ TEST(TableWriter, FormatsNumbers) {
   EXPECT_THROW(TableWriter({"a"}, {4, 5}), std::invalid_argument);
 }
 
+TEST(Report, ScCyclesPerFrame) {
+  // Section IV.A: kernels time-multiplexed passes of 2^bits cycles each.
+  EXPECT_DOUBLE_EQ(sc_cycles_per_frame(8, 32), 32.0 * 256.0);
+  EXPECT_DOUBLE_EQ(sc_cycles_per_frame(2, 32), 32.0 * 4.0);
+  // Linear in the kernel count, exponential in precision.
+  EXPECT_DOUBLE_EQ(sc_cycles_per_frame(5, 16), sc_cycles_per_frame(5, 32) / 2);
+  EXPECT_DOUBLE_EQ(sc_cycles_per_frame(6, 32), 2 * sc_cycles_per_frame(5, 32));
+  // Agrees with the full chip model's cycle accounting.
+  EXPECT_DOUBLE_EQ(sc_cycles_per_frame(8, 32),
+                   StochasticConvDesign(8).cycles_per_frame());
+  // Backend dispatch: SC designs spend cycles, binary has no SC notion,
+  // unknown names report 0 rather than guessing.
+  EXPECT_DOUBLE_EQ(backend_sc_cycles_per_frame("sc-proposed", 4, 32),
+                   sc_cycles_per_frame(4, 32));
+  EXPECT_DOUBLE_EQ(backend_sc_cycles_per_frame("sc-conventional", 4, 32),
+                   sc_cycles_per_frame(4, 32));
+  EXPECT_DOUBLE_EQ(backend_sc_cycles_per_frame("binary-quantized", 4, 32),
+                   0.0);
+  EXPECT_DOUBLE_EQ(backend_sc_cycles_per_frame("no-such-chip", 4, 32), 0.0);
+}
+
+TEST(Report, BackendEnergyPerFrame) {
+  // The calibrated models give non-zero per-frame energy for the built-in
+  // backends; unknown names and out-of-range precisions report "no
+  // estimate" (0.0) instead of throwing mid-bench.
+  EXPECT_GT(backend_energy_per_frame_j("sc-proposed", 4), 0.0);
+  EXPECT_GT(backend_energy_per_frame_j("binary-quantized", 4), 0.0);
+  // Conventional SC shares the stochastic chip model.
+  EXPECT_DOUBLE_EQ(backend_energy_per_frame_j("sc-conventional", 6),
+                   backend_energy_per_frame_j("sc-proposed", 6));
+  EXPECT_DOUBLE_EQ(backend_energy_per_frame_j("tpu-offload", 4), 0.0);
+  EXPECT_DOUBLE_EQ(backend_energy_per_frame_j("sc-proposed", 63), 0.0);
+}
+
+TEST(Report, AggregateRungEnergySumsPerRungTraffic) {
+  EXPECT_DOUBLE_EQ(aggregate_rung_energy_j({}), 0.0);
+  const double per_frame_3 = backend_energy_per_frame_j("sc-proposed", 3);
+  const double per_frame_8 = backend_energy_per_frame_j("sc-proposed", 8);
+  ASSERT_GT(per_frame_3, 0.0);
+  // Every frame entering a rung pays that rung's per-frame cost.
+  EXPECT_DOUBLE_EQ(aggregate_rung_energy_j({{"sc-proposed", 3, 32, 100}}),
+                   100.0 * per_frame_3);
+  EXPECT_DOUBLE_EQ(aggregate_rung_energy_j({{"sc-proposed", 3, 32, 100},
+                                            {"sc-proposed", 8, 32, 25}}),
+                   100.0 * per_frame_3 + 25.0 * per_frame_8);
+  // Unmodeled rungs contribute nothing rather than poisoning the total.
+  EXPECT_DOUBLE_EQ(aggregate_rung_energy_j({{"no-such-chip", 3, 32, 1000},
+                                            {"sc-proposed", 3, 32, 100}}),
+                   100.0 * per_frame_3);
+  // Zero-traffic rungs cost nothing.
+  EXPECT_DOUBLE_EQ(aggregate_rung_energy_j({{"sc-proposed", 3, 32, 0}}), 0.0);
+}
+
 }  // namespace
 }  // namespace scbnn::hw

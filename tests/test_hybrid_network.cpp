@@ -3,10 +3,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <future>
+#include <vector>
 
 #include "data/synthetic_mnist.h"
 #include "hybrid/experiment.h"
 #include "hybrid/hybrid_network.h"
+#include "runtime/server.h"
 #include "nn/conv2d.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -103,6 +106,39 @@ TEST(HybridNetwork, NullEngineRejected) {
   nn::Rng rng(8);
   EXPECT_THROW(HybridNetwork(nullptr, build_tail(tiny_lenet(), rng)),
                std::invalid_argument);
+}
+
+TEST(HybridNetwork, IsServableBehindTheRequestServer) {
+  nn::Rng rng(7);
+  const auto cfg = tiny_lenet();
+  nn::Network base = build_lenet(cfg, rng);
+  const auto qw = nn::quantize_conv_weights(base_conv1_weights(base), 6);
+  FirstLayerConfig flc;
+  flc.bits = 6;
+  auto engine =
+      make_first_layer_engine(FirstLayerDesign::kBinaryQuantized, qw, flc);
+  nn::Network tail = build_tail(cfg, rng);
+  copy_tail_params(base, tail);
+  HybridNetwork hybrid(std::move(engine), std::move(tail));
+
+  const data::DataSplit split = data::generate_synthetic_mnist(6, 1, 21);
+  const auto direct_labels = hybrid.predict(split.train.images);
+  const auto direct = hybrid.classify(split.train.images);
+
+  runtime::ServerConfig server_cfg;
+  server_cfg.max_batch = 4;
+  server_cfg.max_delay_us = 200;
+  runtime::Server server(hybrid.servable(), server_cfg);
+  constexpr std::size_t kPixels = 28 * 28;
+  std::vector<std::future<runtime::Prediction>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server.submit(split.train.images.data() + i * kPixels));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const runtime::Prediction p = futures[i].get();
+    EXPECT_EQ(p.label, direct_labels[i]);
+    EXPECT_EQ(p.margin, direct[i].margin);
+  }
 }
 
 TEST(Misclassification, PercentConversion) {

@@ -108,6 +108,36 @@ TEST(ThreadPool, ParallelForZeroJobsIsANoOp) {
   pool.parallel_for(0, [](int, unsigned) { FAIL() << "must not run"; });
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrowsClearly) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto before = pool.submit([&counter] { ++counter; });
+  before.get();
+  pool.shutdown();
+  // Work submitted now would never run — it must be refused loudly.
+  try {
+    (void)pool.submit([&counter] { ++counter; });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shut down"), std::string::npos);
+  }
+  EXPECT_THROW(pool.parallel_for(4, [](int, unsigned) {}),
+               std::runtime_error);
+  EXPECT_EQ(counter.load(), 1);
+  pool.shutdown();  // idempotent; the destructor calls it again
+}
+
+TEST(ThreadPool, ResolveThreadsMatchesConstructedPoolSize) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_EQ(ThreadPool::resolve_threads(ThreadPool::kMaxThreads + 7),
+            ThreadPool::kMaxThreads);
+  for (unsigned requested : {0u, 1u, 4u}) {
+    ThreadPool pool(requested);
+    EXPECT_EQ(pool.size(), ThreadPool::resolve_threads(requested));
+  }
+}
+
 // -------------------------------------------------------- BackendRegistry
 
 TEST(BackendRegistry, BuiltinsRegistered) {
@@ -208,6 +238,17 @@ TEST(RuntimeConfig, ValidateAcceptsDefaultsAndRejectsNonsense) {
   rc.threads = 0;
   rc.chunk_images = -3;
   EXPECT_THROW(rc.validate(), std::invalid_argument);
+  // Exact edge cases: zero chunks is as invalid as negative, and the error
+  // message names the offending field and value.
+  rc.chunk_images = 0;
+  try {
+    (void)rc.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk_images"), std::string::npos);
+  }
+  rc.chunk_images = 1;  // minimum legal chunk
+  EXPECT_NO_THROW(rc.validate());
 }
 
 TEST(InferenceEngine, FeaturesMatchSerialReference) {
@@ -298,7 +339,9 @@ TEST(InferenceEngine, StatsReportBatchAndEnergy) {
   EXPECT_GE(stats.latency_ms, 0.0);
   EXPECT_GT(stats.images_per_sec, 0.0);
   // 4-bit proposed SC has a calibrated hardware model -> non-zero energy.
-  EXPECT_GT(stats.first_layer_energy_j, 0.0);
+  EXPECT_GT(stats.energy_j, 0.0);
+  // ... and an SC backend reports its cycle spend.
+  EXPECT_GT(stats.sc_cycles, 0.0);
 }
 
 }  // namespace
