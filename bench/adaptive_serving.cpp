@@ -10,6 +10,11 @@
 // that predictions do not depend on the thread count. Results are printed
 // and written to BENCH_adaptive.json.
 //
+// The trained ladder is a persistent artifact: the bench loads the
+// ModelBundle at --bundle/SCBNN_BUNDLE when it matches the requested
+// experiment (zero training, millisecond cold start) and only trains —
+// then exports — when it is absent or stale.
+//
 // Scale knobs: the SCBNN_* experiment variables (SCBNN_TRAIN_N,
 // SCBNN_TEST_N, SCBNN_BASE_EPOCHS, SCBNN_RETRAIN_EPOCHS, SCBNN_THREADS,
 // SCBNN_QUICK, ...) plus --rungs / SCBNN_BENCH_RUNGS (2 or 3, default 3).
@@ -19,7 +24,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "data/dataset.h"
 #include "hw/report.h"
+#include "hybrid/bundle.h"
 #include "hybrid/experiment.h"
 #include "runtime/adaptive_pipeline.h"
 
@@ -61,6 +68,8 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const int rung_count =
       static_cast<int>(flags.get_long("rungs", "SCBNN_BENCH_RUNGS", 3, 2, 3));
+  const std::string bundle_path =
+      flags.get_string("bundle", "SCBNN_BUNDLE", "scbnn_adaptive.bundle");
   const std::vector<unsigned> rung_bits =
       rung_count == 2 ? std::vector<unsigned>{3u, 8u}
                       : std::vector<unsigned>{3u, 5u, 8u};
@@ -69,23 +78,29 @@ int main(int argc, char** argv) {
   for (unsigned b : rung_bits) std::printf(" %u-bit", b);
   std::printf(") — train=%zu test=%zu\n\n", cfg.train_n, cfg.test_n);
 
-  hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
-  std::vector<hybrid::TrainedRung> ladder =
-      hybrid::train_precision_ladder(prep, cfg, rung_bits);
-  const int n = static_cast<int>(prep.data.test.size());
+  auto resolved = data::resolve_dataset(cfg.train_n, cfg.test_n, cfg.seed);
+  const data::Dataset& test = resolved.split.test;
+  bool trained_fresh = false;
+  hybrid::ModelBundle bundle = hybrid::load_or_train_bundle(
+      cfg, rung_bits, hybrid::FirstLayerDesign::kScProposed, bundle_path,
+      resolved, 0.5, &trained_fresh);
+  std::printf("%s ladder from %s\n\n",
+              trained_fresh ? "trained and exported" : "loaded",
+              bundle_path.c_str());
+  const int n = static_cast<int>(test.size());
 
   // Fixed baseline: only the most precise rung, served through the same
   // runtime (margin is irrelevant for a single rung).
   Row fixed;
   {
     runtime::AdaptivePipeline pipeline(
-        hybrid::instantiate_ladder({&ladder.back(), 1}, cfg), 0.0,
-        cfg.runtime_config());
-    const auto predictions = pipeline.predict(prep.data.test.images);
+        hybrid::instantiate_bundle_ladder(bundle, bundle.rungs.size() - 1),
+        0.0, cfg.runtime_config());
+    const auto predictions = pipeline.predict(test.images);
     const runtime::PipelineStats& stats = pipeline.last_stats();
     fixed.margin = -1.0;
     fixed.threads = stats.threads;
-    fixed.miscl_pct = miscl_pct(predictions, prep.data.test.labels);
+    fixed.miscl_pct = miscl_pct(predictions, test.labels);
     fixed.mean_cycles = stats.mean_cycles_per_image();
     fixed.energy_nj_per_image = stats.energy_j * 1e9 / n;
     fixed.latency_ms = stats.latency_ms;
@@ -115,14 +130,14 @@ int main(int argc, char** argv) {
       runtime::RuntimeConfig rc = cfg.runtime_config();
       rc.threads = threads;
       runtime::AdaptivePipeline pipeline(
-          hybrid::instantiate_ladder(ladder, cfg), margin, rc);
-      const auto predictions = pipeline.predict(prep.data.test.images);
+          hybrid::instantiate_bundle_ladder(bundle), margin, rc);
+      const auto predictions = pipeline.predict(test.images);
       const runtime::PipelineStats& stats = pipeline.last_stats();
 
       Row row;
       row.margin = margin;
       row.threads = threads;
-      row.miscl_pct = miscl_pct(predictions, prep.data.test.labels);
+      row.miscl_pct = miscl_pct(predictions, test.labels);
       row.mean_cycles = stats.mean_cycles_per_image();
       row.energy_nj_per_image = stats.energy_j * 1e9 / n;
       row.latency_ms = stats.latency_ms;

@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -131,6 +133,15 @@ std::vector<double> Flags::get_double_list(const std::string& key,
     warn(source, text);  // malformed, out of range, or empty
   }
   return parse_list(fallback_csv);
+}
+
+long file_bytes(const std::string& path) {
+  struct stat st {};
+  return stat(path.c_str(), &st) == 0 ? static_cast<long>(st.st_size) : -1;
+}
+
+double ms_since(runtime::ServeClock::time_point start) {
+  return runtime::ms_between(start, runtime::ServeClock::now());
 }
 
 }  // namespace scbnn::bench

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/servable.h"
+
 namespace scbnn::bench {
 
 class Flags {
@@ -57,5 +59,11 @@ class Flags {
 
 /// Split a comma-separated string into non-empty trimmed-as-is pieces.
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& csv);
+
+/// Size of `path` in bytes, -1 when it cannot be stat'ed.
+[[nodiscard]] long file_bytes(const std::string& path);
+
+/// Milliseconds elapsed since `start` on the serving clock.
+[[nodiscard]] double ms_since(runtime::ServeClock::time_point start);
 
 }  // namespace scbnn::bench

@@ -1,23 +1,33 @@
 // Progressive-precision classification: the dynamic energy-accuracy
 // trade-off of Kim et al. [16] realized on the paper's hybrid design.
 //
-// Builds precision rungs (3, 5, 8 bits) with retrained tails, then sweeps
-// the confidence margin through the batched runtime::AdaptivePipeline: a
-// margin of 0 always accepts the cheap 3-bit verdict; a margin of 1 always
+// Uses precision rungs (default 3, 5, 8 bits) with retrained tails, then
+// sweeps the confidence margin through the batched runtime::AdaptivePipeline:
+// a margin of 0 always accepts the cheap 3-bit verdict; a margin of 1 always
 // escalates to 8-bit. In between, easy inputs stop early and the AVERAGE
 // energy approaches the cheap rung while accuracy approaches the precise
 // rung. The whole test split is served as one batch per margin, so the
 // per-rung breakdown comes straight from the pipeline's stats.
 //
-// Scale knobs: same SCBNN_* environment variables as table3_accuracy.
+// The ladder is a persistent ModelBundle shared with adaptive_serving
+// (--bundle/SCBNN_BUNDLE, default scbnn_adaptive.bundle): a matching bundle
+// on disk means zero training at startup.
+//
+// Knobs (flag -> env -> default): --bundle/SCBNN_BUNDLE,
+// --margins/SCBNN_PP_MARGINS (comma list in [0,1]), plus the same SCBNN_*
+// environment variables as table3_accuracy.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "data/dataset.h"
 #include "hw/stochastic_design.h"
+#include "hybrid/bundle.h"
 #include "hybrid/experiment.h"
 #include "runtime/adaptive_pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scbnn;
 
   hybrid::ExperimentConfig cfg;
@@ -26,36 +36,53 @@ int main() {
   cfg.cache_path = "scbnn_base_model_cache.bin";
   cfg.apply_env_overrides();
 
-  std::printf("Progressive precision on the hybrid design (rungs: 3, 5, 8 "
-              "bits)\ntrain=%zu test=%zu\n\n", cfg.train_n, cfg.test_n);
+  const bench::Flags flags(argc, argv);
+  const std::string bundle_path =
+      flags.get_string("bundle", "SCBNN_BUNDLE", "scbnn_adaptive.bundle");
+  const std::vector<double> margins = flags.get_double_list(
+      "margins", "SCBNN_PP_MARGINS", "0.0,0.2,0.4,0.6,0.8,0.95,1.0", 0.0,
+      1.0);
+  // Same ladder selection as adaptive_serving — the two benches share the
+  // bundle at bundle_path, so agreeing runs reuse one artifact instead of
+  // retraining over each other.
+  const int rung_count =
+      static_cast<int>(flags.get_long("rungs", "SCBNN_BENCH_RUNGS", 3, 2, 3));
+  const std::vector<unsigned> rung_bits =
+      rung_count == 2 ? std::vector<unsigned>{3u, 8u}
+                      : std::vector<unsigned>{3u, 5u, 8u};
 
-  hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
-
-  // One retrained tail per rung; engines + tails are re-instantiated per
-  // pipeline (cheap and bit-reproducible).
-  const std::vector<unsigned> rung_bits = {3u, 5u, 8u};
-  std::vector<hybrid::TrainedRung> ladder =
-      hybrid::train_precision_ladder(prep, cfg, rung_bits);
+  std::printf("Progressive precision on the hybrid design (rungs:");
+  for (unsigned b : rung_bits) std::printf(" %u", b);
+  std::printf(" bits)\ntrain=%zu test=%zu\n\n", cfg.train_n, cfg.test_n);
+  auto resolved = data::resolve_dataset(cfg.train_n, cfg.test_n, cfg.seed);
+  const data::Dataset& test = resolved.split.test;
+  bool trained_fresh = false;
+  hybrid::ModelBundle bundle = hybrid::load_or_train_bundle(
+      cfg, rung_bits, hybrid::FirstLayerDesign::kScProposed, bundle_path,
+      resolved, 0.5, &trained_fresh);
+  std::printf("%s ladder from %s\n\n",
+              trained_fresh ? "trained and exported" : "loaded",
+              bundle_path.c_str());
 
   // Per-cycle energy of the SC design (power / clock) converts average
   // cycles into average energy.
   const hw::StochasticConvDesign sc8(8);
   const double joules_per_cycle = sc8.power_w() / sc8.tech().sc_clock_hz;
-  const int n = static_cast<int>(prep.data.test.size());
+  const int n = static_cast<int>(test.size());
 
   std::printf("%10s %12s %14s %16s %18s %14s\n", "margin", "miscl (%)",
               "avg cycles", "avg energy (nJ)", "vs fixed 8-bit", "8b usage");
-  for (double margin : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0}) {
-    runtime::AdaptivePipeline pipeline(hybrid::instantiate_ladder(ladder, cfg),
-                                       margin, cfg.runtime_config());
-    const std::vector<int> predictions =
-        pipeline.predict(prep.data.test.images);
+  for (double margin : margins) {
+    runtime::AdaptivePipeline pipeline(
+        hybrid::instantiate_bundle_ladder(bundle), margin,
+        cfg.runtime_config());
+    const std::vector<int> predictions = pipeline.predict(test.images);
     const runtime::PipelineStats& stats = pipeline.last_stats();
 
     int correct = 0;
     for (int i = 0; i < n; ++i) {
       if (predictions[static_cast<std::size_t>(i)] ==
-          prep.data.test.labels[static_cast<std::size_t>(i)]) {
+          test.labels[static_cast<std::size_t>(i)]) {
         ++correct;
       }
     }

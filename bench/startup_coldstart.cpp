@@ -1,0 +1,153 @@
+// Cold-start benchmark for the train/export/serve split.
+//
+// Measures what the ModelBundle subsystem buys at process startup: with no
+// valid bundle on disk the full training flow runs (seconds — recorded),
+// and the result is exported; with a bundle present (e.g. restored from a
+// CI cache) startup is pure deserialization. Either way the bench then
+// times the serving path a fresh process would take — load_bundle,
+// instantiate_servable through the BackendRegistry, and one micro-batched
+// pass through a runtime::Server — and gates on the served predictions
+// being bit-identical to a direct dense-batch classify. Results land in
+// BENCH_startup.json.
+//
+// Knobs (flag -> env -> default): --bundle/SCBNN_BUNDLE,
+// --rungs/SCBNN_BENCH_RUNGS (2 or 3), --batch/SCBNN_STARTUP_BATCH, plus
+// the usual SCBNN_* experiment scale variables.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/dataset.h"
+#include "hybrid/bundle.h"
+#include "hybrid/experiment.h"
+#include "runtime/server.h"
+
+using namespace scbnn;
+using bench::file_bytes;
+using bench::ms_since;
+
+int main(int argc, char** argv) {
+  hybrid::ExperimentConfig cfg;
+  cfg.train_n = 3000;
+  cfg.test_n = 800;
+  cfg.cache_path = "scbnn_base_model_cache.bin";
+  cfg.apply_env_overrides();
+
+  const bench::Flags flags(argc, argv);
+  const std::string bundle_path =
+      flags.get_string("bundle", "SCBNN_BUNDLE", "scbnn_adaptive.bundle");
+  const int rung_count =
+      static_cast<int>(flags.get_long("rungs", "SCBNN_BENCH_RUNGS", 3, 2, 3));
+  const std::vector<unsigned> rung_bits =
+      rung_count == 2 ? std::vector<unsigned>{3u, 8u}
+                      : std::vector<unsigned>{3u, 5u, 8u};
+
+  auto resolved = data::resolve_dataset(cfg.train_n, cfg.test_n, cfg.seed);
+  // The default must respect the bound too: get_long only range-checks
+  // explicit values, and a tiny SCBNN_TEST_N can undercut 64.
+  const long max_batch_frames = static_cast<long>(resolved.split.test.size());
+  const int batch = static_cast<int>(flags.get_long(
+      "batch", "SCBNN_STARTUP_BATCH", std::min<long>(64, max_batch_frames),
+      1, max_batch_frames));
+
+  std::printf("Cold-start: bundle=%s (%s on entry)\n\n", bundle_path.c_str(),
+              hybrid::bundle_file_valid(bundle_path) ? "present" : "absent");
+
+  // Phase 1 — obtain the artifact. Training only happens when the bundle
+  // is missing or stale; its cost is the number the bundle saves.
+  bool trained_this_run = false;
+  const auto obtain_start = runtime::ServeClock::now();
+  {
+    hybrid::ModelBundle obtained = hybrid::load_or_train_bundle(
+        cfg, rung_bits, hybrid::FirstLayerDesign::kScProposed, bundle_path,
+        resolved, 0.5, &trained_this_run);
+    (void)obtained;  // phase 2 re-loads from disk, the fresh-process path
+  }
+  const double obtain_s = ms_since(obtain_start) / 1e3;
+  const double train_s = trained_this_run ? obtain_s : 0.0;
+
+  // Phase 2 — the serving cold start a fresh process pays: deserialize,
+  // rebuild engines through the registry, serve one micro-batched pass.
+  const auto load_start = runtime::ServeClock::now();
+  hybrid::ModelBundle bundle = hybrid::load_bundle(bundle_path);
+  const double load_ms = ms_since(load_start);
+
+  const auto inst_start = runtime::ServeClock::now();
+  std::unique_ptr<runtime::Servable> servable =
+      hybrid::instantiate_servable(bundle, cfg.runtime_config());
+  const double instantiate_ms = ms_since(inst_start);
+
+  const data::Dataset frames = data::head(resolved.split.test,
+                                          static_cast<std::size_t>(batch));
+  const auto serve_start = runtime::ServeClock::now();
+  std::vector<runtime::Prediction> served;
+  {
+    runtime::ServerConfig server_cfg;
+    server_cfg.max_batch = 16;
+    server_cfg.max_delay_us = 1000;
+    // submit_burst admission is all-or-nothing: the queue must hold the
+    // whole burst or every frame is rejected.
+    server_cfg.queue_capacity = std::max<std::size_t>(
+        server_cfg.queue_capacity, static_cast<std::size_t>(batch));
+    runtime::Server server(*servable, server_cfg);
+    auto futures = server.submit_burst(frames.images.data(), batch);
+    served.reserve(futures.size());
+    for (auto& f : futures) served.push_back(f.get());
+  }
+  const double first_batch_ms = ms_since(serve_start);
+
+  // Bit-identity gate: the served stream must match a direct dense batch.
+  const auto direct = servable->classify(frames.images);
+  bool identical = true;
+  for (int i = 0; i < batch; ++i) {
+    identical &= served[static_cast<std::size_t>(i)].label ==
+                     direct[static_cast<std::size_t>(i)].label &&
+                 served[static_cast<std::size_t>(i)].margin ==
+                     direct[static_cast<std::size_t>(i)].margin;
+  }
+
+  const double startup_ms = load_ms + instantiate_ms;
+  std::printf("train-from-scratch: %s%.1f s\n",
+              trained_this_run ? "" : "(skipped, bundle hit) ", train_s);
+  std::printf("bundle load:        %.2f ms (%ld bytes)\n", load_ms,
+              file_bytes(bundle_path));
+  std::printf("instantiate:        %.2f ms (%s)\n", instantiate_ms,
+              servable->name().c_str());
+  std::printf("first %d-frame batch through the Server: %.2f ms\n", batch,
+              first_batch_ms);
+  if (trained_this_run && startup_ms > 0.0) {
+    std::printf("cold-start reduction: %.1f s -> %.1f ms (%.0fx)\n", train_s,
+                startup_ms, train_s * 1e3 / startup_ms);
+  }
+  std::printf("served == direct batch: %s\n",
+              identical ? "yes" : "NO — serving changed results!");
+
+  std::FILE* json = std::fopen("BENCH_startup.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_startup.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"startup_coldstart\",\n"
+               "  \"bundle_path\": \"%s\",\n  \"bundle_bytes\": %ld,\n"
+               "  \"rung_bits\": [",
+               bundle_path.c_str(), file_bytes(bundle_path));
+  for (std::size_t i = 0; i < rung_bits.size(); ++i) {
+    std::fprintf(json, "%u%s", rung_bits[i],
+                 i + 1 < rung_bits.size() ? ", " : "");
+  }
+  std::fprintf(json,
+               "],\n  \"trained_this_run\": %s,\n  \"train_s\": %.3f,\n"
+               "  \"load_ms\": %.3f,\n  \"instantiate_ms\": %.3f,\n"
+               "  \"startup_ms\": %.3f,\n  \"first_batch_ms\": %.3f,\n"
+               "  \"batch\": %d,\n  \"identical\": %s\n}\n",
+               trained_this_run ? "true" : "false", train_s, load_ms,
+               instantiate_ms, startup_ms, first_batch_ms, batch,
+               identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_startup.json\n");
+  return identical ? 0 : 1;
+}

@@ -1,32 +1,37 @@
-// Near-sensor system pipeline (Fig. 3 of the paper, middle row).
+// Near-sensor system pipeline (Fig. 3 of the paper, middle row), deployed
+// the way the paper's system would ship: as a frozen trained artifact.
 //
-// Simulates a camera producing frames one at a time — the way work actually
-// arrives near a sensor. Each frame is submitted as a single request to
-// runtime::Server, whose batch former coalesces whatever is waiting into a
-// dense micro-batch before handing it to the backend (enqueue -> batch
-// former -> Servable -> future resolution). The fixed-precision stream runs
-// against a single-rung pipeline at kBits; per-frame latency and energy
-// come from the calibrated 65nm model, with the all-binary design for
+// Startup loads a ModelBundle (training only happens when no matching
+// bundle exists — run examples/train_and_export or let this example export
+// one on first run), instantiates two servables from it with ZERO training,
+// and registers both in a runtime::ModelRouter over one shared executor:
+//
+//   "fixed"    — a single-rung pipeline at kBits, the paper's static design
+//   "adaptive" — the 3/kBits-bit ladder, escalating uncertain frames only
+//
+// A camera stream is simulated frame by frame: each frame is submitted as a
+// single request carrying a model id, the router hands it to that model's
+// dynamic batch former, and the per-model Servers coalesce whatever is
+// waiting into dense micro-batches. The adaptive model is hot-registered
+// AFTER the fixed model has started taking traffic — a new bundle joins a
+// live fleet without stopping anything. Per-frame latency and energy come
+// from the calibrated 65nm model, with the all-binary design for
 // comparison.
-//
-// The second half serves the same stream, again request by request, through
-// the adaptive-precision ladder: a cheap 3-bit rung classifies every frame
-// first and only the uncertain ones escalate to the 6-bit rung, so the
-// stream's average first-layer energy drops below the fixed-precision
-// design at matching accuracy. Every prediction also reports its queue
-// wait, compute time, and the micro-batch it rode in.
 #include <cstdio>
 #include <future>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "hw/binary_design.h"
 #include "hw/report.h"
 #include "hw/stochastic_design.h"
+#include "hybrid/bundle.h"
 #include "hybrid/experiment.h"
-#include "nn/loss.h"
-#include "nn/trainer.h"
 #include "runtime/adaptive_pipeline.h"
-#include "runtime/server.h"
+#include "runtime/model_router.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -35,16 +40,19 @@ using namespace scbnn;
 constexpr std::size_t kPixels =
     static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
 
-/// Submit every frame of the stream as its own request and wait for all
-/// predictions — the sensor-side view of the serving core.
-std::vector<runtime::Prediction> serve_stream(runtime::Server& server,
+/// Submit every frame of the stream as its own request to one model of the
+/// router and wait for all predictions — the sensor-side view of
+/// multi-model serving.
+std::vector<runtime::Prediction> serve_stream(runtime::ModelRouter& router,
+                                              const std::string& model,
                                               const data::Dataset& frames) {
   const int n = static_cast<int>(frames.size());
   std::vector<std::future<runtime::Prediction>> futures;
   futures.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    futures.push_back(server.submit(frames.images.data() +
-                                    static_cast<std::size_t>(i) * kPixels));
+    futures.push_back(router.submit(
+        model,
+        frames.images.data() + static_cast<std::size_t>(i) * kPixels));
   }
   std::vector<runtime::Prediction> predictions;
   predictions.reserve(futures.size());
@@ -54,7 +62,7 @@ std::vector<runtime::Prediction> serve_stream(runtime::Server& server,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr unsigned kBits = 6;
   constexpr int kFrames = 16;
   constexpr double kMargin = 0.5;
@@ -67,37 +75,47 @@ int main() {
   cfg.cache_path = "scbnn_example_model_cache.bin";
   cfg.apply_env_overrides();
 
-  std::printf("Preparing the hybrid network (%u-bit stochastic first "
-              "layer)...\n\n", kBits);
-  hybrid::PreparedExperiment prep = hybrid::prepare_experiment(cfg);
+  const bench::Flags flags(argc, argv);
+  const std::string bundle_path =
+      flags.get_string("bundle", "SCBNN_BUNDLE", "scbnn_example.bundle");
 
-  // Train the precision ladder once: a cheap 3-bit rung and the deployed
-  // kBits rung, each with a tail retrained on its frozen features.
+  // Obtain the trained artifact: load when a matching bundle is on disk
+  // (zero training, millisecond startup), train-and-export otherwise.
   const std::vector<unsigned> rung_bits = {3u, kBits};
-  std::vector<hybrid::TrainedRung> ladder =
-      hybrid::train_precision_ladder(prep, cfg, rung_bits);
+  auto resolved = data::resolve_dataset(cfg.train_n, cfg.test_n, cfg.seed);
+  bool trained_fresh = false;
+  hybrid::ModelBundle bundle = hybrid::load_or_train_bundle(
+      cfg, rung_bits, hybrid::FirstLayerDesign::kScProposed, bundle_path,
+      resolved, kMargin, &trained_fresh);
+  std::printf("%s %u/%u-bit ladder from %s\n\n",
+              trained_fresh ? "trained and exported" : "loaded (no training)",
+              rung_bits[0], kBits, bundle_path.c_str());
 
-  // "Sensor" stream = the first frames of the test split. A single-rung
-  // pipeline at kBits is exactly the fixed design; the Server in front of
-  // it coalesces the one-frame requests into micro-batches (dispatching
-  // when 8 wait or the oldest has waited 2 ms).
-  const data::Dataset frames = data::head(prep.data.test, kFrames);
-  runtime::AdaptivePipeline fixed_pipeline(
-      hybrid::instantiate_ladder({&ladder.back(), 1}, cfg), 0.0,
-      cfg.runtime_config());
+  // Both deployments share ONE executor: N models, one set of workers.
+  runtime::RuntimeConfig rc = cfg.runtime_config();
+  rc.executor = runtime::make_shared_executor(rc.threads);
+  auto fixed = std::make_shared<runtime::AdaptivePipeline>(
+      hybrid::instantiate_bundle_ladder(bundle, bundle.rungs.size() - 1),
+      0.0, rc);
+  auto adaptive = std::make_shared<runtime::AdaptivePipeline>(
+      hybrid::instantiate_bundle_ladder(bundle), kMargin, rc);
+
   runtime::ServerConfig server_cfg;
   server_cfg.max_batch = 8;
   server_cfg.max_delay_us = 2000;
+  runtime::ModelRouter router(server_cfg);
+  router.register_model("fixed", fixed);
 
-  std::vector<runtime::Prediction> predictions;
+  // "Sensor" stream = the first frames of the test split, one request per
+  // frame, each tagged with the model that should serve it.
+  const data::Dataset frames = data::head(resolved.split.test, kFrames);
+  const std::vector<runtime::Prediction> predictions =
+      serve_stream(router, "fixed", frames);
   {
-    runtime::Server server(fixed_pipeline, server_cfg);
-    predictions = serve_stream(server, frames);
-    server.shutdown();
-    const runtime::ServerStats stats = server.stats();
-    std::printf("served %ld single-frame requests on %u worker threads in "
-                "%ld micro-batches (mean batch %.1f)\n\n",
-                stats.completed, fixed_pipeline.threads(), stats.batches,
+    const runtime::ServerStats stats = router.stats("fixed");
+    std::printf("model 'fixed': served %ld single-frame requests on %u "
+                "shared workers in %ld micro-batches (mean batch %.1f)\n\n",
+                stats.completed, fixed->threads(), stats.batches,
                 stats.mean_batch_size());
   }
 
@@ -131,19 +149,19 @@ int main() {
               total_nj * 1e-3, bin.energy_per_frame_j() * 1e9 * kFrames * 1e-3,
               bin.energy_per_frame_j() / sc.energy_per_frame_j());
 
-  // ---- Adaptive precision: same stream of requests, 3-bit rung first ----
-  runtime::AdaptivePipeline adaptive(hybrid::instantiate_ladder(ladder, cfg),
-                                     kMargin, cfg.runtime_config());
-  double adaptive_energy_j = 0.0;
-  std::vector<runtime::Prediction> outcomes;
-  {
-    runtime::Server server(adaptive, server_cfg);
-    outcomes = serve_stream(server, frames);
-    server.shutdown();
-    adaptive_energy_j = server.stats().energy_j;
+  // ---- Hot registration: the adaptive deployment joins the live fleet ----
+  router.register_model("adaptive", adaptive);
+  std::printf("\nhot-registered model 'adaptive' (router now serves:");
+  for (const std::string& id : router.model_ids()) {
+    std::printf(" %s", id.c_str());
   }
+  std::printf(") — no restart, same executor\n");
+
+  const std::vector<runtime::Prediction> outcomes =
+      serve_stream(router, "adaptive", frames);
+  const double adaptive_energy_j = router.stats("adaptive").energy_j;
   int adaptive_correct = 0;
-  std::vector<int> exits(adaptive.rung_count(), 0);
+  std::vector<int> exits(adaptive->rung_count(), 0);
   for (int i = 0; i < kFrames; ++i) {
     const runtime::Prediction& p = outcomes[static_cast<std::size_t>(i)];
     if (p.label == frames.labels[static_cast<std::size_t>(i)]) {
@@ -156,22 +174,23 @@ int main() {
               adaptive_correct, kFrames);
   std::printf("exit histogram:\n");
   int entering = kFrames;
-  for (std::size_t r = 0; r < adaptive.rung_count(); ++r) {
+  for (std::size_t r = 0; r < adaptive->rung_count(); ++r) {
     std::printf("  rung %zu (%u-bit): %3d frames entered, %3d exited\n", r,
-                adaptive.rung(r).bits, entering, exits[r]);
+                adaptive->rung(r).bits, entering, exits[r]);
     entering -= exits[r];
   }
   // Energy of a fixed kBits design over the stream, from the same per-rung
   // aggregation the pipeline uses internally.
-  const int kernels = adaptive.rung(0).engine->kernels();
+  const int kernels = adaptive->rung(0).engine->kernels();
   const double fixed_j = hw::aggregate_rung_energy_j(
-      {{adaptive.rung(0).engine->name(), kBits, kernels, kFrames}});
+      {{adaptive->rung(0).engine->name(), kBits, kernels, kFrames}});
   std::printf("adaptive first-layer energy: %.1f nJ vs %.1f nJ fixed "
               "%u-bit — %.1f%% saved at %+d correct\n",
               adaptive_energy_j * 1e9, fixed_j * 1e9, kBits,
               100.0 * (1.0 - adaptive_energy_j / fixed_j),
               adaptive_correct - correct);
 
+  router.shutdown();
   std::printf("\nNote: sensor conversion energy is excluded, as in the "
               "paper (Section IV.A) — prior work\nputs ramp-compare "
               "conversion at ~100 pJ/frame, negligible next to "

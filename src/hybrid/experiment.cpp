@@ -88,9 +88,15 @@ void ExperimentConfig::apply_env_overrides() {
 }
 
 PreparedExperiment prepare_experiment(const ExperimentConfig& config) {
+  return prepare_experiment(config,
+                            data::resolve_dataset(config.train_n,
+                                                  config.test_n,
+                                                  config.seed));
+}
+
+PreparedExperiment prepare_experiment(const ExperimentConfig& config,
+                                      data::ResolvedData resolved) {
   PreparedExperiment prep;
-  auto resolved = data::resolve_dataset(config.train_n, config.test_n,
-                                        config.seed);
   prep.data = std::move(resolved.split);
   prep.real_mnist = resolved.real_mnist;
 

@@ -62,6 +62,11 @@ struct PreparedExperiment {
 [[nodiscard]] PreparedExperiment prepare_experiment(
     const ExperimentConfig& config);
 
+/// Same, but reuse a dataset the caller already resolved (taken by value:
+/// copy or move it in) instead of resolving a second time.
+[[nodiscard]] PreparedExperiment prepare_experiment(
+    const ExperimentConfig& config, data::ResolvedData resolved);
+
 struct DesignPointResult {
   FirstLayerDesign design{};
   unsigned bits = 8;

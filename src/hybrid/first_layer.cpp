@@ -51,6 +51,17 @@ std::string backend_name(FirstLayerDesign d) {
   throw std::invalid_argument("backend_name: unknown design");
 }
 
+FirstLayerDesign design_from_backend(const std::string& name) {
+  for (FirstLayerDesign d :
+       {FirstLayerDesign::kBinaryQuantized, FirstLayerDesign::kScProposed,
+        FirstLayerDesign::kScConventional}) {
+    if (backend_name(d) == name) return d;
+  }
+  throw std::invalid_argument(
+      "design_from_backend: unknown backend '" + name +
+      "' (valid: binary-quantized, sc-proposed, sc-conventional)");
+}
+
 std::unique_ptr<FirstLayerEngine> make_first_layer_engine(
     FirstLayerDesign design, const nn::QuantizedConvWeights& weights,
     const FirstLayerConfig& config) {

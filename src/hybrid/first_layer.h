@@ -84,6 +84,11 @@ enum class FirstLayerDesign {
 /// "sc-conventional") — the names runtime::BackendRegistry resolves.
 [[nodiscard]] std::string backend_name(FirstLayerDesign d);
 
+/// Inverse of backend_name. Throws std::invalid_argument listing the valid
+/// names for anything else — used by tools that take a backend on the
+/// command line.
+[[nodiscard]] FirstLayerDesign design_from_backend(const std::string& name);
+
 /// Build an engine over quantized first-layer weights. Resolves through
 /// runtime::BackendRegistry, so it sees the same backends as name lookup.
 [[nodiscard]] std::unique_ptr<FirstLayerEngine> make_first_layer_engine(

@@ -3,64 +3,171 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 namespace scbnn::nn {
 
+namespace io {
+
 namespace {
-constexpr std::uint32_t kMagic = 0x5CB11A01;  // "SCBNN" params v1
+
+constexpr std::size_t kMaxStringBytes = 4096;
+
+void read_exact(std::istream& in, char* dst, std::streamsize bytes,
+                const char* what) {
+  in.read(dst, bytes);
+  if (!in || in.gcount() != bytes) {
+    throw std::runtime_error(std::string("truncated read of ") + what);
+  }
+}
+
+template <typename T>
+void write_pod(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& in, const char* what) {
+  T v{};
+  read_exact(in, reinterpret_cast<char*>(&v), sizeof(v), what);
+  return v;
+}
+
+}  // namespace
+
+void write_u32(std::ostream& out, std::uint32_t v) { write_pod(out, v); }
+void write_u64(std::ostream& out, std::uint64_t v) { write_pod(out, v); }
+void write_f32(std::ostream& out, float v) { write_pod(out, v); }
+void write_f64(std::ostream& out, double v) { write_pod(out, v); }
+void write_i32(std::ostream& out, std::int32_t v) { write_pod(out, v); }
+
+std::uint32_t read_u32(std::istream& in, const char* what) {
+  return read_pod<std::uint32_t>(in, what);
+}
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  return read_pod<std::uint64_t>(in, what);
+}
+float read_f32(std::istream& in, const char* what) {
+  return read_pod<float>(in, what);
+}
+double read_f64(std::istream& in, const char* what) {
+  return read_pod<double>(in, what);
+}
+std::int32_t read_i32(std::istream& in, const char* what) {
+  return read_pod<std::int32_t>(in, what);
+}
+
+std::uint32_t read_u32_bounded(std::istream& in, const char* what,
+                               std::uint32_t lo, std::uint32_t hi) {
+  const std::uint32_t v = read_u32(in, what);
+  if (v < lo || v > hi) {
+    throw std::runtime_error(std::string(what) + " out of range: " +
+                             std::to_string(v) + " not in [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]");
+  }
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  if (s.size() > kMaxStringBytes) {
+    throw std::runtime_error("write_string: string exceeds " +
+                             std::to_string(kMaxStringBytes) + " bytes");
+  }
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in, const char* what) {
+  const std::uint32_t len = read_u32_bounded(
+      in, what, 0, static_cast<std::uint32_t>(kMaxStringBytes));
+  std::string s(len, '\0');
+  if (len > 0) read_exact(in, s.data(), len, what);
+  return s;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  const auto& shape = t.shape();
+  write_u32(out, static_cast<std::uint32_t>(shape.size()));
+  for (int d : shape) write_u32(out, static_cast<std::uint32_t>(d));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in, const char* what) {
+  constexpr std::uint32_t kMaxRank = 4;
+  constexpr std::uint32_t kMaxDim = 1u << 24;
+  const std::uint32_t rank = read_u32_bounded(in, what, 1, kMaxRank);
+  std::vector<int> shape;
+  shape.reserve(rank);
+  std::uint64_t elems = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const std::uint32_t dim = read_u32_bounded(in, what, 1, kMaxDim);
+    elems *= dim;  // cannot overflow: 4 factors of <= 2^24 fit in 96 < 128,
+                   // and each partial product is checked right below
+    if (elems > kMaxTensorElems) {
+      throw std::runtime_error(std::string(what) +
+                               ": tensor element count overflows the " +
+                               std::to_string(kMaxTensorElems) + " limit");
+    }
+    shape.push_back(static_cast<int>(dim));
+  }
+  Tensor t(std::move(shape));
+  read_exact(in, reinterpret_cast<char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)), what);
+  return t;
+}
+
+}  // namespace io
+
+void save_params(Network& net, std::ostream& out) {
+  const auto params = net.params();
+  io::write_u32(out, kParamsMagic);
+  io::write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) io::write_tensor(out, *p.value);
 }
 
 void save_params(Network& net, const std::string& path) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) throw std::runtime_error("save_params: cannot open " + path);
-  const auto params = net.params();
-  const auto count = static_cast<std::uint32_t>(params.size());
-  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    const auto& shape = p.value->shape();
-    const auto rank = static_cast<std::uint32_t>(shape.size());
-    f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-    for (int d : shape) {
-      const auto dim = static_cast<std::uint32_t>(d);
-      f.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-    }
-    f.write(reinterpret_cast<const char*>(p.value->data()),
-            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
-  }
+  save_params(net, f);
   if (!f) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(Network& net, std::istream& in, const std::string& context) {
+  const std::string where = "load_params(" + context + ")";
+  if (io::read_u32(in, where.c_str()) != kParamsMagic) {
+    throw std::runtime_error(where + ": bad header");
+  }
+  const auto params = net.params();
+  const std::uint32_t count = io::read_u32(in, where.c_str());
+  if (count != params.size()) {
+    throw std::runtime_error(where + ": parameter count mismatch (file has " +
+                             std::to_string(count) + ", network expects " +
+                             std::to_string(params.size()) + ")");
+  }
+  // Stage every tensor before touching the network: a file that fails
+  // halfway must not leave a half-loaded model behind.
+  std::vector<Tensor> staged;
+  staged.reserve(count);
+  for (const auto& p : params) {
+    Tensor t = io::read_tensor(in, (where + ": " + p.name).c_str());
+    if (t.shape() != p.value->shape()) {
+      throw std::runtime_error(where + ": shape mismatch for " + p.name +
+                               " (file " + t.shape_string() + ", network " +
+                               p.value->shape_string() + ")");
+    }
+    staged.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    *params[i].value = std::move(staged[i]);
+  }
 }
 
 void load_params(Network& net, const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("load_params: cannot open " + path);
-  std::uint32_t magic = 0, count = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  f.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!f || magic != kMagic) {
-    throw std::runtime_error("load_params: bad header in " + path);
-  }
-  const auto params = net.params();
-  if (count != params.size()) {
-    throw std::runtime_error("load_params: parameter count mismatch");
-  }
-  for (const auto& p : params) {
-    std::uint32_t rank = 0;
-    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    if (!f || rank != p.value->rank()) {
-      throw std::runtime_error("load_params: rank mismatch for " + p.name);
-    }
-    for (std::size_t i = 0; i < rank; ++i) {
-      std::uint32_t dim = 0;
-      f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-      if (!f || static_cast<int>(dim) != p.value->shape()[i]) {
-        throw std::runtime_error("load_params: shape mismatch for " + p.name);
-      }
-    }
-    f.read(reinterpret_cast<char*>(p.value->data()),
-           static_cast<std::streamsize>(p.value->size() * sizeof(float)));
-    if (!f) throw std::runtime_error("load_params: truncated file " + path);
-  }
+  load_params(net, f, path);
 }
 
 bool params_file_valid(const std::string& path) {
@@ -68,7 +175,7 @@ bool params_file_valid(const std::string& path) {
   if (!f) return false;
   std::uint32_t magic = 0;
   f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  return f && magic == kMagic;
+  return f && (magic == kParamsMagic || magic == kBundleMagic);
 }
 
 }  // namespace scbnn::nn

@@ -52,15 +52,15 @@ AdaptivePipeline::AdaptivePipeline(std::vector<AdaptiveRung> rungs,
     : rungs_(validate_rungs(std::move(rungs))),
       confidence_margin_(confidence_margin),
       config_(config.validate()),
-      pool_(config.threads) {
+      pool_(config.resolve_executor()) {
   if (confidence_margin < 0.0 || confidence_margin > 1.0) {
     throw std::invalid_argument("AdaptivePipeline: margin must be in [0,1]");
   }
   scratch_.reserve(rungs_.size());
   for (const AdaptiveRung& rung : rungs_) {
     auto& per_worker = scratch_.emplace_back();
-    per_worker.reserve(pool_.size());
-    for (unsigned w = 0; w < pool_.size(); ++w) {
+    per_worker.reserve(pool_->size());
+    for (unsigned w = 0; w < pool_->size(); ++w) {
       per_worker.push_back(rung.engine->make_scratch());
     }
   }
@@ -84,7 +84,7 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
 
   stats_ = PipelineStats{};
   stats_.images = n;
-  stats_.threads = pool_.size();
+  stats_.threads = pool_->size();
   stats_.rungs.assign(rungs_.size(), RungStats{});
   for (std::size_t r = 0; r < rungs_.size(); ++r) {
     stats_.rungs[r].bits = rungs_[r].bits;
@@ -126,7 +126,7 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
     const std::size_t out_stride = static_cast<std::size_t>(k) * kPixels;
     const int chunk = config_.chunk_images;
     const int jobs = (m + chunk - 1) / chunk;
-    pool_.parallel_for(jobs, [&](int job, unsigned worker) {
+    pool_->parallel_for(jobs, [&](int job, unsigned worker) {
       const int first = job * chunk;
       const int count = std::min(chunk, m - first);
       rung.engine->compute_batch(
@@ -165,7 +165,7 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
     active = std::move(next);
   }
 
-  stats_.set_timing(n, pool_.size(), ms_since(batch_start));
+  stats_.set_timing(n, pool_->size(), ms_since(batch_start));
   stats_.energy_j = hw::aggregate_rung_energy_j(energy);
   for (const RungStats& rs : stats_.rungs) stats_.sc_cycles += rs.sc_cycles;
   return out;

@@ -96,7 +96,12 @@ class AdaptivePipeline : public Servable {
   /// "adaptive(<bits>/<bits>/...-bit <backend>)".
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] unsigned threads() const noexcept override {
-    return pool_.size();
+    return pool_->size();
+  }
+  /// The executor this pipeline computes on — pass it to further models to
+  /// share one pool.
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& executor() const noexcept {
+    return pool_;
   }
 
   [[nodiscard]] const PipelineStats& last_stats() const noexcept {
@@ -128,7 +133,7 @@ class AdaptivePipeline : public Servable {
   std::vector<AdaptiveRung> rungs_;
   double confidence_margin_;
   RuntimeConfig config_;
-  ThreadPool pool_;
+  std::shared_ptr<ThreadPool> pool_;  ///< private or shared (config.executor)
   // scratch_[rung][worker]: each rung's engine keeps one workspace per pool
   // worker, reused across batches.
   std::vector<std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>>>

@@ -36,13 +36,17 @@ const RuntimeConfig& RuntimeConfig::validate() const {
   return *this;
 }
 
+std::shared_ptr<ThreadPool> RuntimeConfig::resolve_executor() const {
+  return executor ? executor : std::make_shared<ThreadPool>(threads);
+}
+
 InferenceEngine::InferenceEngine(
     std::unique_ptr<hybrid::FirstLayerEngine> engine, RuntimeConfig config)
     : engine_(require_engine(std::move(engine))),
       config_(config.validate()),
-      pool_(config.threads) {
-  scratch_.reserve(pool_.size());
-  for (unsigned i = 0; i < pool_.size(); ++i) {
+      pool_(config.resolve_executor()) {
+  scratch_.reserve(pool_->size());
+  for (unsigned i = 0; i < pool_->size(); ++i) {
     scratch_.push_back(engine_->make_scratch());
   }
 }
@@ -64,7 +68,7 @@ void InferenceEngine::compute_features(const float* images, int n,
       static_cast<std::size_t>(engine_->kernels()) *
       hybrid::kOutputsPerKernel;
 
-  pool_.parallel_for(jobs, [&](int job, unsigned worker) {
+  pool_->parallel_for(jobs, [&](int job, unsigned worker) {
     const int first = job * chunk;
     const int count = std::min(chunk, n - first);
     engine_->compute_batch(
@@ -89,7 +93,7 @@ nn::Tensor InferenceEngine::features(const nn::Tensor& images) {
 void InferenceEngine::refresh_stats(int n, double elapsed_ms) {
   const int k = engine_->kernels();
   stats_ = ServeStats{};
-  stats_.set_timing(n, pool_.size(), elapsed_ms);
+  stats_.set_timing(n, pool_->size(), elapsed_ms);
   stats_.energy_j =
       static_cast<double>(n) *
       hw::backend_energy_per_frame_j(engine_->name(), engine_->bits(), k);

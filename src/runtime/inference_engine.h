@@ -27,6 +27,13 @@ namespace scbnn::runtime {
 struct RuntimeConfig {
   unsigned threads = 0;  ///< worker threads; 0 = hardware concurrency
   int chunk_images = 8;  ///< images per work item handed to a worker
+  /// Shared executor to compute on. When set, the engine/pipeline joins
+  /// this pool instead of spawning a private one (`threads` is then
+  /// ignored — the pool is already sized), so any number of models can
+  /// serve from one fixed set of workers without oversubscription. When
+  /// null (the default), a private pool of `threads` workers is built, the
+  /// pre-refactor behavior.
+  std::shared_ptr<ThreadPool> executor;
 
   /// Reject nonsense before any pool or scratch is built: chunk_images must
   /// be >= 1 and threads must not exceed ThreadPool::kMaxThreads (0 stays
@@ -34,6 +41,10 @@ struct RuntimeConfig {
   /// the offending field; returns *this so constructors can validate in
   /// their initializer lists.
   const RuntimeConfig& validate() const;
+
+  /// The pool this config resolves to: the shared executor if set,
+  /// otherwise a fresh private pool of `threads` workers.
+  [[nodiscard]] std::shared_ptr<ThreadPool> resolve_executor() const;
 };
 
 /// Per-batch serving statistics, refreshed by every features()/predict().
@@ -78,7 +89,7 @@ class InferenceEngine : public Servable {
   /// The first-layer backend's registry name (e.g. "sc-proposed").
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] unsigned threads() const noexcept override {
-    return pool_.size();
+    return pool_->size();
   }
 
   [[nodiscard]] const BatchStats& last_stats() const noexcept {
@@ -87,7 +98,12 @@ class InferenceEngine : public Servable {
   [[nodiscard]] const hybrid::FirstLayerEngine& engine() const noexcept {
     return *engine_;
   }
-  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+  /// The executor this engine computes on — pass it to further engines to
+  /// share one pool across models.
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& executor() const noexcept {
+    return pool_;
+  }
   [[nodiscard]] const RuntimeConfig& config() const noexcept {
     return config_;
   }
@@ -104,7 +120,7 @@ class InferenceEngine : public Servable {
 
   std::unique_ptr<hybrid::FirstLayerEngine> engine_;
   RuntimeConfig config_;
-  ThreadPool pool_;
+  std::shared_ptr<ThreadPool> pool_;  ///< private or shared (config.executor)
   std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>> scratch_;
   nn::Network tail_;
   bool has_tail_ = false;

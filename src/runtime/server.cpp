@@ -148,30 +148,42 @@ void Server::serve_loop() {
     const double compute_ms = ms_between(dispatched_at, finished_at);
 
     double queue_wait_sum = 0.0;
+    if (!failure) {
+      for (int i = 0; i < m; ++i) {
+        Prediction& p = predictions[static_cast<std::size_t>(i)];
+        p.queue_wait_ms = ms_between(
+            batch[static_cast<std::size_t>(i)].enqueued_at, dispatched_at);
+        p.compute_ms = compute_ms;
+        p.batch_size = m;
+        queue_wait_sum += p.queue_wait_ms;
+      }
+    }
+
+    // Account the batch *before* resolving its futures: a producer that has
+    // get() every future it submitted must see those requests in a stats()
+    // snapshot (accepted is likewise counted before the enqueue, so the
+    // completed <= accepted invariant holds from both sides).
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      ++stats_.batch_histogram[static_cast<std::size_t>(m)];
+      if (failure) {
+        stats_.failed += m;
+      } else {
+        stats_.completed += m;
+        stats_.queue_wait_ms_sum += queue_wait_sum;
+        stats_.compute_ms_sum += compute_ms * m;
+        stats_.energy_j += batch_stats.energy_j;
+      }
+    }
+
     for (int i = 0; i < m; ++i) {
       Request& request = batch[static_cast<std::size_t>(i)];
       if (failure) {
         request.result.set_exception(failure);
-        continue;
+      } else {
+        request.result.set_value(predictions[static_cast<std::size_t>(i)]);
       }
-      Prediction& p = predictions[static_cast<std::size_t>(i)];
-      p.queue_wait_ms = ms_between(request.enqueued_at, dispatched_at);
-      p.compute_ms = compute_ms;
-      p.batch_size = m;
-      queue_wait_sum += p.queue_wait_ms;
-      request.result.set_value(p);
-    }
-
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches;
-    ++stats_.batch_histogram[static_cast<std::size_t>(m)];
-    if (failure) {
-      stats_.failed += m;
-    } else {
-      stats_.completed += m;
-      stats_.queue_wait_ms_sum += queue_wait_sum;
-      stats_.compute_ms_sum += compute_ms * m;
-      stats_.energy_j += batch_stats.energy_j;
     }
   }
 }

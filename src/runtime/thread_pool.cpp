@@ -128,4 +128,8 @@ void ThreadPool::parallel_for(int jobs,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+std::shared_ptr<ThreadPool> make_shared_executor(unsigned threads) {
+  return std::make_shared<ThreadPool>(threads);
+}
+
 }  // namespace scbnn::runtime

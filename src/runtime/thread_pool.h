@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -73,5 +74,15 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// A pool intended to be shared by several engines/pipelines: pass the
+/// result as RuntimeConfig::executor to every model that should compute on
+/// the same workers. N models on one executor never oversubscribe the
+/// machine the way N private pools would. parallel_for is safe for
+/// concurrent callers (each call carries its own job counter and error
+/// slot), and worker slot ids stay unique at any instant, so per-model
+/// per-slot scratch never races.
+[[nodiscard]] std::shared_ptr<ThreadPool> make_shared_executor(
+    unsigned threads = 0);
 
 }  // namespace scbnn::runtime

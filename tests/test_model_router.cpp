@@ -1,0 +1,297 @@
+// Multi-model serving tests: routing correctness (requests reach the model
+// named in the request, predictions bit-identical to direct backend calls),
+// per-model stats isolation, hot registration and drained deregistration
+// under live traffic, error paths, and N models sharing one executor.
+#include "runtime/model_router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_mnist.h"
+#include "hybrid/experiment.h"
+#include "hybrid/hybrid_network.h"
+#include "nn/init.h"
+#include "nn/quantize.h"
+#include "runtime/adaptive_pipeline.h"
+#include "runtime/inference_engine.h"
+#include "runtime/thread_pool.h"
+
+namespace scbnn::runtime {
+namespace {
+
+constexpr std::size_t kPixels =
+    static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
+
+hybrid::LeNetConfig tiny_lenet() {
+  hybrid::LeNetConfig cfg;
+  cfg.conv1_kernels = 8;
+  cfg.conv2_kernels = 8;
+  cfg.dense_units = 32;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+/// Deterministic untrained backend at `bits` precision — two calls with the
+/// same arguments build bit-identical Servables (same idiom as
+/// tests/test_server.cpp; routing tests need distinguishable models, not
+/// accurate ones).
+std::shared_ptr<InferenceEngine> make_backend(unsigned bits,
+                                              RuntimeConfig rc = {}) {
+  nn::Rng base_rng(3);
+  nn::Network base = hybrid::build_lenet(tiny_lenet(), base_rng);
+  const auto qw =
+      nn::quantize_conv_weights(hybrid::base_conv1_weights(base), bits);
+  hybrid::FirstLayerConfig flc;
+  flc.bits = bits;
+  flc.soft_threshold = 0.3;
+  rc.chunk_images = 3;
+  auto engine = std::make_shared<InferenceEngine>("sc-proposed", qw, flc, rc);
+  nn::Rng tail_rng(7);
+  nn::Network tail = hybrid::build_tail(tiny_lenet(), tail_rng);
+  hybrid::copy_tail_params(base, tail);
+  engine->set_tail(std::move(tail));
+  return engine;
+}
+
+nn::Tensor test_frames(int n) {
+  return data::generate_synthetic_mnist(static_cast<std::size_t>(n), 1, 99)
+      .train.images;
+}
+
+TEST(ModelRouter, RoutesRequestsToTheNamedModel) {
+  const int n = 12;
+  const nn::Tensor frames = test_frames(n);
+  auto low = make_backend(3);
+  auto high = make_backend(7);
+  const auto direct_low = low->classify(frames);
+  const auto direct_high = high->classify(frames);
+
+  ModelRouter router;
+  router.register_model("low", low);
+  router.register_model("high", high);
+  EXPECT_TRUE(router.contains("low"));
+  EXPECT_EQ(router.model_ids(), (std::vector<std::string>{"high", "low"}));
+
+  std::vector<std::future<Prediction>> low_futures;
+  std::vector<std::future<Prediction>> high_futures;
+  for (int i = 0; i < n; ++i) {
+    const float* frame =
+        frames.data() + static_cast<std::size_t>(i) * kPixels;
+    low_futures.push_back(router.submit("low", frame));
+    high_futures.push_back(router.submit("high", frame));
+  }
+  for (int i = 0; i < n; ++i) {
+    const Prediction pl = low_futures[static_cast<std::size_t>(i)].get();
+    const Prediction ph = high_futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(pl.label, direct_low[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(pl.margin, direct_low[static_cast<std::size_t>(i)].margin);
+    EXPECT_EQ(pl.bits_used, 3u);
+    EXPECT_EQ(ph.label, direct_high[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(ph.margin, direct_high[static_cast<std::size_t>(i)].margin);
+    EXPECT_EQ(ph.bits_used, 7u);
+  }
+
+  EXPECT_EQ(router.stats("low").completed, n);
+  EXPECT_EQ(router.stats("high").completed, n);
+  router.shutdown();
+  EXPECT_TRUE(router.model_ids().empty());
+}
+
+TEST(ModelRouter, PerModelStatsAreIsolated) {
+  const int n = 9;
+  const nn::Tensor frames = test_frames(n);
+  ModelRouter router;
+  router.register_model("a", make_backend(3));
+  router.register_model("b", make_backend(4));
+
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(router.submit(
+        "a", frames.data() + static_cast<std::size_t>(i) * kPixels));
+  }
+  futures.push_back(router.submit("b", frames.data()));
+  for (auto& f : futures) (void)f.get();
+
+  const ServerStats a = router.stats("a");
+  const ServerStats b = router.stats("b");
+  EXPECT_EQ(a.accepted, n);
+  EXPECT_EQ(a.completed, n);
+  EXPECT_EQ(b.accepted, 1);
+  EXPECT_EQ(b.completed, 1);
+  EXPECT_EQ(a.rejected + b.rejected, 0);
+}
+
+TEST(ModelRouter, UnknownAndInvalidIdsThrow) {
+  ModelRouter router;
+  router.register_model("only", make_backend(3));
+  const nn::Tensor frame = test_frames(1);
+
+  EXPECT_THROW((void)router.submit("nope", frame.data()), std::out_of_range);
+  EXPECT_THROW((void)router.stats("nope"), std::out_of_range);
+  EXPECT_THROW((void)router.backend("nope"), std::out_of_range);
+  EXPECT_THROW((void)router.deregister_model("nope"), std::out_of_range);
+  EXPECT_FALSE(router.contains("nope"));
+
+  EXPECT_THROW(router.register_model("", make_backend(3)),
+               std::invalid_argument);
+  EXPECT_THROW(router.register_model("only", make_backend(3)),
+               std::invalid_argument);
+  EXPECT_THROW(router.register_model("null", nullptr),
+               std::invalid_argument);
+}
+
+TEST(ModelRouter, HotRegistrationUnderLiveTraffic) {
+  const int per_model = 40;
+  const nn::Tensor frames = test_frames(per_model);
+  auto first = make_backend(3);
+  const auto direct_first = first->classify(frames);
+
+  ModelRouter router;
+  router.register_model("first", first);
+
+  // A producer streams to "first" while the main thread hot-registers
+  // "second" and serves a full stream through it.
+  std::vector<std::future<Prediction>> first_futures(
+      static_cast<std::size_t>(per_model));
+  std::atomic<bool> started{false};
+  std::thread producer([&] {
+    for (int i = 0; i < per_model; ++i) {
+      first_futures[static_cast<std::size_t>(i)] = router.submit(
+          "first", frames.data() + static_cast<std::size_t>(i) * kPixels);
+      started.store(true);
+    }
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  auto second = make_backend(6);
+  const auto direct_second = second->classify(frames);
+  router.register_model("second", second);
+  std::vector<std::future<Prediction>> second_futures;
+  for (int i = 0; i < per_model; ++i) {
+    second_futures.push_back(router.submit(
+        "second", frames.data() + static_cast<std::size_t>(i) * kPixels));
+  }
+  producer.join();
+
+  for (int i = 0; i < per_model; ++i) {
+    EXPECT_EQ(first_futures[static_cast<std::size_t>(i)].get().label,
+              direct_first[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(second_futures[static_cast<std::size_t>(i)].get().label,
+              direct_second[static_cast<std::size_t>(i)].label);
+  }
+  EXPECT_EQ(router.stats("first").completed, per_model);
+  EXPECT_EQ(router.stats("second").completed, per_model);
+}
+
+TEST(ModelRouter, DeregisterDrainsOutstandingRequests) {
+  const int n = 16;
+  const nn::Tensor frames = test_frames(n);
+  ModelRouter router;
+  router.register_model("going", make_backend(3));
+  router.register_model("staying", make_backend(4));
+
+  auto futures = router.submit_burst("going", frames.data(), n);
+  const ServerStats final_stats = router.deregister_model("going");
+  EXPECT_FALSE(router.contains("going"));
+  EXPECT_TRUE(router.contains("staying"));
+  EXPECT_EQ(final_stats.accepted, n);
+  EXPECT_EQ(final_stats.completed, n);
+  for (auto& f : futures) EXPECT_GE(f.get().label, 0);
+
+  // The survivor still serves.
+  auto p = router.submit("staying", frames.data());
+  EXPECT_GE(p.get().label, 0);
+}
+
+TEST(ModelRouter, ShutdownIsIdempotentAndFinal) {
+  ModelRouter router;
+  router.register_model("m", make_backend(3));
+  const nn::Tensor frame = test_frames(1);
+  router.shutdown();
+  router.shutdown();
+  EXPECT_TRUE(router.model_ids().empty());
+  EXPECT_THROW((void)router.submit("m", frame.data()), std::out_of_range);
+  EXPECT_THROW(router.register_model("late", make_backend(3)),
+               std::runtime_error);
+}
+
+TEST(SharedExecutor, ModelsOnOnePoolMatchPrivatePoolModels) {
+  const int n = 10;
+  const nn::Tensor frames = test_frames(n);
+
+  // Reference: private pools (the pre-refactor construction).
+  RuntimeConfig private_rc;
+  private_rc.threads = 2;
+  auto ref_low = make_backend(3, private_rc);
+  auto ref_high = make_backend(7, private_rc);
+  const auto direct_low = ref_low->classify(frames);
+  const auto direct_high = ref_high->classify(frames);
+
+  RuntimeConfig shared_rc;
+  shared_rc.executor = make_shared_executor(2);
+  auto low = make_backend(3, shared_rc);
+  auto high = make_backend(7, shared_rc);
+  EXPECT_EQ(low->executor().get(), high->executor().get());
+  EXPECT_EQ(low->threads(), 2u);
+
+  const auto shared_low = low->classify(frames);
+  const auto shared_high = high->classify(frames);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(shared_low[static_cast<std::size_t>(i)].label,
+              direct_low[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(shared_low[static_cast<std::size_t>(i)].margin,
+              direct_low[static_cast<std::size_t>(i)].margin);
+    EXPECT_EQ(shared_high[static_cast<std::size_t>(i)].label,
+              direct_high[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(shared_high[static_cast<std::size_t>(i)].margin,
+              direct_high[static_cast<std::size_t>(i)].margin);
+  }
+}
+
+TEST(SharedExecutor, RouterFleetOnOneExecutorServesConcurrently) {
+  const int n = 24;
+  const nn::Tensor frames = test_frames(n);
+  RuntimeConfig rc;
+  rc.executor = make_shared_executor(2);
+
+  auto a = make_backend(3, rc);
+  auto b = make_backend(5, rc);
+  auto c = make_backend(7, rc);
+  const auto direct_a = a->classify(frames);
+  const auto direct_b = b->classify(frames);
+  const auto direct_c = c->classify(frames);
+
+  ModelRouter router;
+  router.register_model("a", a);
+  router.register_model("b", b);
+  router.register_model("c", c);
+
+  // Interleave submissions so the three batch formers overlap on the one
+  // executor; every prediction must still match its model's direct result.
+  std::vector<std::future<Prediction>> fa, fb, fc;
+  for (int i = 0; i < n; ++i) {
+    const float* frame =
+        frames.data() + static_cast<std::size_t>(i) * kPixels;
+    fa.push_back(router.submit("a", frame));
+    fb.push_back(router.submit("b", frame));
+    fc.push_back(router.submit("c", frame));
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(fa[static_cast<std::size_t>(i)].get().label,
+              direct_a[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(fb[static_cast<std::size_t>(i)].get().label,
+              direct_b[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(fc[static_cast<std::size_t>(i)].get().label,
+              direct_c[static_cast<std::size_t>(i)].label);
+  }
+}
+
+}  // namespace
+}  // namespace scbnn::runtime
