@@ -10,10 +10,12 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "runtime/inference_engine.h"
 #include "runtime/servable.h"
 
 namespace scbnn::bench {
@@ -65,5 +67,14 @@ class Flags {
 
 /// Milliseconds elapsed since `start` on the serving clock.
 [[nodiscard]] double ms_since(runtime::ServeClock::time_point start);
+
+/// Build a deterministic frozen-weight Servable for the serving benches: a
+/// registry backend name yields a fixed-precision InferenceEngine with an
+/// attached tail, "adaptive" yields a 3/6-bit sc-proposed escalation
+/// ladder. No training — these benches measure serving behavior, so frozen
+/// random weights with shared tails are enough, and construction is
+/// deterministic (two calls with equal arguments are bit-identical).
+[[nodiscard]] std::unique_ptr<runtime::Servable> make_frozen_servable(
+    const std::string& entry, unsigned bits, runtime::RuntimeConfig rc);
 
 }  // namespace scbnn::bench

@@ -8,12 +8,17 @@
 //   2. system-level: first-layer feature corruption of the hybrid design
 //      when the SC datapath suffers soft errors, vs the binary engine with
 //      faulted dot-product accumulator words.
+//
+// Knobs (flag / env): --trials/SCBNN_FAULT_TRIALS (Monte-Carlo trials per
+// BER point), --bers/SCBNN_FAULT_BERS (value-level BER sweep),
+// --sys-bers/SCBNN_FAULT_SYS_BERS (system-level BER sweep).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <random>
 #include <vector>
 
+#include "bench_common.h"
 #include "data/synthetic_mnist.h"
 #include "hybrid/binary_first_layer.h"
 #include "hybrid/sc_first_layer.h"
@@ -25,16 +30,15 @@ namespace {
 
 using namespace scbnn;
 
-void value_level_study() {
+void value_level_study(const std::vector<double>& bers, int trials) {
   std::printf("[1] Value-level: RMS value error of an 8-bit number under "
               "bit-error rate (BER)\n");
   std::printf("%10s %22s %22s %10s\n", "BER", "stream (256 bits)",
               "binary word (8 bits)", "ratio");
   const std::uint32_t word = 179;
   const sc::Bitstream stream = sc::Bitstream::prefix_ones(256, word);
-  for (double ber : {0.0005, 0.002, 0.01, 0.05}) {
+  for (double ber : bers) {
     double stream_acc = 0.0, word_acc = 0.0;
-    const int trials = 4000;
     for (int t = 0; t < trials; ++t) {
       const auto fs = sc::inject_stream_faults(
           stream, ber, static_cast<std::uint64_t>(t) * 2 + 1);
@@ -56,7 +60,7 @@ void value_level_study() {
               sc::word_fault_rms(8, 0.01));
 }
 
-void system_level_study() {
+void system_level_study(const std::vector<double>& bers) {
   std::printf("[2] System-level: first-layer ternary feature corruption "
               "under datapath soft errors\n");
 
@@ -79,7 +83,7 @@ void system_level_study() {
 
   std::printf("%10s %26s %26s\n", "BER", "SC features flipped (%)",
               "binary features flipped (%)");
-  for (double ber : {0.001, 0.01, 0.05}) {
+  for (double ber : bers) {
     // SC: corrupt the image's input streams by perturbing pixel levels as
     // a stream with BER faults would (each flip shifts the count by 1).
     // Model: value error ~ Binomial(N, ber) sign-symmetric -> quantized.
@@ -128,10 +132,18 @@ void system_level_study() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int trials = static_cast<int>(
+      flags.get_long("trials", "SCBNN_FAULT_TRIALS", 4000, 1, 1000000));
+  const std::vector<double> bers = flags.get_double_list(
+      "bers", "SCBNN_FAULT_BERS", "0.0005,0.002,0.01,0.05", 0.0, 1.0);
+  const std::vector<double> sys_bers = flags.get_double_list(
+      "sys-bers", "SCBNN_FAULT_SYS_BERS", "0.001,0.01,0.05", 0.0, 1.0);
+
   std::printf("Fault-tolerance study (paper Section I claim; mechanism per "
               "Qian et al. [25])\n\n");
-  value_level_study();
-  system_level_study();
+  value_level_study(bers, trials);
+  system_level_study(sys_bers);
   return 0;
 }

@@ -36,6 +36,7 @@
 #include "nn/quantize.h"
 #include "runtime/adaptive_pipeline.h"
 #include "runtime/inference_engine.h"
+#include "runtime/percentile.h"
 #include "runtime/server.h"
 
 namespace {
@@ -45,66 +46,6 @@ using namespace scbnn;
 constexpr std::size_t kPixels =
     static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
 constexpr std::uint64_t kSeed = 7;
-
-/// Build a Servable for a sweep entry: a registry backend name yields a
-/// fixed-precision InferenceEngine with an attached tail, "adaptive" yields
-/// a 3/6-bit sc-proposed ladder. No training — the bench measures serving
-/// latency, so frozen random weights with shared tails are enough, and
-/// construction is deterministic.
-std::unique_ptr<runtime::Servable> make_backend(const std::string& entry,
-                                                unsigned bits,
-                                                runtime::RuntimeConfig rc) {
-  const hybrid::LeNetConfig lenet{32, 8, 32, 0.0f};
-  nn::Rng base_rng(kSeed);
-  nn::Network base = hybrid::build_lenet(lenet, base_rng);
-
-  const auto rung_for = [&](unsigned rung_bits) {
-    runtime::AdaptiveRung rung;
-    rung.bits = rung_bits;
-    const auto qw = nn::quantize_conv_weights(hybrid::base_conv1_weights(base),
-                                              rung_bits);
-    hybrid::FirstLayerConfig flc;
-    flc.bits = rung_bits;
-    flc.soft_threshold = 0.30;
-    flc.seed = static_cast<std::uint32_t>(kSeed | 1u);
-    rung.engine = hybrid::make_first_layer_engine(
-        hybrid::FirstLayerDesign::kScProposed, qw, flc);
-    nn::Rng tail_rng(kSeed + 1);
-    rung.tail = hybrid::build_tail(lenet, tail_rng);
-    hybrid::copy_tail_params(base, rung.tail);
-    return rung;
-  };
-
-  if (entry == "adaptive") {
-    std::vector<runtime::AdaptiveRung> rungs;
-    rungs.push_back(rung_for(3));
-    rungs.push_back(rung_for(6));
-    return std::make_unique<runtime::AdaptivePipeline>(std::move(rungs), 0.5,
-                                                       rc);
-  }
-
-  const auto qw =
-      nn::quantize_conv_weights(hybrid::base_conv1_weights(base), bits);
-  hybrid::FirstLayerConfig flc;
-  flc.bits = bits;
-  flc.soft_threshold = 0.30;
-  flc.seed = static_cast<std::uint32_t>(kSeed | 1u);
-  auto engine = std::make_unique<runtime::InferenceEngine>(entry, qw, flc, rc);
-  nn::Rng tail_rng(kSeed + 1);
-  nn::Network tail = hybrid::build_tail(lenet, tail_rng);
-  hybrid::copy_tail_params(base, tail);
-  engine->set_tail(std::move(tail));
-  return engine;
-}
-
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
 
 struct Point {
   std::string backend;
@@ -171,7 +112,7 @@ int main(int argc, char** argv) {
     // bench and discard every completed operating point.
     std::unique_ptr<runtime::Servable> backend;
     try {
-      backend = make_backend(name, bits, rc);
+      backend = bench::make_frozen_servable(name, bits, rc);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "warning: skipping backend '%s': %s\n",
                    name.c_str(), e.what());
@@ -257,10 +198,11 @@ int main(int argc, char** argv) {
         pt.submitted = frames_per_point;
         pt.completed = stats.completed;
         pt.rejected = rejected;
-        std::sort(latencies.begin(), latencies.end());
-        pt.p50_ms = percentile(latencies, 50.0);
-        pt.p95_ms = percentile(latencies, 95.0);
-        pt.p99_ms = percentile(latencies, 99.0);
+        const runtime::LatencySummary lat =
+            runtime::summarize_latencies(latencies);
+        pt.p50_ms = lat.p50;
+        pt.p95_ms = lat.p95;
+        pt.p99_ms = lat.p99;
         pt.throughput_rps =
             wall_ms > 0.0 ? static_cast<double>(stats.completed) * 1e3 /
                                 wall_ms

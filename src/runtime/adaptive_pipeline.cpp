@@ -66,6 +66,11 @@ AdaptivePipeline::AdaptivePipeline(std::vector<AdaptiveRung> rungs,
   }
 }
 
+int AdaptivePipeline::max_rung() const noexcept {
+  const int top = static_cast<int>(rungs_.size()) - 1;
+  return std::clamp(max_rung_.load(std::memory_order_relaxed), 0, top);
+}
+
 double AdaptivePipeline::rung_cycles_per_image(std::size_t i) const {
   const AdaptiveRung& r = rungs_.at(i);
   return hw::sc_cycles_per_frame(r.bits, r.engine->kernels());
@@ -94,10 +99,16 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
   std::vector<int> active(static_cast<std::size_t>(n));
   std::iota(active.begin(), active.end(), 0);
 
+  // Sampled once per batch: every frame of this batch climbs the same
+  // (possibly supervisor-shortened) ladder, and the last allowed rung
+  // accepts all of its survivors.
+  const auto last_rung = static_cast<std::size_t>(max_rung());
+  stats_.rung_cap = static_cast<int>(last_rung);
+
   const auto batch_start = Clock::now();
   std::vector<hw::RungEnergy> energy;  // per-rung traffic for the hw model
   nn::Tensor survivors;  // dense sub-batch of escalated images (rung > 0)
-  for (std::size_t r = 0; r < rungs_.size() && !active.empty(); ++r) {
+  for (std::size_t r = 0; r <= last_rung && !active.empty(); ++r) {
     AdaptiveRung& rung = rungs_[r];
     RungStats& rs = stats_.rungs[r];
     const auto rung_start = Clock::now();
@@ -143,7 +154,7 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
 
     const double cycles_per_image = rung_cycles_per_image(r);
     energy.push_back({rung.engine->name(), rung.bits, k, m});
-    const bool last = r + 1 == rungs_.size();
+    const bool last = r == last_rung;
     std::vector<int> next;
     for (int j = 0; j < m; ++j) {
       const int idx = active[static_cast<std::size_t>(j)];
@@ -182,6 +193,7 @@ ServeStats AdaptivePipeline::classify(const float* images, int n,
     p.margin = o.margin;
     p.rung = o.rung;
     p.bits_used = o.bits_used;
+    p.rung_cap = stats_.rung_cap;
   }
   return stats_;
 }

@@ -16,6 +16,7 @@
 // rung-by-rung escalation of each image.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -53,6 +54,9 @@ struct RungStats {
 /// breakdown.
 struct PipelineStats : ServeStats {
   std::vector<RungStats> rungs;
+  /// Escalation ceiling this batch ran under (== the ladder top when
+  /// uncapped).
+  int rung_cap = 0;
 
   [[nodiscard]] double mean_cycles_per_image() const noexcept {
     return images > 0 ? sc_cycles / images : 0.0;
@@ -98,6 +102,18 @@ class AdaptivePipeline : public Servable {
   [[nodiscard]] unsigned threads() const noexcept override {
     return pool_->size();
   }
+  /// Escalation cap for precision-degrading load shedding: subsequent
+  /// batches stop escalating past rung `cap` (clamped to the ladder; the
+  /// last allowed rung accepts every survivor). The cap is sampled once
+  /// per run_ladder() call, so a batch is internally consistent, and with
+  /// the cap at the ladder top predictions are bit-identical to the
+  /// uncapped pipeline. Safe to call from a supervisor thread while the
+  /// batch former classifies.
+  void set_max_rung(int cap) noexcept override {
+    max_rung_.store(cap, std::memory_order_relaxed);
+  }
+  /// Current escalation ceiling, clamped to [0, rung_count() - 1].
+  [[nodiscard]] int max_rung() const noexcept override;
   /// The executor this pipeline computes on — pass it to further models to
   /// share one pool.
   [[nodiscard]] const std::shared_ptr<ThreadPool>& executor() const noexcept {
@@ -131,6 +147,7 @@ class AdaptivePipeline : public Servable {
                                                         int n);
 
   std::vector<AdaptiveRung> rungs_;
+  std::atomic<int> max_rung_{kUncappedRung};
   double confidence_margin_;
   RuntimeConfig config_;
   std::shared_ptr<ThreadPool> pool_;  ///< private or shared (config.executor)

@@ -115,6 +115,10 @@ const Servable& ModelRouter::backend(const std::string& id) const {
   return *find(id)->backend;
 }
 
+std::size_t ModelRouter::queue_depth(const std::string& id) const {
+  return find(id)->server->queue_depth();
+}
+
 void ModelRouter::shutdown() {
   std::map<std::string, std::shared_ptr<Entry>> drained;
   {

@@ -76,6 +76,9 @@ class ModelRouter {
   [[nodiscard]] ServerStats stats(const std::string& id) const;
   /// The registered backend (throws std::out_of_range when unknown).
   [[nodiscard]] const Servable& backend(const std::string& id) const;
+  /// Requests waiting in model `id`'s admission queue right now — the
+  /// queue-depth signal overload monitoring watches.
+  [[nodiscard]] std::size_t queue_depth(const std::string& id) const;
 
   /// Drain and remove every model. Idempotent; after shutdown every
   /// submit/register throws.

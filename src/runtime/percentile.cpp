@@ -1,0 +1,30 @@
+#include "runtime/percentile.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace scbnn::runtime {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.samples = static_cast<long>(samples.size());
+  summary.p50 = percentile(samples, 50.0);
+  summary.p95 = percentile(samples, 95.0);
+  summary.p99 = percentile(samples, 99.0);
+  summary.max = samples.back();
+  return summary;
+}
+
+}  // namespace scbnn::runtime

@@ -6,9 +6,12 @@
 
 namespace scbnn::runtime {
 
-QueueFullError::QueueFullError(std::size_t capacity)
+QueueFullError::QueueFullError(std::size_t capacity, std::size_t depth)
     : std::runtime_error("RequestQueue: queue is full (capacity " +
-                         std::to_string(capacity) + "); request rejected") {}
+                         std::to_string(capacity) + ", depth " +
+                         std::to_string(depth) + "); request rejected"),
+      capacity_(capacity),
+      depth_(depth) {}
 
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   if (capacity < 1) {
@@ -23,7 +26,7 @@ void RequestQueue::push(Request&& request) {
       throw std::runtime_error("RequestQueue: push after close");
     }
     if (queue_.size() >= capacity_) {
-      throw QueueFullError(capacity_);
+      throw QueueFullError(capacity_, queue_.size());
     }
     queue_.push_back(std::move(request));
   }
@@ -38,7 +41,7 @@ void RequestQueue::push_burst(std::vector<Request>&& burst) {
       throw std::runtime_error("RequestQueue: push after close");
     }
     if (queue_.size() + burst.size() > capacity_) {
-      throw QueueFullError(capacity_);  // all-or-nothing admission
+      throw QueueFullError(capacity_, queue_.size());  // all-or-nothing
     }
     for (Request& request : burst) {
       queue_.push_back(std::move(request));

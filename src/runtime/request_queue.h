@@ -25,9 +25,23 @@
 namespace scbnn::runtime {
 
 /// Typed admission-control rejection: the request queue is at capacity.
+/// Carries the queue's bound and the depth observed at rejection, so
+/// backpressure policies can react to *how* full the queue was (a burst
+/// that missed by one frame is not a sustained overload).
 class QueueFullError : public std::runtime_error {
  public:
-  explicit QueueFullError(std::size_t capacity);
+  QueueFullError(std::size_t capacity, std::size_t depth);
+
+  /// The queue's configured bound.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Requests waiting when the push was rejected: == capacity for a
+  /// single-request push, possibly below it for an all-or-nothing burst
+  /// that did not fit as a whole.
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t depth_;
 };
 
 /// One frame waiting to be served.

@@ -22,6 +22,10 @@ void ServeStats::set_timing(int n, unsigned thread_count,
 
 Servable::~Servable() = default;
 
+void Servable::set_max_rung(int /*cap*/) noexcept {}
+
+int Servable::max_rung() const noexcept { return 0; }
+
 std::vector<Prediction> Servable::classify(const nn::Tensor& images) {
   check_image_batch(images, "Servable::classify");
   std::vector<Prediction> out(static_cast<std::size_t>(images.dim(0)));

@@ -37,11 +37,22 @@ struct Prediction {
   double margin = 0.0;     ///< softmax top1-top2 gap at acceptance
   int rung = 0;            ///< accepting rung (0 for single-rung backends)
   unsigned bits_used = 0;  ///< first-layer precision that produced the label
+  /// Escalation ceiling in effect when this frame was served: the batch's
+  /// effective ladder top (AdaptivePipeline fills it exactly, however the
+  /// cap moved between submit and dispatch; 0 for single-rung backends).
+  /// rung_cap < the backend's full ladder top means the frame was served
+  /// degraded.
+  int rung_cap = 0;
 
   // Request-level accounting (Server only).
   double queue_wait_ms = 0.0;  ///< enqueue -> batch dispatch
   double compute_ms = 0.0;     ///< batch dispatch -> backend done
   int batch_size = 0;          ///< size of the coalesced batch served with
+  /// First-layer energy attributed to this frame: the batch's energy split
+  /// evenly over its frames (batch-level attribution — an escalated frame
+  /// in an adaptive batch really cost more than a confident one). Filled by
+  /// runtime::Server; 0 on direct Servable::classify calls.
+  double energy_j = 0.0;
 
   /// End-to-end request latency as tracked by the Server.
   [[nodiscard]] double e2e_ms() const noexcept {
@@ -83,6 +94,23 @@ class Servable {
 
   /// Worker threads the backend computes with (its pool size).
   [[nodiscard]] virtual unsigned threads() const noexcept = 0;
+
+  /// Cap value meaning "no cap": the full ladder may run.
+  static constexpr int kUncappedRung = 1 << 20;
+
+  /// Overload-adaptive precision degradation hook: cap ladder escalation at
+  /// rung `cap` (values are clamped to the backend's ladder; kUncappedRung
+  /// or anything past the top restores the full ladder). Thread-safe and
+  /// callable while classify() runs on another thread — the cap is read
+  /// once per batch, so every frame in a dispatched batch sees the same
+  /// ladder. Single-rung backends have nothing to cap; the default is a
+  /// no-op.
+  virtual void set_max_rung(int cap) noexcept;
+
+  /// Highest rung classify() may currently escalate to (always clamped to
+  /// the ladder, so an uncapped backend reports its top rung index).
+  /// 0 for single-rung backends.
+  [[nodiscard]] virtual int max_rung() const noexcept;
 
   /// Tensor convenience: validates [N,1,28,28] and classifies the batch.
   [[nodiscard]] std::vector<Prediction> classify(const nn::Tensor& images);

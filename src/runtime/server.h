@@ -107,6 +107,9 @@ class Server {
     return config_;
   }
   [[nodiscard]] const Servable& backend() const noexcept { return backend_; }
+  /// Requests currently waiting for dispatch — the overload signal a
+  /// stream supervisor or backpressure policy watches.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
  private:
   void serve_loop();

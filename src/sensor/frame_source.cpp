@@ -1,0 +1,342 @@
+#include "sensor/frame_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "data/synthetic_mnist.h"
+#include "hybrid/first_layer.h"
+#include "sc/fault.h"
+
+namespace scbnn::sensor {
+
+namespace {
+
+constexpr int kSide = hybrid::kImageSize;
+constexpr std::size_t kPixels = static_cast<std::size_t>(kSide) * kSide;
+constexpr double kTwoPi = 6.283185307179586;
+
+/// splitmix64 finalizer: decorrelates (seed, sequence) pairs so per-frame
+/// noise streams are independent of each other and of the arrival rng.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+ArrivalKind arrival_from_string(const std::string& name) {
+  if (name == "uniform") return ArrivalKind::kUniform;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  throw std::invalid_argument(
+      "unknown arrival process '" + name +
+      "' (valid: uniform, poisson, bursty, diurnal)");
+}
+
+const ArrivalConfig& ArrivalConfig::validate() const {
+  if (!(rate_hz > 0.0)) {
+    throw std::invalid_argument("ArrivalConfig: rate_hz must be > 0");
+  }
+  if (burst_len < 1) {
+    throw std::invalid_argument("ArrivalConfig: burst_len must be >= 1");
+  }
+  if (burst_rate_hz < 0.0) {
+    throw std::invalid_argument("ArrivalConfig: burst_rate_hz must be >= 0");
+  }
+  if (kind == ArrivalKind::kBursty && burst_rate_hz > 0.0 &&
+      burst_rate_hz <= rate_hz) {
+    // A "burst" slower than the long-run mean would need negative idle
+    // time to average out.
+    throw std::invalid_argument(
+        "ArrivalConfig: burst_rate_hz must exceed rate_hz");
+  }
+  if (swing < 0.0 || swing >= 1.0) {
+    throw std::invalid_argument("ArrivalConfig: swing must be in [0, 1)");
+  }
+  if (period_frames < 1) {
+    throw std::invalid_argument("ArrivalConfig: period_frames must be >= 1");
+  }
+  return *this;
+}
+
+ArrivalModel::ArrivalModel(ArrivalConfig config, std::uint64_t seed)
+    : config_(config.validate()), seed_(seed), rng_(mix(seed)) {}
+
+void ArrivalModel::reset() {
+  rng_.seed(mix(seed_));
+  index_ = 0;
+  burst_left_ = 0;
+}
+
+double ArrivalModel::next_gap_s() {
+  const double mean_gap = 1.0 / config_.rate_hz;
+  double gap = mean_gap;
+  switch (config_.kind) {
+    case ArrivalKind::kUniform:
+      break;
+    case ArrivalKind::kPoisson: {
+      std::exponential_distribution<double> d(config_.rate_hz);
+      gap = d(rng_);
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      const double burst_rate = config_.burst_rate_hz > 0.0
+                                    ? config_.burst_rate_hz
+                                    : 4.0 * config_.rate_hz;
+      if (burst_left_ == 0) {
+        // Idle gap before the next burst, sized so the long-run mean rate
+        // stays rate_hz: a cycle of burst_len frames must span
+        // burst_len/rate_hz on average, and it consists of this idle gap
+        // plus the burst_len - 1 burst gaps drawn below (the idle gap
+        // stands in for the first frame's gap).
+        const double idle_mean =
+            config_.burst_len * mean_gap -
+            (config_.burst_len - 1) / burst_rate;
+        std::exponential_distribution<double> d(1.0 / idle_mean);
+        gap = d(rng_);
+        burst_left_ = config_.burst_len;
+      } else {
+        std::exponential_distribution<double> d(burst_rate);
+        gap = d(rng_);
+      }
+      --burst_left_;
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      const double phase =
+          kTwoPi * static_cast<double>(index_ % config_.period_frames) /
+          static_cast<double>(config_.period_frames);
+      const double rate =
+          config_.rate_hz * (1.0 + config_.swing * std::sin(phase));
+      std::exponential_distribution<double> d(rate);
+      gap = d(rng_);
+      break;
+    }
+  }
+  ++index_;
+  return gap;
+}
+
+FrameSource::~FrameSource() = default;
+
+// ------------------------------------------------------ DatasetReplaySource
+
+DatasetReplaySource::DatasetReplaySource(data::Dataset dataset,
+                                         long total_frames,
+                                         ArrivalConfig arrivals,
+                                         std::uint64_t seed)
+    : dataset_(std::move(dataset)),
+      total_frames_(total_frames),
+      arrivals_(arrivals, seed) {
+  if (dataset_.size() == 0) {
+    throw std::invalid_argument("DatasetReplaySource: empty dataset");
+  }
+  if (total_frames_ < 1) {
+    throw std::invalid_argument(
+        "DatasetReplaySource: total_frames must be >= 1");
+  }
+}
+
+bool DatasetReplaySource::next(Frame& out) {
+  if (cursor_ >= total_frames_) return false;
+  const auto i = static_cast<std::size_t>(cursor_) % dataset_.size();
+  const float* src = dataset_.images.data() + i * kPixels;
+  out.pixels.assign(src, src + kPixels);
+  out.label = dataset_.labels[i];
+  out.sequence = cursor_;
+  out.gap_s = arrivals_.next_gap_s();
+  ++cursor_;
+  return true;
+}
+
+void DatasetReplaySource::reset() {
+  cursor_ = 0;
+  arrivals_.reset();
+}
+
+std::string DatasetReplaySource::name() const {
+  return "replay(" + std::to_string(dataset_.size()) + " frames, " +
+         to_string(arrivals_.config().kind) + ")";
+}
+
+// ----------------------------------------------------- DriftingCameraSource
+
+const CameraDrift& CameraDrift::validate() const {
+  if (translate_px < 0.0) {
+    throw std::invalid_argument("CameraDrift: translate_px must be >= 0");
+  }
+  if (gain_swing < 0.0 || gain_swing >= 1.0) {
+    throw std::invalid_argument("CameraDrift: gain_swing must be in [0, 1)");
+  }
+  if (period_frames < 1) {
+    throw std::invalid_argument("CameraDrift: period_frames must be >= 1");
+  }
+  return *this;
+}
+
+DriftingCameraSource::DriftingCameraSource(long total_frames,
+                                           ArrivalConfig arrivals,
+                                           std::uint64_t seed,
+                                           CameraDrift drift)
+    : total_frames_(total_frames),
+      arrivals_(arrivals, mix(seed) ^ 1),
+      seed_(seed),
+      drift_(drift.validate()) {
+  if (total_frames_ < 1) {
+    throw std::invalid_argument(
+        "DriftingCameraSource: total_frames must be >= 1");
+  }
+}
+
+bool DriftingCameraSource::next(Frame& out) {
+  if (cursor_ >= total_frames_) return false;
+
+  const int digit = static_cast<int>(cursor_ % 10);
+  data::SyntheticConfig render_cfg;
+  render_cfg.seed = seed_;
+  const nn::Tensor base = data::render_digit(
+      digit, static_cast<std::uint64_t>(cursor_), render_cfg);
+
+  // Smooth pose/exposure drift: dx and dy sweep a Lissajous-like loop, the
+  // gain wobbles in quadrature — all functions of the frame index alone,
+  // so the drift trajectory replays exactly.
+  const double phase = kTwoPi *
+                       static_cast<double>(cursor_ % drift_.period_frames) /
+                       static_cast<double>(drift_.period_frames);
+  const double dx = drift_.translate_px * std::sin(phase);
+  const double dy = drift_.translate_px * std::cos(phase);
+  const double gain = 1.0 + drift_.gain_swing * std::sin(phase * 2.0);
+
+  out.pixels.assign(kPixels, 0.0f);
+  const float* src = base.data();
+  for (int y = 0; y < kSide; ++y) {
+    for (int x = 0; x < kSide; ++x) {
+      // Bilinear sample of the undrifted render at the shifted position;
+      // outside the sensor reads as black.
+      const double sx = x - dx;
+      const double sy = y - dy;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      const double fx = sx - x0;
+      const double fy = sy - y0;
+      double acc = 0.0;
+      for (int oy = 0; oy <= 1; ++oy) {
+        for (int ox = 0; ox <= 1; ++ox) {
+          const int xs = x0 + ox;
+          const int ys = y0 + oy;
+          if (xs < 0 || xs >= kSide || ys < 0 || ys >= kSide) continue;
+          const double w = (ox ? fx : 1.0 - fx) * (oy ? fy : 1.0 - fy);
+          acc += w * src[static_cast<std::size_t>(ys) * kSide + xs];
+        }
+      }
+      out.pixels[static_cast<std::size_t>(y) * kSide + x] =
+          static_cast<float>(std::clamp(gain * acc, 0.0, 1.0));
+    }
+  }
+  out.label = digit;
+  out.sequence = cursor_;
+  out.gap_s = arrivals_.next_gap_s();
+  ++cursor_;
+  return true;
+}
+
+void DriftingCameraSource::reset() {
+  cursor_ = 0;
+  arrivals_.reset();
+}
+
+std::string DriftingCameraSource::name() const {
+  return "drifting-camera(" + to_string(arrivals_.config().kind) + ")";
+}
+
+// ------------------------------------------------------- NoisySensorSource
+
+const NoisySensorSource::Noise& NoisySensorSource::Noise::validate() const {
+  if (gaussian_stddev < 0.0) {
+    throw std::invalid_argument("Noise: gaussian_stddev must be >= 0");
+  }
+  if (salt_pepper_prob < 0.0 || salt_pepper_prob > 1.0) {
+    throw std::invalid_argument("Noise: salt_pepper_prob must be in [0,1]");
+  }
+  if (adc_ber < 0.0 || adc_ber > 1.0) {
+    throw std::invalid_argument("Noise: adc_ber must be in [0,1]");
+  }
+  if (adc_bits < 1 || adc_bits > 16) {
+    throw std::invalid_argument("Noise: adc_bits must be in [1,16]");
+  }
+  return *this;
+}
+
+NoisySensorSource::NoisySensorSource(std::unique_ptr<FrameSource> inner,
+                                     Noise noise, std::uint64_t seed)
+    : inner_(std::move(inner)), noise_(noise.validate()), seed_(seed) {
+  if (!inner_) {
+    throw std::invalid_argument("NoisySensorSource: null inner source");
+  }
+}
+
+bool NoisySensorSource::next(Frame& out) {
+  if (!inner_->next(out)) return false;
+  corrupt(out);
+  return true;
+}
+
+void NoisySensorSource::corrupt(Frame& frame) const {
+  // Seeded by (decorator seed, frame sequence): the corruption belongs to
+  // the frame, not to the run — replaying the stream replays the noise.
+  std::mt19937_64 rng(
+      mix(seed_ ^ mix(static_cast<std::uint64_t>(frame.sequence))));
+
+  if (noise_.gaussian_stddev > 0.0) {
+    std::normal_distribution<double> read_noise(0.0, noise_.gaussian_stddev);
+    for (float& p : frame.pixels) {
+      p = static_cast<float>(std::clamp(p + read_noise(rng), 0.0, 1.0));
+    }
+  }
+  if (noise_.salt_pepper_prob > 0.0) {
+    std::bernoulli_distribution defective(noise_.salt_pepper_prob);
+    std::bernoulli_distribution stuck_high(0.5);
+    for (float& p : frame.pixels) {
+      if (defective(rng)) p = stuck_high(rng) ? 1.0f : 0.0f;
+    }
+  }
+  if (noise_.adc_ber > 0.0) {
+    // The pixel's digital readout suffers per-bit soft errors: quantize to
+    // the ADC grid, flip word bits with sc::inject_word_faults, read back.
+    // This is the positional-binary fault model the paper contrasts SC
+    // against — an MSB flip moves the pixel by half of full scale.
+    const double full =
+        static_cast<double>((std::uint32_t{1} << noise_.adc_bits) - 1);
+    for (float& p : frame.pixels) {
+      const auto level = static_cast<std::uint32_t>(
+          std::lround(static_cast<double>(p) * full));
+      const std::uint32_t faulted =
+          sc::inject_word_faults(level, noise_.adc_bits, noise_.adc_ber,
+                                 rng());
+      p = static_cast<float>(faulted / full);
+    }
+  }
+}
+
+void NoisySensorSource::reset() { inner_->reset(); }
+
+std::string NoisySensorSource::name() const {
+  return "noisy(" + inner_->name() + ")";
+}
+
+}  // namespace scbnn::sensor

@@ -1,0 +1,139 @@
+#include "sensor/stream_supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace scbnn::sensor {
+
+LoadSignal::~LoadSignal() = default;
+
+const SupervisorConfig& SupervisorConfig::validate() const {
+  if (low_inflight < 0) {
+    throw std::invalid_argument("SupervisorConfig: low_inflight must be >= 0");
+  }
+  if (high_inflight <= low_inflight) {
+    throw std::invalid_argument(
+        "SupervisorConfig: high_inflight (" + std::to_string(high_inflight) +
+        ") must exceed low_inflight (" + std::to_string(low_inflight) + ")");
+  }
+  if (high_p99_ms < 0.0) {
+    throw std::invalid_argument("SupervisorConfig: high_p99_ms must be >= 0");
+  }
+  if (hold_ticks < 1) {
+    throw std::invalid_argument("SupervisorConfig: hold_ticks must be >= 1");
+  }
+  if (tick_us < 1) {
+    throw std::invalid_argument("SupervisorConfig: tick_us must be >= 1");
+  }
+  return *this;
+}
+
+StreamSupervisor::StreamSupervisor(std::shared_ptr<runtime::Servable> backend,
+                                   SupervisorConfig config)
+    : backend_(std::move(backend)),
+      config_(config.validate()),
+      full_rung_(0) {
+  if (!backend_) {
+    throw std::invalid_argument("StreamSupervisor: null backend");
+  }
+  full_rung_ = backend_->max_rung();
+  cap_ = full_rung_;
+  min_cap_seen_ = full_rung_;
+}
+
+StreamSupervisor::~StreamSupervisor() { stop(); }
+
+void StreamSupervisor::watch(const LoadSignal* signal) {
+  if (signal == nullptr) {
+    throw std::invalid_argument("StreamSupervisor: null signal");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  signals_.push_back(signal);
+}
+
+void StreamSupervisor::tick() {
+  // Snapshot the watch list, then read the signals without holding our
+  // lock — a signal's accessors take the session's own lock.
+  std::vector<const LoadSignal*> signals;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    signals = signals_;
+  }
+  long inflight = 0;
+  double p99 = 0.0;
+  for (const LoadSignal* s : signals) {
+    inflight += s->inflight();
+    p99 = std::max(p99, s->recent_p99_ms());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ticks_;
+  const bool latency_hot =
+      config_.high_p99_ms > 0.0 && p99 > config_.high_p99_ms;
+  const bool overloaded = inflight > config_.high_inflight || latency_hot;
+  const bool calm = inflight <= config_.low_inflight && !latency_hot;
+
+  if (overloaded) {
+    calm_ticks_ = 0;
+    if (cap_ > 0) {
+      events_.push_back({ticks_, cap_, cap_ - 1, inflight, p99});
+      --cap_;
+      min_cap_seen_ = std::min(min_cap_seen_, cap_);
+      backend_->set_max_rung(cap_);
+    }
+  } else if (calm) {
+    if (cap_ < full_rung_ && ++calm_ticks_ >= config_.hold_ticks) {
+      events_.push_back({ticks_, cap_, cap_ + 1, inflight, p99});
+      ++cap_;
+      backend_->set_max_rung(cap_);
+      calm_ticks_ = 0;  // each recovery step re-earns its hold
+    }
+  } else {
+    // Between the watermarks: hold the cap and restart the calm count —
+    // recovery requires hold_ticks of genuinely low load.
+    calm_ticks_ = 0;
+  }
+}
+
+void StreamSupervisor::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void StreamSupervisor::loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    tick();
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.tick_us));
+  }
+}
+
+void StreamSupervisor::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cap_ != full_rung_) {
+    cap_ = full_rung_;
+    backend_->set_max_rung(full_rung_);
+  }
+}
+
+int StreamSupervisor::cap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cap_;
+}
+
+int StreamSupervisor::min_cap_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_cap_seen_;
+}
+
+std::vector<SupervisorEvent> StreamSupervisor::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+}  // namespace scbnn::sensor

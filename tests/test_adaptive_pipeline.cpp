@@ -172,6 +172,50 @@ TEST_F(AdaptivePipelineTest, MarginExactlyAtThresholdAcceptsWithoutEscalating) {
   }
 }
 
+TEST_F(AdaptivePipelineTest, MaxRungCapShortensTheLadderAndRestores) {
+  // Margin 1.0 normally escalates everything to the top rung; a cap of 0
+  // must keep every image at the cheap rung, and lifting the cap must
+  // reproduce the uncapped run bit for bit.
+  AdaptivePipeline pipeline(make_rungs(base_, tiny_lenet(), {3u, 6u}), 1.0);
+  EXPECT_EQ(pipeline.max_rung(), 1);
+
+  const std::vector<AdaptiveOutcome> uncapped =
+      pipeline.classify_outcomes(split_.train.images);
+  for (const AdaptiveOutcome& o : uncapped) {
+    EXPECT_EQ(o.rung, 1);
+    EXPECT_EQ(o.bits_used, 6u);
+  }
+
+  pipeline.set_max_rung(0);
+  EXPECT_EQ(pipeline.max_rung(), 0);
+  const std::vector<AdaptiveOutcome> capped =
+      pipeline.classify_outcomes(split_.train.images);
+  for (const AdaptiveOutcome& o : capped) {
+    EXPECT_EQ(o.rung, 0);
+    EXPECT_EQ(o.bits_used, 3u);
+  }
+  // Capped runs spend only the cheap rung's cycles.
+  EXPECT_LT(pipeline.last_stats().sc_cycles,
+            static_cast<double>(split_.train.images.dim(0)) *
+                pipeline.rung_cycles_per_image(1));
+
+  // Values past the ladder clamp; restoring reproduces the uncapped run.
+  pipeline.set_max_rung(Servable::kUncappedRung);
+  EXPECT_EQ(pipeline.max_rung(), 1);
+  const std::vector<AdaptiveOutcome> restored =
+      pipeline.classify_outcomes(split_.train.images);
+  ASSERT_EQ(restored.size(), uncapped.size());
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i].predicted, uncapped[i].predicted);
+    EXPECT_EQ(restored[i].rung, uncapped[i].rung);
+    EXPECT_DOUBLE_EQ(restored[i].margin, uncapped[i].margin);
+  }
+
+  // Negative caps clamp to the cheapest rung instead of underflowing.
+  pipeline.set_max_rung(-5);
+  EXPECT_EQ(pipeline.max_rung(), 0);
+}
+
 TEST_F(AdaptivePipelineTest, CycleAccountingDerivesKernelsFromEngine) {
   // The tiny base model has 8 first-layer kernels, not the paper's 32 —
   // cycle totals must reflect the engine, not a hardcoded default.

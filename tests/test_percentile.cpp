@@ -1,0 +1,82 @@
+// Percentile helper tests: the edge cases every latency report depends on
+// (empty and single samples, ties, interpolation between ranks, clamped p)
+// and the summarize_latencies digest.
+#include "runtime/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scbnn::runtime {
+namespace {
+
+TEST(Percentile, EmptySampleYieldsZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(percentile(empty, 0.0), 0.0);
+  EXPECT_EQ(percentile(empty, 50.0), 0.0);
+  EXPECT_EQ(percentile(empty, 99.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {3.25};
+  EXPECT_EQ(percentile(one, 0.0), 3.25);
+  EXPECT_EQ(percentile(one, 50.0), 3.25);
+  EXPECT_EQ(percentile(one, 99.0), 3.25);
+  EXPECT_EQ(percentile(one, 100.0), 3.25);
+}
+
+TEST(Percentile, AllTiesYieldTheTiedValue) {
+  const std::vector<double> ties(17, 7.5);
+  EXPECT_EQ(percentile(ties, 1.0), 7.5);
+  EXPECT_EQ(percentile(ties, 50.0), 7.5);
+  EXPECT_EQ(percentile(ties, 99.0), 7.5);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 75.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 100.0), 10.0);
+}
+
+TEST(Percentile, ExactRanksOfAnOddSample) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 100.0), 5.0);
+}
+
+TEST(Percentile, OutOfRangePIsClamped) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 250.0), 3.0);
+}
+
+TEST(Percentile, PartialTiesPlateau) {
+  // Half the sample is tied at 2.0: the median sits inside the plateau.
+  const std::vector<double> sorted = {1.0, 2.0, 2.0, 2.0, 9.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 50.0), 2.0);
+}
+
+TEST(SummarizeLatencies, SortsACopyAndFillsTheDigest) {
+  const std::vector<double> unsorted = {9.0, 1.0, 5.0, 3.0, 7.0};
+  const LatencySummary s = summarize_latencies(unsorted);
+  EXPECT_EQ(s.samples, 5);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_GE(s.p95, s.p50);
+}
+
+TEST(SummarizeLatencies, EmptyDigestIsAllZero) {
+  const LatencySummary s = summarize_latencies({});
+  EXPECT_EQ(s.samples, 0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace scbnn::runtime
