@@ -11,7 +11,18 @@
 //
 // Scale knobs: --n / SCBNN_BENCH_N (batch size, default 96) and
 // --bits / SCBNN_BENCH_BITS (first-layer precision, default 4).
+//
+// Against a committed baseline (--baseline=path, default: the seed numbers
+// in bench/baselines/BENCH_throughput.baseline.json) a "vs baseline"
+// column reports each backend's single-thread speedup over its baseline
+// entry; "-fast" backends with no baseline row of their own fall back to
+// their canonical name, so the column reads as the fast path's speedup
+// over the seed scalar engine.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,7 +45,44 @@ struct Row {
   double energy_nj_per_frame = 0.0;
   bool identical_predictions = true;
   double speedup_vs_1t = 1.0;
+  double speedup_vs_baseline = 0.0;  // 0 = no baseline entry
 };
+
+/// Single-thread images/sec per backend from a previous run's JSON. The
+/// file is this bench's own output, so a minimal line-oriented scan of the
+/// result objects is enough — no JSON library in the tree.
+std::map<std::string, double> load_baseline(const std::string& path) {
+  std::map<std::string, double> baseline;
+  std::ifstream in(path);
+  if (!in) return baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto bpos = line.find("\"backend\": \"");
+    if (bpos == std::string::npos) continue;
+    const auto bstart = bpos + 12;
+    const auto bend = line.find('"', bstart);
+    const auto tpos = line.find("\"threads\": ");
+    const auto ipos = line.find("\"images_per_sec\": ");
+    if (bend == std::string::npos || tpos == std::string::npos ||
+        ipos == std::string::npos) {
+      continue;
+    }
+    if (std::strtol(line.c_str() + tpos + 11, nullptr, 10) != 1) continue;
+    const double ips = std::strtod(line.c_str() + ipos + 18, nullptr);
+    if (ips > 0.0) baseline[line.substr(bstart, bend - bstart)] = ips;
+  }
+  return baseline;
+}
+
+/// Baseline images/sec for `backend`, resolving "-fast" names through
+/// their canonical design when the baseline predates the fast backends.
+double baseline_for(const std::map<std::string, double>& baseline,
+                    const std::string& backend) {
+  const auto it = baseline.find(backend);
+  if (it != baseline.end()) return it->second;
+  const auto canon = baseline.find(scbnn::hw::canonical_backend(backend));
+  return canon != baseline.end() ? canon->second : 0.0;
+}
 
 }  // namespace
 
@@ -64,14 +112,40 @@ int main(int argc, char** argv) {
       data::generate_synthetic_mnist(static_cast<std::size_t>(n), 1, kSeed);
   const hybrid::LeNetConfig lenet{32, 8, 32, 0.0f};
 
-  std::printf("Serving throughput: %d images, %u-bit first layer\n\n", n,
-              bits);
+  // Committed baseline (seed numbers): explicit flag first, then the
+  // build-dir-relative locations the checkout provides.
+  std::map<std::string, double> baseline;
+  std::string baseline_path =
+      flags.get_string("baseline", "SCBNN_BENCH_BASELINE", "");
+  if (!baseline_path.empty()) {
+    baseline = load_baseline(baseline_path);
+  } else {
+    for (const char* candidate :
+         {"BENCH_throughput.baseline.json",
+          "../bench/baselines/BENCH_throughput.baseline.json",
+          "bench/baselines/BENCH_throughput.baseline.json"}) {
+      baseline = load_baseline(candidate);
+      if (!baseline.empty()) {
+        baseline_path = candidate;
+        break;
+      }
+    }
+  }
+
+  std::printf("Serving throughput: %d images, %u-bit first layer\n", n, bits);
+  if (!baseline.empty()) {
+    std::printf("baseline: %s (\"vs seed\" = 1-thread images/sec over the "
+                "committed seed run)\n",
+                baseline_path.c_str());
+  }
+  std::printf("\n");
   hw::TableWriter table({"backend", "threads", "latency (ms)", "images/sec",
-                         "speedup", "nJ/frame", "bit-identical"},
-                        {16, 7, 12, 12, 8, 10, 13});
+                         "speedup", "vs seed", "nJ/frame", "bit-identical"},
+                        {20, 7, 12, 12, 8, 8, 10, 13});
   table.print_header();
 
   std::vector<Row> rows;
+  std::map<std::string, std::vector<int>> predictions_1t;
   for (const std::string& backend :
        runtime::BackendRegistry::instance().names()) {
     std::vector<int> reference_predictions;
@@ -97,6 +171,9 @@ int main(int argc, char** argv) {
       if (threads == kThreadCounts[0]) {
         reference_predictions = predictions;
         images_per_sec_1t = stats.images_per_sec;
+        predictions_1t[backend] = predictions;
+        const double base = baseline_for(baseline, backend);
+        if (base > 0.0) row.speedup_vs_baseline = stats.images_per_sec / base;
       }
       row.identical_predictions = predictions == reference_predictions;
       row.speedup_vs_1t = images_per_sec_1t > 0.0
@@ -108,6 +185,9 @@ int main(int argc, char** argv) {
                        hw::TableWriter::fmt(row.latency_ms),
                        hw::TableWriter::fmt(row.images_per_sec, 1),
                        hw::TableWriter::fmt(row.speedup_vs_1t) + "x",
+                       row.speedup_vs_baseline > 0.0
+                           ? hw::TableWriter::fmt(row.speedup_vs_baseline) + "x"
+                           : "-",
                        hw::TableWriter::fmt(row.energy_nj_per_frame, 1),
                        row.identical_predictions ? "yes" : "NO"});
     }
@@ -119,6 +199,20 @@ int main(int argc, char** argv) {
   std::printf("\npredictions bit-identical across thread counts: %s\n",
               all_identical ? "yes" : "NO — determinism bug!");
 
+  // Optimization referee: every "-fast" backend must predict exactly like
+  // its canonical design — same seed, same bits, same predictions.
+  bool fast_identical = true;
+  for (const auto& [backend, preds] : predictions_1t) {
+    const std::string canon = hw::canonical_backend(backend);
+    if (canon == backend) continue;
+    const auto ref = predictions_1t.find(canon);
+    if (ref == predictions_1t.end()) continue;
+    const bool same = preds == ref->second;
+    fast_identical &= same;
+    std::printf("%s matches %s bit-for-bit: %s\n", backend.c_str(),
+                canon.c_str(), same ? "yes" : "NO — fast path diverges!");
+  }
+
   std::FILE* json = std::fopen("BENCH_throughput.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "error: cannot write BENCH_throughput.json\n");
@@ -127,23 +221,26 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"throughput_serving\",\n"
                "  \"images\": %d,\n  \"bits\": %u,\n"
-               "  \"all_predictions_identical\": %s,\n  \"results\": [\n",
-               n, bits, all_identical ? "true" : "false");
+               "  \"all_predictions_identical\": %s,\n"
+               "  \"fast_backends_match_reference\": %s,\n  \"results\": [\n",
+               n, bits, all_identical ? "true" : "false",
+               fast_identical ? "true" : "false");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(json,
                  "    {\"backend\": \"%s\", \"threads\": %u, "
                  "\"latency_ms\": %.3f, \"images_per_sec\": %.1f, "
-                 "\"speedup_vs_1t\": %.2f, \"energy_nj_per_frame\": %.2f, "
+                 "\"speedup_vs_1t\": %.2f, \"speedup_vs_baseline\": %.2f, "
+                 "\"energy_nj_per_frame\": %.2f, "
                  "\"identical_predictions\": %s}%s\n",
                  row.backend.c_str(), row.threads, row.latency_ms,
                  row.images_per_sec, row.speedup_vs_1t,
-                 row.energy_nj_per_frame,
+                 row.speedup_vs_baseline, row.energy_nj_per_frame,
                  row.identical_predictions ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_throughput.json\n");
-  return all_identical ? 0 : 1;
+  return (all_identical && fast_identical) ? 0 : 1;
 }

@@ -2,21 +2,36 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <string_view>
 
 #include "hw/binary_design.h"
 #include "hw/stochastic_design.h"
 
 namespace scbnn::hw {
 
+std::string canonical_backend(const std::string& backend) {
+  // Software fast paths ("-fast" suffix) simulate the same chip as their
+  // reference backend; hardware figures are a property of the design, not
+  // of how quickly the host evaluates it.
+  constexpr std::string_view suffix = "-fast";
+  if (backend.size() > suffix.size() &&
+      backend.compare(backend.size() - suffix.size(), suffix.size(),
+                      suffix) == 0) {
+    return backend.substr(0, backend.size() - suffix.size());
+  }
+  return backend;
+}
+
 double backend_energy_per_frame_j(const std::string& backend, unsigned bits,
                                   int kernels) {
+  const std::string name = canonical_backend(backend);
   ConvGeometry geo;
   geo.kernels = kernels;
   try {
-    if (backend == "binary-quantized") {
+    if (name == "binary-quantized") {
       return BinaryConvDesign(bits, /*engines=*/46, geo).energy_per_frame_j();
     }
-    if (backend == "sc-proposed" || backend == "sc-conventional") {
+    if (name == "sc-proposed" || name == "sc-conventional") {
       return StochasticConvDesign(bits, geo).energy_per_frame_j();
     }
   } catch (const std::exception&) {
@@ -31,7 +46,8 @@ double sc_cycles_per_frame(unsigned bits, int kernels) {
 
 double backend_sc_cycles_per_frame(const std::string& backend, unsigned bits,
                                    int kernels) {
-  if (backend == "sc-proposed" || backend == "sc-conventional") {
+  const std::string name = canonical_backend(backend);
+  if (name == "sc-proposed" || name == "sc-conventional") {
     return sc_cycles_per_frame(bits, kernels);
   }
   return 0.0;

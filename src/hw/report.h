@@ -55,12 +55,19 @@ struct PaperTables12 {
   }};
 };
 
+/// Strip a "-fast" software-fast-path suffix from a backend name: the fast
+/// engines simulate the same chip as their reference backend, so all
+/// hardware figures resolve through the canonical name.
+[[nodiscard]] std::string canonical_backend(const std::string& backend);
+
 /// First-layer energy estimate (J/frame) for a named backend at `bits`
 /// precision and `kernels` first-layer kernels, from the calibrated 65nm
 /// design models. "sc-conventional" shares the stochastic chip model (the
 /// paper gives no separate old-SC cost sheet; stream length and counter
-/// structure match). Unknown backend names or unsupported precisions
-/// return 0.0 — callers treat that as "no estimate".
+/// structure match). Names are resolved via canonical_backend, so
+/// "sc-proposed-fast" prices like "sc-proposed". Unknown backend names or
+/// unsupported precisions return 0.0 — callers treat that as "no
+/// estimate".
 [[nodiscard]] double backend_energy_per_frame_j(const std::string& backend,
                                                 unsigned bits,
                                                 int kernels = 32);

@@ -13,29 +13,54 @@
 
 namespace scbnn::hybrid {
 
-namespace {
+namespace detail {
 
-/// Pack a comparator-SNG level table into raw words: entry b holds the
-/// stream for level b (bit t set iff seq[t] < b).
-std::vector<std::uint64_t> packed_level_table(sc::NumberSource& src,
-                                              std::size_t n,
-                                              std::size_t words,
-                                              std::uint32_t levels) {
-  std::vector<std::uint32_t> seq(n);
-  src.reset();
-  for (std::size_t t = 0; t < n; ++t) seq[t] = src.next();
-  std::vector<std::uint64_t> table(static_cast<std::size_t>(levels) * words,
-                                   0u);
-  for (std::uint32_t b = 0; b < levels; ++b) {
-    std::uint64_t* dst = table.data() + static_cast<std::size_t>(b) * words;
-    for (std::size_t t = 0; t < n; ++t) {
-      if (seq[t] < b) dst[t / 64] |= std::uint64_t{1} << (t % 64);
-    }
+std::vector<std::uint64_t> sc_input_level_table(ScStyle style, unsigned bits,
+                                                std::uint32_t seed,
+                                                std::size_t n,
+                                                std::size_t words) {
+  const auto level_count = static_cast<std::uint32_t>(n) + 1;
+  if (style == ScStyle::kProposed) {
+    sc::RampSource ramp(bits);
+    return sc::packed_level_table(ramp, n, words, level_count);
   }
-  return table;
+  sc::Lfsr lfsr(bits, sc::fold_lfsr_seed(bits, seed));
+  return sc::packed_level_table(lfsr, n, words, level_count);
 }
 
-}  // namespace
+std::vector<std::uint64_t> sc_weight_level_table(ScStyle style, unsigned bits,
+                                                 std::uint32_t seed,
+                                                 std::size_t n,
+                                                 std::size_t words) {
+  const auto level_count = static_cast<std::uint32_t>(n) + 1;
+  if (style == ScStyle::kProposed) {
+    sc::VanDerCorputSource vdc(bits);
+    return sc::packed_level_table(vdc, n, words, level_count);
+  }
+  sc::Lfsr lfsr(bits, sc::fold_lfsr_seed(bits, seed * 2 + 3),
+                sc::maximal_lfsr_taps_alt(bits));
+  return sc::packed_level_table(lfsr, n, words, level_count);
+}
+
+std::vector<std::uint64_t> sc_mux_select_table(unsigned bits,
+                                               std::uint32_t seed,
+                                               std::size_t n, std::size_t words,
+                                               std::size_t nodes) {
+  std::vector<std::uint64_t> selects(nodes * words, 0u);
+  const std::uint32_t half = std::uint32_t{1} << (bits - 1);
+  for (std::size_t nd = 0; nd < nodes; ++nd) {
+    sc::Lfsr sel(bits, sc::fold_lfsr_seed(
+                           bits, static_cast<std::uint32_t>(seed + 31 + 17 * nd)));
+    sel.reset();
+    std::uint64_t* dst = selects.data() + nd * words;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (sel.next() < half) dst[t / 64] |= std::uint64_t{1} << (t % 64);
+    }
+  }
+  return selects;
+}
+
+}  // namespace detail
 
 StochasticFirstLayer::StochasticFirstLayer(
     Style style, const nn::QuantizedConvWeights& weights,
@@ -52,27 +77,11 @@ StochasticFirstLayer::StochasticFirstLayer(
   if (weights.kernel_size != kKernelSize || weights.in_channels != 1) {
     throw std::invalid_argument("StochasticFirstLayer: unsupported geometry");
   }
-  const auto level_count = static_cast<std::uint32_t>(n_) + 1;
 
-  // Input-side stream table.
-  if (style_ == Style::kProposed) {
-    sc::RampSource ramp(bits_);
-    input_table_ = packed_level_table(ramp, n_, words_, level_count);
-  } else {
-    sc::Lfsr lfsr(bits_, sc::fold_lfsr_seed(bits_, config.seed));
-    input_table_ = packed_level_table(lfsr, n_, words_, level_count);
-  }
-
-  // Weight-side stream table (shared generator, amortized across units).
-  std::vector<std::uint64_t> wtable;
-  if (style_ == Style::kProposed) {
-    sc::VanDerCorputSource vdc(bits_);
-    wtable = packed_level_table(vdc, n_, words_, level_count);
-  } else {
-    sc::Lfsr lfsr(bits_, sc::fold_lfsr_seed(bits_, config.seed * 2 + 3),
-                  sc::maximal_lfsr_taps_alt(bits_));
-    wtable = packed_level_table(lfsr, n_, words_, level_count);
-  }
+  input_table_ =
+      detail::sc_input_level_table(style_, bits_, config.seed, n_, words_);
+  const std::vector<std::uint64_t> wtable =
+      detail::sc_weight_level_table(style_, bits_, config.seed, n_, words_);
 
   wpos_.assign(static_cast<std::size_t>(kernels_) * kFanIn * words_, 0u);
   wneg_.assign(static_cast<std::size_t>(kernels_) * kFanIn * words_, 0u);
@@ -91,22 +100,9 @@ StochasticFirstLayer::StochasticFirstLayer(
     }
   }
 
-  // MUX-tree select streams (p = 1/2), one per tree node, from one wide
-  // LFSR bank — the standard arrangement in prior SC NN hardware.
   if (style_ == Style::kConventional) {
-    const std::size_t nodes = kSlots - 1;
-    selects_.assign(nodes * words_, 0u);
-    for (std::size_t nd = 0; nd < nodes; ++nd) {
-      sc::Lfsr sel(bits_,
-                   sc::fold_lfsr_seed(bits_, static_cast<std::uint32_t>(
-                                                 config.seed + 31 + 17 * nd)));
-      sel.reset();
-      std::uint64_t* dst = selects_.data() + nd * words_;
-      const std::uint32_t half = std::uint32_t{1} << (bits_ - 1);
-      for (std::size_t t = 0; t < n_; ++t) {
-        if (sel.next() < half) dst[t / 64] |= std::uint64_t{1} << (t % 64);
-      }
-    }
+    selects_ =
+        detail::sc_mux_select_table(bits_, config.seed, n_, words_, kSlots - 1);
   }
 }
 
@@ -179,28 +175,34 @@ void StochasticFirstLayer::compute_one(const float* image, float* out,
 
     for (int oy = 0; oy < kImageSize; ++oy) {
       for (int ox = 0; ox < kImageSize; ++ox) {
-        // AND multipliers: product streams into tree slots; out-of-image
-        // taps and the 7 pad slots stay zero.
-        std::fill(pos_slots.begin(), pos_slots.end(), 0u);
-        std::fill(neg_slots.begin(), neg_slots.end(), 0u);
-        for (int ki = 0; ki < kKernelSize; ++ki) {
-          const int iy = oy + ki - kPad;
-          if (iy < 0 || iy >= kImageSize) continue;
-          for (int kj = 0; kj < kKernelSize; ++kj) {
-            const int ix = ox + kj - kPad;
-            if (ix < 0 || ix >= kImageSize) continue;
-            const int tap = ki * kKernelSize + kj;
-            const std::uint64_t* xs =
-                input_table_.data() +
-                static_cast<std::size_t>(x[iy * kImageSize + ix]) * words_;
-            const std::uint64_t* wps = wp + static_cast<std::size_t>(tap) * words_;
-            const std::uint64_t* wns = wn + static_cast<std::size_t>(tap) * words_;
-            std::uint64_t* ps = pos_slots.data() + static_cast<std::size_t>(tap) * words_;
-            std::uint64_t* ns = neg_slots.data() + static_cast<std::size_t>(tap) * words_;
+        // AND multipliers: every tap slot is (re)written each position —
+        // a product stream when the tap lands in the image, zero otherwise
+        // (the tree reduction clobbered slots 0..15 last position). The 7
+        // pad slots are never written by the tap loop or the tree, so the
+        // scratch's zero-initialization keeps them zero forever and no
+        // full-bank clear is needed.
+        for (int tap = 0; tap < kFanIn; ++tap) {
+          const int iy = oy + tap / kKernelSize - kPad;
+          const int ix = ox + tap % kKernelSize - kPad;
+          std::uint64_t* ps =
+              pos_slots.data() + static_cast<std::size_t>(tap) * words_;
+          std::uint64_t* ns =
+              neg_slots.data() + static_cast<std::size_t>(tap) * words_;
+          if (iy < 0 || iy >= kImageSize || ix < 0 || ix >= kImageSize) {
             for (std::size_t wd = 0; wd < words_; ++wd) {
-              ps[wd] = xs[wd] & wps[wd];
-              ns[wd] = xs[wd] & wns[wd];
+              ps[wd] = 0;
+              ns[wd] = 0;
             }
+            continue;
+          }
+          const std::uint64_t* xs =
+              input_table_.data() +
+              static_cast<std::size_t>(x[iy * kImageSize + ix]) * words_;
+          const std::uint64_t* wps = wp + static_cast<std::size_t>(tap) * words_;
+          const std::uint64_t* wns = wn + static_cast<std::size_t>(tap) * words_;
+          for (std::size_t wd = 0; wd < words_; ++wd) {
+            ps[wd] = xs[wd] & wps[wd];
+            ns[wd] = xs[wd] & wns[wd];
           }
         }
         reduce_tree(pos_slots.data());

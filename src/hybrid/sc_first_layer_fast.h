@@ -1,0 +1,138 @@
+// SIMD bit-packed fast path for the stochastic first layer.
+//
+// Bit-identical to StochasticFirstLayer (it is built from the same stream
+// tables — hybrid::detail builders in sc_first_layer.h — and evaluates the
+// same gate network in the same node order), but restructured around three
+// stacked optimizations:
+//
+//  1. Product LUTs. The AND multiplier's output depends only on (input
+//     level, weight level), so the input level table is ANDed against every
+//     *distinct* weight level once at construction. The per-tap inner loop
+//     of the hot path becomes a table lookup; no AND gates are evaluated
+//     per frame at all.
+//
+//  2. Batched multi-position evaluation. A whole output row (28 positions)
+//     of BOTH trees — the w_pos and w_neg dot products share node numbering,
+//     TFF initial states and select streams, so they ride in one fused
+//     [pos | neg] strip — is pushed through the adder tree per sweep, as a
+//     structure-of-arrays strip the vectorized kernels of sc/simd.h chew
+//     through:
+//       - for short streams (N = 2^bits <= 64, i.e. bits <= 6) the strip is
+//         *field-packed*: 64/N complete streams ride in each 64-bit word
+//         and the stateless field-parallel TFF kernel
+//         (sc::simd::tff_add_fields) evaluates them together, so at the
+//         paper's 4-bit operating point one ymm op advances 16 output
+//         positions through a tree node;
+//       - for long streams (bits 7..8) the strip is *column-batched*: the
+//         2x28 positions are word-major columns and the TFF carry chain
+//         runs per-lane (sc::simd::tff_add_columns).
+//     A per-image row cache makes the LUT lookups shared too: each distinct
+//     (pos level, neg level, horizontal tap offset) triple's packed product
+//     row is materialized once per input row and reused by every kernel and
+//     every vertical tap position that needs it (field-packed layout only,
+//     where the cache stays small).
+//
+//  3. Zero-subtree elision. The 32-leaf tree has 7 structurally-zero pad
+//     leaves. The reduction walks leaf *pointers* (pads point at a shared
+//     zero block), skips the nodes whose inputs are both the zero block
+//     (their output is identically zero for TFF and MUX alike), and never
+//     materializes — let alone re-clears — a pad slot. Node numbering is
+//     unaffected, so TFF initial states and MUX select streams line up
+//     exactly with the reference engine.
+//
+// The root node is fused with the output counter where profitable
+// (tff_add_popcount_columns / mux_select_popcount_columns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hybrid/sc_first_layer.h"
+#include "sc/simd.h"
+
+namespace scbnn::hybrid {
+
+class FastStochasticFirstLayer final : public FirstLayerEngine {
+ public:
+  using Style = ScStyle;
+
+  FastStochasticFirstLayer(Style style,
+                           const nn::QuantizedConvWeights& weights,
+                           const FirstLayerConfig& config);
+
+  using FirstLayerEngine::compute_batch;
+  void compute_batch(const float* images, int n, float* out,
+                     Scratch& scratch) const override;
+  [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
+
+  [[nodiscard]] std::string name() const override {
+    return style_ == Style::kProposed ? "sc-proposed-fast"
+                                      : "sc-conventional-fast";
+  }
+  [[nodiscard]] int kernels() const noexcept override { return kernels_; }
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+
+  /// Stream length N = 2^bits (cycles per dot product).
+  [[nodiscard]] std::size_t stream_length() const noexcept { return n_; }
+  /// Output positions packed per 64-bit word (1 in column-batched mode).
+  [[nodiscard]] std::size_t positions_per_word() const noexcept {
+    return fields_;
+  }
+
+ private:
+  static constexpr int kSlots = 32;   // adder-tree leaves (25 taps + 7 zero)
+  static constexpr int kRow = kImageSize;  // strip width: one output row
+  static constexpr int kStripCols = 2 * kRow;  // fused [pos | neg] strip
+
+  struct RowScratch final : Scratch {
+    RowScratch(std::size_t rows_words, std::size_t leaves_words,
+               std::size_t slots_words)
+        : rows(rows_words), leaves(leaves_words), slots(slots_words) {}
+    std::uint32_t levels[kImageSize * kImageSize];  // quantized pixels
+    std::vector<std::uint64_t> rows;    // per-image (pair, iy) product cache
+    std::vector<std::uint64_t> leaves;  // column-mode leaf strip (25 blocks)
+    std::vector<std::uint64_t> slots;   // tree node strip (16 blocks)
+    long counts[kStripCols];            // root popcounts: pos then neg
+  };
+
+  void compute_one(const float* image, float* out, RowScratch& s) const;
+  void build_row_cache(RowScratch& s) const;
+  /// Reduce one 32-leaf strip; leaf blocks via `src`, popcounts in counts.
+  void reduce_strip(const std::uint64_t* src[kSlots], std::uint64_t* slots,
+                    long* counts) const;
+
+  Style style_;
+  unsigned bits_;
+  std::size_t n_;        // stream length
+  std::size_t words_;    // 64-bit words per stream
+  std::size_t fields_;   // streams packed per word (64/n_), 1 in column mode
+  bool packed_;          // field-packed (bits <= 6) vs column-batched layout
+  std::size_t half_words_;   // words per 28-position half strip
+  std::size_t block_words_;  // words per fused strip block (2 * half_words_)
+  int kernels_;
+  double soft_threshold_;
+  sc::simd::Level level_;  // SIMD dispatch level, resolved once
+
+  // Product LUT: prod_[d * lut_stride_ + xlev * words_ + w] is word w of
+  // (input stream for level xlev) & (weight stream for distinct level d).
+  std::size_t lut_stride_;
+  std::vector<std::uint64_t> prod_;
+
+  // Per (kernel, tap): dense weight-level index of each sign (column-mode
+  // leaf fill) and, in packed mode, the row-cache pair the tap reads.
+  std::vector<std::uint32_t> tap_dense_pos_, tap_dense_neg_;
+  std::vector<std::uint32_t> tap_pair_;
+  // Packed-mode pair table: (pos dense level, neg dense level, ix - ox).
+  std::vector<std::uint32_t> pair_dense_pos_, pair_dense_neg_;
+  std::vector<int> pair_dx_;
+  std::size_t npairs_ = 0;
+
+  // MUX select streams (conventional): scalar layout (node * words_) and,
+  // in packed mode, one field-replicated word per node.
+  std::vector<std::uint64_t> selects_;
+  std::vector<std::uint64_t> selects_packed_;
+
+  std::vector<std::uint64_t> zero_block_;  // shared all-zero strip block
+};
+
+}  // namespace scbnn::hybrid

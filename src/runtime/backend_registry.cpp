@@ -4,10 +4,12 @@
 
 #include "hybrid/binary_first_layer.h"
 #include "hybrid/sc_first_layer.h"
+#include "hybrid/sc_first_layer_fast.h"
 
 namespace scbnn::runtime {
 
 BackendRegistry::BackendRegistry() {
+  using hybrid::FastStochasticFirstLayer;
   using hybrid::StochasticFirstLayer;
   factories_["binary-quantized"] =
       [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
@@ -22,6 +24,19 @@ BackendRegistry::BackendRegistry() {
       [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
         return std::make_unique<StochasticFirstLayer>(
             StochasticFirstLayer::Style::kConventional, w, c);
+      };
+  // SIMD bit-packed fast paths: bit-identical to the reference engines
+  // above (asserted by the serving bench and the first-layer tests), just
+  // restructured around product LUTs and batched vector kernels.
+  factories_["sc-proposed-fast"] =
+      [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
+        return std::make_unique<FastStochasticFirstLayer>(
+            FastStochasticFirstLayer::Style::kProposed, w, c);
+      };
+  factories_["sc-conventional-fast"] =
+      [](const nn::QuantizedConvWeights& w, const hybrid::FirstLayerConfig& c) {
+        return std::make_unique<FastStochasticFirstLayer>(
+            FastStochasticFirstLayer::Style::kConventional, w, c);
       };
 }
 

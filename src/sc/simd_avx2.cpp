@@ -1,0 +1,296 @@
+// AVX2 implementations of the column-batched SC kernels (sc/simd.h).
+//
+// This translation unit is compiled with -mavx2 when the toolchain supports
+// it (see CMakeLists.txt); the rest of the library stays at the baseline
+// ISA and dispatches here only after a runtime cpuid check. Four 64-bit
+// streams ride in one ymm register: the TFF parity scan runs as lane-local
+// shift/xor chains (each lane is an independent stream), the per-stream
+// carry (TFF state) lives in a lane mask updated from the scan's top bit,
+// and popcounts use the nibble-shuffle + psadbw reduction (Harley-Seal's
+// byte-counting core, folded to per-lane sums each word).
+#include "sc/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "sc/packed.h"
+#include "sc/tff.h"
+
+namespace scbnn::sc::simd::detail {
+
+namespace {
+
+// Lane-parallel Kogge-Stone parity scan: sc::prefix_xor per 64-bit lane.
+inline __m256i prefix_xor_x4(__m256i v) {
+  v = _mm256_xor_si256(v, _mm256_slli_epi64(v, 1));
+  v = _mm256_xor_si256(v, _mm256_slli_epi64(v, 2));
+  v = _mm256_xor_si256(v, _mm256_slli_epi64(v, 4));
+  v = _mm256_xor_si256(v, _mm256_slli_epi64(v, 8));
+  v = _mm256_xor_si256(v, _mm256_slli_epi64(v, 16));
+  v = _mm256_xor_si256(v, _mm256_slli_epi64(v, 32));
+  return v;
+}
+
+// All-ones lanes where bit 63 is set. Bit 63 of the inclusive prefix parity
+// is the whole-word parity, so this doubles as the TFF state update mask.
+inline __m256i sign_mask_x4(__m256i v) {
+  return _mm256_cmpgt_epi64(_mm256_setzero_si256(), v);
+}
+
+// popcount per 64-bit lane: nibble lookup (PSHUFB) then byte-sum (PSADBW).
+inline __m256i popcount_x4(__m256i v) {
+  const __m256i nibble_counts = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nibbles = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_nibbles);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi64(v, 4), low_nibbles);
+  const __m256i bytes =
+      _mm256_add_epi8(_mm256_shuffle_epi8(nibble_counts, lo),
+                      _mm256_shuffle_epi8(nibble_counts, hi));
+  return _mm256_sad_epu8(bytes, _mm256_setzero_si256());
+}
+
+}  // namespace
+
+bool avx2_compiled() noexcept { return true; }
+
+void and_words_avx2(const std::uint64_t* x, const std::uint64_t* y,
+                    std::uint64_t* z, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i yv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + i),
+                        _mm256_and_si256(xv, yv));
+  }
+  for (; i < n; ++i) z[i] = x[i] & y[i];
+}
+
+void tff_add_columns_avx2(const std::uint64_t* x, const std::uint64_t* y,
+                          std::uint64_t* z, std::size_t nwords,
+                          std::size_t ncols, bool s0) {
+  const std::size_t vec_cols = ncols - (ncols % 4);
+  const __m256i init =
+      s0 ? _mm256_setzero_si256() : _mm256_set1_epi64x(-1);
+  for (std::size_t c = 0; c < vec_cols; c += 4) {
+    // notstate: all-ones lanes while the lane's TFF state is 0, so
+    // sel = pm ^ notstate realizes (state ? pm : ~pm).
+    __m256i notstate = init;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t idx = w * ncols + c;
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + idx));
+      const __m256i yv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + idx));
+      const __m256i m = _mm256_xor_si256(xv, yv);
+      const __m256i pm = prefix_xor_x4(m);
+      const __m256i sel = _mm256_xor_si256(pm, notstate);
+      const __m256i zv = _mm256_or_si256(_mm256_and_si256(xv, yv),
+                                         _mm256_and_si256(m, sel));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + idx), zv);
+      notstate = _mm256_xor_si256(notstate, sign_mask_x4(pm));
+    }
+  }
+  for (std::size_t c = vec_cols; c < ncols; ++c) {
+    (void)tff_add_words_strided(x + c, y + c, z + c, nwords, ncols, s0);
+  }
+}
+
+void mux_select_columns_avx2(const std::uint64_t* sel, const std::uint64_t* x,
+                             const std::uint64_t* y, std::uint64_t* z,
+                             std::size_t nwords, std::size_t ncols) {
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const __m256i sv = _mm256_set1_epi64x(static_cast<long long>(sel[w]));
+    const std::uint64_t* xw = x + w * ncols;
+    const std::uint64_t* yw = y + w * ncols;
+    std::uint64_t* zw = z + w * ncols;
+    std::size_t c = 0;
+    for (; c + 4 <= ncols; c += 4) {
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xw + c));
+      const __m256i yv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(yw + c));
+      const __m256i zv = _mm256_or_si256(_mm256_and_si256(sv, yv),
+                                         _mm256_andnot_si256(sv, xv));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(zw + c), zv);
+    }
+    for (; c < ncols; ++c) {
+      zw[c] = (sel[w] & yw[c]) | (~sel[w] & xw[c]);
+    }
+  }
+}
+
+void tff_add_fields_avx2(const std::uint64_t* x, const std::uint64_t* y,
+                         std::uint64_t* z, std::size_t n, unsigned width,
+                         bool s0) {
+  const std::uint64_t top_scalar = detail::field_top_mask(width);
+  const __m256i top = _mm256_set1_epi64x(static_cast<long long>(top_scalar));
+  const __m256i init =
+      s0 ? _mm256_setzero_si256() : _mm256_set1_epi64x(-1);
+  // Runtime shift counts; VPSRLQ/VPSLLQ by register zero the result for
+  // counts >= 64, so the width == 64 case (no correction) needs no branch.
+  const __m128i shr_w1 = _mm_cvtsi32_si128(static_cast<int>(width - 1));
+  const __m128i shl_w = _mm_cvtsi32_si128(static_cast<int>(width));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i yv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i m = _mm256_xor_si256(xv, yv);
+    const __m256i p = prefix_xor_x4(m);
+    const __m256i t = _mm256_srl_epi64(_mm256_and_si256(p, top), shr_w1);
+    const __m256i v = _mm256_sll_epi64(t, shl_w);
+    const __m256i corr = _mm256_sub_epi64(_mm256_sll_epi64(v, shl_w), v);
+    const __m256i sel =
+        _mm256_xor_si256(_mm256_xor_si256(p, corr), init);
+    const __m256i zv = _mm256_or_si256(_mm256_and_si256(xv, yv),
+                                       _mm256_and_si256(m, sel));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + i), zv);
+  }
+  const std::uint64_t inits = s0 ? 0 : ~std::uint64_t{0};
+  for (; i < n; ++i) {
+    const std::uint64_t m = x[i] ^ y[i];
+    const std::uint64_t p = prefix_xor(m);
+    const std::uint64_t t = (p & top_scalar) >> (width - 1);
+    const std::uint64_t v = (t << (width - 1)) << 1;
+    const std::uint64_t corr = ((v << (width - 1)) << 1) - v;
+    z[i] = (x[i] & y[i]) | (m & (p ^ corr ^ inits));
+  }
+}
+
+void popcount_columns_avx2(const std::uint64_t* x, std::size_t nwords,
+                           std::size_t ncols, long* counts) {
+  std::size_t c = 0;
+  for (; c + 4 <= ncols; c += 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const __m256i xv = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(x + w * ncols + c));
+      acc = _mm256_add_epi64(acc, popcount_x4(xv));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (int l = 0; l < 4; ++l) counts[c + l] = static_cast<long>(lanes[l]);
+  }
+  for (; c < ncols; ++c) {
+    long acc = 0;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      acc += std::popcount(x[w * ncols + c]);
+    }
+    counts[c] = acc;
+  }
+}
+
+void tff_add_popcount_columns_avx2(const std::uint64_t* x,
+                                   const std::uint64_t* y, std::size_t nwords,
+                                   std::size_t ncols, bool s0, long* counts) {
+  const __m256i init =
+      s0 ? _mm256_setzero_si256() : _mm256_set1_epi64x(-1);
+  std::size_t c = 0;
+  for (; c + 4 <= ncols; c += 4) {
+    __m256i notstate = init;
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t idx = w * ncols + c;
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + idx));
+      const __m256i yv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + idx));
+      const __m256i m = _mm256_xor_si256(xv, yv);
+      const __m256i pm = prefix_xor_x4(m);
+      const __m256i sel = _mm256_xor_si256(pm, notstate);
+      const __m256i zv = _mm256_or_si256(_mm256_and_si256(xv, yv),
+                                         _mm256_and_si256(m, sel));
+      acc = _mm256_add_epi64(acc, popcount_x4(zv));
+      notstate = _mm256_xor_si256(notstate, sign_mask_x4(pm));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (int l = 0; l < 4; ++l) counts[c + l] = static_cast<long>(lanes[l]);
+  }
+  for (; c < ncols; ++c) {
+    bool state = s0;
+    long acc = 0;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::uint64_t xi = x[w * ncols + c];
+      const std::uint64_t yi = y[w * ncols + c];
+      const std::uint64_t m = xi ^ yi;
+      const std::uint64_t pm = prefix_xor(m);
+      acc += std::popcount((xi & yi) | (m & (state ? pm : ~pm)));
+      state = state != word_parity(m);
+    }
+    counts[c] = acc;
+  }
+}
+
+void mux_select_popcount_columns_avx2(const std::uint64_t* sel,
+                                      const std::uint64_t* x,
+                                      const std::uint64_t* y,
+                                      std::size_t nwords, std::size_t ncols,
+                                      long* counts) {
+  std::size_t c = 0;
+  for (; c + 4 <= ncols; c += 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t idx = w * ncols + c;
+      const __m256i sv =
+          _mm256_set1_epi64x(static_cast<long long>(sel[w]));
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + idx));
+      const __m256i yv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + idx));
+      const __m256i zv = _mm256_or_si256(_mm256_and_si256(sv, yv),
+                                         _mm256_andnot_si256(sv, xv));
+      acc = _mm256_add_epi64(acc, popcount_x4(zv));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (int l = 0; l < 4; ++l) counts[c + l] = static_cast<long>(lanes[l]);
+  }
+  for (; c < ncols; ++c) {
+    long acc = 0;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      acc += std::popcount((sel[w] & y[w * ncols + c]) |
+                           (~sel[w] & x[w * ncols + c]));
+    }
+    counts[c] = acc;
+  }
+}
+
+}  // namespace scbnn::sc::simd::detail
+
+#else  // !__AVX2__: stubs keep the library linkable; never dispatched to.
+
+namespace scbnn::sc::simd::detail {
+
+bool avx2_compiled() noexcept { return false; }
+
+void and_words_avx2(const std::uint64_t*, const std::uint64_t*,
+                    std::uint64_t*, std::size_t) {}
+void tff_add_columns_avx2(const std::uint64_t*, const std::uint64_t*,
+                          std::uint64_t*, std::size_t, std::size_t, bool) {}
+void mux_select_columns_avx2(const std::uint64_t*, const std::uint64_t*,
+                             const std::uint64_t*, std::uint64_t*,
+                             std::size_t, std::size_t) {}
+void tff_add_fields_avx2(const std::uint64_t*, const std::uint64_t*,
+                         std::uint64_t*, std::size_t, unsigned, bool) {}
+void popcount_columns_avx2(const std::uint64_t*, std::size_t, std::size_t,
+                           long*) {}
+void tff_add_popcount_columns_avx2(const std::uint64_t*, const std::uint64_t*,
+                                   std::size_t, std::size_t, bool, long*) {}
+void mux_select_popcount_columns_avx2(const std::uint64_t*,
+                                      const std::uint64_t*,
+                                      const std::uint64_t*, std::size_t,
+                                      std::size_t, long*) {}
+
+}  // namespace scbnn::sc::simd::detail
+
+#endif  // __AVX2__

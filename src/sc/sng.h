@@ -32,4 +32,13 @@ namespace scbnn::sc {
 [[nodiscard]] std::uint32_t quantize_unipolar(double analog_value,
                                               unsigned bits);
 
+/// Pack a comparator-SNG level table into raw words: entry b (b < levels)
+/// holds the packed stream for level b over `n` cycles (bit t set iff
+/// seq[t] < b, with seq the source's reset sequence), each stream spanning
+/// `words` 64-bit words. This is the construction-time workhorse of the
+/// packed first-layer engines: one source sweep amortized over every level.
+[[nodiscard]] std::vector<std::uint64_t> packed_level_table(
+    NumberSource& source, std::size_t n, std::size_t words,
+    std::uint32_t levels);
+
 }  // namespace scbnn::sc

@@ -57,4 +57,12 @@ class ToggleFlipFlop {
 bool tff_add_words(const std::uint64_t* x, const std::uint64_t* y,
                    std::uint64_t* z, std::size_t nwords, bool s0) noexcept;
 
+/// tff_add_words over strided streams: word w of each operand lives at
+/// index w * stride. This is the scalar reference for the column-batched
+/// SIMD kernels (sc/simd.h), where `stride` is the number of columns of the
+/// word-major batch and the stream under evaluation is one column of it.
+bool tff_add_words_strided(const std::uint64_t* x, const std::uint64_t* y,
+                           std::uint64_t* z, std::size_t nwords,
+                           std::size_t stride, bool s0) noexcept;
+
 }  // namespace scbnn::sc

@@ -9,8 +9,10 @@
 #include "hybrid/binary_first_layer.h"
 #include "hybrid/first_layer.h"
 #include "hybrid/sc_first_layer.h"
+#include "hybrid/sc_first_layer_fast.h"
 #include "nn/init.h"
 #include "nn/quantize.h"
+#include "runtime/backend_registry.h"
 
 namespace scbnn::hybrid {
 namespace {
@@ -288,6 +290,103 @@ TEST(FirstLayerEngine, DesignNames) {
   EXPECT_EQ(to_string(FirstLayerDesign::kBinaryQuantized), "Binary");
   EXPECT_EQ(to_string(FirstLayerDesign::kScProposed), "This Work");
   EXPECT_EQ(to_string(FirstLayerDesign::kScConventional), "Old SC");
+}
+
+// --- SIMD fast-path engines -------------------------------------------------
+// The optimization referee: FastStochasticFirstLayer must be bit-identical
+// to StochasticFirstLayer for both styles at every precision — the fast
+// engines are an optimization, never an approximation.
+
+class FastBitIdentity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FastBitIdentity, ProposedFastMatchesReferenceExactly) {
+  const unsigned bits = GetParam();
+  const auto qw = sample_qweights(3, bits, 100 + bits);
+  FirstLayerConfig cfg;
+  cfg.bits = bits;
+  StochasticFirstLayer ref(ScStyle::kProposed, qw, cfg);
+  FastStochasticFirstLayer fast(ScStyle::kProposed, qw, cfg);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const nn::Tensor img = sample_image(70 + 3 * bits + i);
+    EXPECT_EQ(run_engine(ref, img), run_engine(fast, img))
+        << "bits=" << bits << " image=" << i;
+  }
+}
+
+TEST_P(FastBitIdentity, ConventionalFastMatchesReferenceExactly) {
+  const unsigned bits = GetParam();
+  const auto qw = sample_qweights(3, bits, 200 + bits);
+  FirstLayerConfig cfg;
+  cfg.bits = bits;
+  StochasticFirstLayer ref(ScStyle::kConventional, qw, cfg);
+  FastStochasticFirstLayer fast(ScStyle::kConventional, qw, cfg);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const nn::Tensor img = sample_image(90 + 3 * bits + i);
+    EXPECT_EQ(run_engine(ref, img), run_engine(fast, img))
+        << "bits=" << bits << " image=" << i;
+  }
+}
+
+TEST_P(FastBitIdentity, FastMatchesReferenceWithSoftThreshold) {
+  const unsigned bits = GetParam();
+  const auto qw = sample_qweights(2, bits, 300 + bits);
+  FirstLayerConfig cfg;
+  cfg.bits = bits;
+  cfg.soft_threshold = 1.0;
+  StochasticFirstLayer ref(ScStyle::kProposed, qw, cfg);
+  FastStochasticFirstLayer fast(ScStyle::kProposed, qw, cfg);
+  const nn::Tensor img = sample_image(55);
+  EXPECT_EQ(run_engine(ref, img), run_engine(fast, img)) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FastBitIdentity,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(FastFirstLayer, BatchMatchesSingleImagePath) {
+  const auto qw = sample_qweights(3, 4, 14);
+  FirstLayerConfig cfg;
+  cfg.bits = 4;
+  FastStochasticFirstLayer fast(ScStyle::kProposed, qw, cfg);
+  const data::DataSplit split = data::generate_synthetic_mnist(8, 1, 17);
+  const nn::Tensor feats = fast.compute_batch(split.train.images);
+  EXPECT_EQ(feats.shape(), (std::vector<int>{8, 3, 28, 28}));
+  std::vector<float> single(3 * 784);
+  fast.compute(split.train.images.data(), single.data());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(feats[i], single[i]);
+  }
+}
+
+TEST(FastFirstLayer, PackedLayoutSelectedForShortStreams) {
+  const auto qw4 = sample_qweights(2, 4, 15);
+  const auto qw8 = sample_qweights(2, 8, 15);
+  FirstLayerConfig cfg4, cfg8;
+  cfg4.bits = 4;
+  cfg8.bits = 8;
+  FastStochasticFirstLayer p4(ScStyle::kProposed, qw4, cfg4);
+  FastStochasticFirstLayer p8(ScStyle::kProposed, qw8, cfg8);
+  EXPECT_EQ(p4.positions_per_word(), 4u);  // 64 / 2^4
+  EXPECT_EQ(p8.positions_per_word(), 1u);  // column-batched
+  EXPECT_EQ(p4.stream_length(), 16u);
+  EXPECT_EQ(p8.stream_length(), 256u);
+}
+
+TEST(FastFirstLayer, RegisteredInBackendRegistry) {
+  auto& reg = runtime::BackendRegistry::instance();
+  ASSERT_TRUE(reg.contains("sc-proposed-fast"));
+  ASSERT_TRUE(reg.contains("sc-conventional-fast"));
+  const auto qw = sample_qweights(2, 4, 16);
+  FirstLayerConfig cfg;
+  cfg.bits = 4;
+  EXPECT_EQ(reg.create("sc-proposed-fast", qw, cfg)->name(),
+            "sc-proposed-fast");
+  EXPECT_EQ(reg.create("sc-conventional-fast", qw, cfg)->name(),
+            "sc-conventional-fast");
+  // And the registry-created fast engine matches the registry-created
+  // reference engine bit for bit.
+  const nn::Tensor img = sample_image(23);
+  EXPECT_EQ(run_engine(*reg.create("sc-proposed", qw, cfg), img),
+            run_engine(*reg.create("sc-proposed-fast", qw, cfg), img));
 }
 
 class ScPrecisionSweep : public ::testing::TestWithParam<unsigned> {};

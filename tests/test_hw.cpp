@@ -215,6 +215,29 @@ TEST(Report, BackendEnergyPerFrame) {
   EXPECT_DOUBLE_EQ(backend_energy_per_frame_j("sc-proposed", 63), 0.0);
 }
 
+TEST(Report, CanonicalBackendStripsFastSuffix) {
+  // The SIMD fast backends are software restructurings of the same SC
+  // chip — they must price exactly like their canonical design.
+  EXPECT_EQ(canonical_backend("sc-proposed-fast"), "sc-proposed");
+  EXPECT_EQ(canonical_backend("sc-conventional-fast"), "sc-conventional");
+  EXPECT_EQ(canonical_backend("sc-proposed"), "sc-proposed");
+  EXPECT_EQ(canonical_backend("binary-quantized"), "binary-quantized");
+  // "-fast" alone (no stem) is not a backend alias.
+  EXPECT_EQ(canonical_backend("-fast"), "-fast");
+}
+
+TEST(Report, FastBackendsPriceLikeCanonicalDesigns) {
+  for (unsigned bits : {2u, 4u, 8u}) {
+    EXPECT_DOUBLE_EQ(backend_energy_per_frame_j("sc-proposed-fast", bits),
+                     backend_energy_per_frame_j("sc-proposed", bits));
+    EXPECT_DOUBLE_EQ(backend_energy_per_frame_j("sc-conventional-fast", bits),
+                     backend_energy_per_frame_j("sc-conventional", bits));
+    EXPECT_DOUBLE_EQ(backend_sc_cycles_per_frame("sc-proposed-fast", bits, 32),
+                     backend_sc_cycles_per_frame("sc-proposed", bits, 32));
+  }
+  EXPECT_GT(backend_energy_per_frame_j("sc-proposed-fast", 4), 0.0);
+}
+
 TEST(Report, AggregateRungEnergySumsPerRungTraffic) {
   EXPECT_DOUBLE_EQ(aggregate_rung_energy_j({}), 0.0);
   const double per_frame_3 = backend_energy_per_frame_j("sc-proposed", 3);

@@ -9,6 +9,7 @@
 #include "data/synthetic_mnist.h"
 #include "hybrid/experiment.h"
 #include "hybrid/hybrid_network.h"
+#include "runtime/backend_registry.h"
 #include "runtime/server.h"
 #include "nn/conv2d.h"
 #include "nn/loss.h"
@@ -138,6 +139,39 @@ TEST(HybridNetwork, IsServableBehindTheRequestServer) {
     const runtime::Prediction p = futures[i].get();
     EXPECT_EQ(p.label, direct_labels[i]);
     EXPECT_EQ(p.margin, direct[i].margin);
+  }
+}
+
+TEST(HybridNetwork, FastBackendsPredictIdenticallyToReference) {
+  // End-to-end referee for the SIMD fast path: swapping sc-proposed for
+  // sc-proposed-fast (and conventional likewise) must leave every
+  // prediction AND every margin bit-identical — the whole pipeline after
+  // the first layer consumes identical ternary features.
+  nn::Rng rng(9);
+  const auto cfg = tiny_lenet();
+  nn::Network base = build_lenet(cfg, rng);
+  const auto qw = nn::quantize_conv_weights(base_conv1_weights(base), 4);
+  FirstLayerConfig flc;
+  flc.bits = 4;
+  const data::DataSplit split = data::generate_synthetic_mnist(8, 1, 33);
+
+  auto& reg = runtime::BackendRegistry::instance();
+  for (const char* pair : {"sc-proposed", "sc-conventional"}) {
+    const std::string ref_name = pair;
+    const std::string fast_name = ref_name + "-fast";
+    auto make_net = [&](const std::string& backend) {
+      nn::Rng tail_rng(10);
+      nn::Network tail = build_tail(cfg, tail_rng);
+      copy_tail_params(base, tail);
+      return HybridNetwork(reg.create(backend, qw, flc), std::move(tail));
+    };
+    const auto ref = make_net(ref_name).classify(split.train.images);
+    const auto fast = make_net(fast_name).classify(split.train.images);
+    ASSERT_EQ(ref.size(), fast.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].label, fast[i].label) << ref_name << " image " << i;
+      EXPECT_EQ(ref[i].margin, fast[i].margin) << ref_name << " image " << i;
+    }
   }
 }
 
