@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   runtime::RuntimeConfig rc;
   rc.threads =
       static_cast<unsigned>(flags.get_long("threads", "SCBNN_THREADS", 0, 0,
-                                           runtime::ThreadPool::kMaxThreads));
+                                           runtime::Executor::kMaxThreads));
 
   // A small pool of unique frames, cycled by the generator.
   const int unique = std::min(frames_per_point, 128);
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   std::printf("Latency under load: %d requests/point, max_batch=%d, "
               "%u worker threads\n\n",
               frames_per_point, max_batch,
-              runtime::ThreadPool::resolve_threads(rc.threads));
+              runtime::Executor::resolve_threads(rc.threads));
 
   hw::TableWriter table({"backend", "load", "delay us", "offered/s", "done/s",
                          "p50 ms", "p95 ms", "p99 ms", "mean batch", "rej",

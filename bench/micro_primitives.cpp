@@ -1,6 +1,10 @@
 // google-benchmark microbenchmarks of the simulation kernels: how fast the
 // bit-exact SC substrate itself runs on the host (simulation throughput,
 // not modeled silicon performance — that is table3_power_energy_area).
+// The executor section at the bottom prices the runtime's scheduling
+// primitives themselves: submit round-trip latency, parallel_for fan-out/
+// join cost vs job count, the single-worker inline path, and chunk-steal
+// throughput — central-queue ThreadPool vs WorkStealingExecutor.
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -12,6 +16,8 @@
 #include "nn/conv2d.h"
 #include "nn/quantize.h"
 #include "hybrid/sc_first_layer_fast.h"
+#include "runtime/thread_pool.h"
+#include "runtime/work_stealing_executor.h"
 #include "sc/adder_tree.h"
 #include "sc/mse.h"
 #include "sc/simd.h"
@@ -260,6 +266,112 @@ void BM_FastScFirstLayerImage(benchmark::State& state) {
   state.SetLabel("SIMD bit-packed 32-kernel stochastic conv, one 28x28 image");
 }
 BENCHMARK(BM_FastScFirstLayerImage)->Arg(4)->Arg(8);
+
+// --- Executor micro-benchmarks (runtime/) -----------------------------------
+// The overhead of the scheduling layer itself, with trivial task bodies so
+// the numbers are pure executor cost. "central-queue" is the legacy
+// ThreadPool, "work-steal" the WorkStealingExecutor.
+
+void BM_ExecutorSubmitCentralQueue(benchmark::State& state) {
+  runtime::ThreadPool pool(2);
+  for (auto _ : state) {
+    pool.submit([] {}).get();
+  }
+  state.SetLabel("submit+get round trip, 2 workers");
+}
+BENCHMARK(BM_ExecutorSubmitCentralQueue);
+
+void BM_ExecutorSubmitWorkStealing(benchmark::State& state) {
+  runtime::WorkStealingExecutor pool(2);
+  for (auto _ : state) {
+    pool.submit([] {}).get();
+  }
+  state.SetLabel("submit+get round trip, 2 workers");
+}
+BENCHMARK(BM_ExecutorSubmitWorkStealing);
+
+void BM_ExecutorSubmitInlineSingleWorker(benchmark::State& state) {
+  // The size()==1 fast path: the task runs on the caller, the future
+  // comes back resolved — no queue, no wakeup.
+  runtime::WorkStealingExecutor pool(1);
+  for (auto _ : state) {
+    pool.submit([] {}).get();
+  }
+}
+BENCHMARK(BM_ExecutorSubmitInlineSingleWorker);
+
+void BM_ExecutorParallelForCentralQueue(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  runtime::ThreadPool pool(4);
+  std::vector<long> sums(pool.size());
+  for (auto _ : state) {
+    pool.parallel_for(jobs,
+                      [&sums](int job, unsigned worker) {
+                        sums[worker] += job;
+                      });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+  state.SetLabel("fan-out+join, 4 workers");
+}
+BENCHMARK(BM_ExecutorParallelForCentralQueue)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExecutorParallelForWorkStealing(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  runtime::WorkStealingExecutor pool(4);
+  std::vector<long> sums(pool.size());
+  for (auto _ : state) {
+    pool.parallel_for(jobs,
+                      [&sums](int job, unsigned worker) {
+                        sums[worker] += job;
+                      });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+  state.SetLabel("fan-out+join, 4 workers");
+}
+BENCHMARK(BM_ExecutorParallelForWorkStealing)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExecutorParallelForInlineSingleWorker(benchmark::State& state) {
+  // The allocation-free inline loop a single-frame 1-thread serving
+  // config rides per request.
+  runtime::WorkStealingExecutor pool(1);
+  std::vector<long> sums(1);
+  for (auto _ : state) {
+    pool.parallel_for(64, [&sums](int job, unsigned worker) {
+      sums[worker] += job;
+    });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ExecutorParallelForInlineSingleWorker);
+
+void BM_ExecutorStealThroughput(benchmark::State& state) {
+  // Chunk-steal rate under sustained fan-out pressure, read off the
+  // executor's own counters: steals (and attempts) per second appear as
+  // rate counters in the report.
+  runtime::WorkStealingExecutor pool(4);
+  std::vector<long> sums(pool.size());
+  const runtime::ExecutorStats before = pool.stats();
+  for (auto _ : state) {
+    pool.parallel_for(256, [&sums](int job, unsigned worker) {
+      sums[worker] += job;
+    });
+    benchmark::ClobberMemory();
+  }
+  const runtime::ExecutorStats after = pool.stats();
+  state.counters["steals"] = benchmark::Counter(
+      static_cast<double>(after.steals - before.steals),
+      benchmark::Counter::kIsRate);
+  state.counters["steal_attempts"] = benchmark::Counter(
+      static_cast<double>(after.steal_attempts - before.steal_attempts),
+      benchmark::Counter::kIsRate);
+  state.counters["chunks"] = benchmark::Counter(
+      static_cast<double>(after.chunks_run - before.chunks_run),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecutorStealThroughput);
 
 void BM_Conv2DForward(benchmark::State& state) {
   nn::Rng rng(2);

@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
   runtime::RuntimeConfig rc;
   rc.threads = static_cast<unsigned>(
       flags.get_long("threads", "SCBNN_THREADS", 0, 0,
-                     runtime::ThreadPool::kMaxThreads));
+                     runtime::Executor::kMaxThreads));
 
   sensor::ArrivalKind arrival;
   try {

@@ -18,12 +18,23 @@
 // entry; "-fast" backends with no baseline row of their own fall back to
 // their canonical name, so the column reads as the fast path's speedup
 // over the seed scalar engine.
+// The executor scaling sweep (second table) serves the same workload
+// through `models` concurrent engines sharing ONE executor, comparing the
+// legacy central-queue ThreadPool against the WorkStealingExecutor (steal
+// on and off) at 1..hw threads — the A/B that justifies the executor
+// replacement. Knobs: --models / SCBNN_BENCH_MODELS (default 4) and
+// --reps / SCBNN_BENCH_REPS (batches per driver thread, default 3).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -34,6 +45,8 @@
 #include "nn/quantize.h"
 #include "runtime/backend_registry.h"
 #include "runtime/inference_engine.h"
+#include "runtime/thread_pool.h"
+#include "runtime/work_stealing_executor.h"
 
 namespace {
 
@@ -82,6 +95,28 @@ double baseline_for(const std::map<std::string, double>& baseline,
   if (it != baseline.end()) return it->second;
   const auto canon = baseline.find(scbnn::hw::canonical_backend(backend));
   return canon != baseline.end() ? canon->second : 0.0;
+}
+
+struct ScalingRow {
+  std::string executor;
+  unsigned threads = 1;
+  int models = 1;
+  double images_per_sec = 0.0;
+  double speedup_vs_central = 0.0;  // vs ThreadPool at same threads/models
+  bool identical_predictions = true;
+};
+
+/// One shared executor of the named kind. Pinning is forced off so the
+/// sweep measures scheduling, not whatever SCBNN_PIN happens to be.
+std::shared_ptr<scbnn::runtime::Executor> make_sweep_executor(
+    const std::string& kind, unsigned threads) {
+  using namespace scbnn::runtime;
+  if (kind == "central-queue") return std::make_shared<ThreadPool>(threads);
+  WorkStealingExecutor::Options opt;
+  opt.threads = threads;
+  opt.steal = (kind == "work-steal");
+  opt.pin = PinMode::kOff;
+  return std::make_shared<WorkStealingExecutor>(opt);
 }
 
 }  // namespace
@@ -213,6 +248,130 @@ int main(int argc, char** argv) {
                 canon.c_str(), same ? "yes" : "NO — fast path diverges!");
   }
 
+  // ---------------------------------------------------- executor scaling
+  // models engines share ONE executor; each engine gets a driver thread
+  // serving `reps` batches. Aggregate images/sec per (executor, threads,
+  // models) cell, speedup read against the central-queue pool in the same
+  // cell, predictions refereed against a 1-thread central-queue reference.
+  const int scale_models = static_cast<int>(
+      flags.get_long("models", "SCBNN_BENCH_MODELS", 4, 1, 16));
+  const int scale_reps = static_cast<int>(
+      flags.get_long("reps", "SCBNN_BENCH_REPS", 3, 1, 1000));
+  const std::string scale_backend = "sc-proposed-fast";
+
+  std::vector<unsigned> scale_threads{1, 2, 4};
+  {
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    if (hw_threads > 0 &&
+        std::find(scale_threads.begin(), scale_threads.end(), hw_threads) ==
+            scale_threads.end()) {
+      scale_threads.push_back(hw_threads);
+      std::sort(scale_threads.begin(), scale_threads.end());
+    }
+  }
+  std::vector<int> scale_model_counts{1};
+  if (scale_models > 1) scale_model_counts.push_back(scale_models);
+
+  std::vector<int> scale_reference;
+  {
+    runtime::RuntimeConfig rc;
+    rc.executor = make_sweep_executor("central-queue", 1);
+    runtime::InferenceEngine engine(scale_backend, qw, flc, rc);
+    nn::Rng trng(kSeed + 1);
+    nn::Network tail = hybrid::build_tail(lenet, trng);
+    scale_reference = engine.predict(split.train.images, tail);
+  }
+
+  std::printf("\nExecutor scaling: %s, %d images/batch, %d reps/model\n\n",
+              scale_backend.c_str(), n, scale_reps);
+  hw::TableWriter scaling_table(
+      {"executor", "threads", "models", "images/sec", "vs central",
+       "bit-identical"},
+      {20, 7, 6, 12, 10, 13});
+  scaling_table.print_header();
+
+  std::vector<ScalingRow> scaling_rows;
+  std::map<std::pair<unsigned, int>, double> central_ips;
+  for (const char* kind :
+       {"central-queue", "work-steal", "work-steal-nosteal"}) {
+    for (unsigned threads : scale_threads) {
+      for (int models : scale_model_counts) {
+        runtime::RuntimeConfig rc;
+        rc.executor = make_sweep_executor(kind, threads);
+
+        std::vector<std::unique_ptr<runtime::InferenceEngine>> engines;
+        std::vector<nn::Network> tails;
+        for (int m = 0; m < models; ++m) {
+          engines.push_back(std::make_unique<runtime::InferenceEngine>(
+              scale_backend, qw, flc, rc));
+          nn::Rng trng(kSeed + 1);  // identical tail for every model
+          tails.push_back(hybrid::build_tail(lenet, trng));
+        }
+        for (auto& engine : engines) {
+          (void)engine->features(split.train.images);  // warm-up
+        }
+
+        std::vector<std::vector<int>> last_predictions(
+            static_cast<std::size_t>(models));
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> drivers;
+        drivers.reserve(static_cast<std::size_t>(models));
+        for (int m = 0; m < models; ++m) {
+          drivers.emplace_back([&, m] {
+            for (int rep = 0; rep < scale_reps; ++rep) {
+              last_predictions[static_cast<std::size_t>(m)] =
+                  engines[static_cast<std::size_t>(m)]->predict(
+                      split.train.images, tails[static_cast<std::size_t>(m)]);
+            }
+          });
+        }
+        for (auto& t : drivers) t.join();
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+
+        ScalingRow row;
+        row.executor = kind;
+        row.threads = threads;
+        row.models = models;
+        row.images_per_sec =
+            elapsed_s > 0.0
+                ? static_cast<double>(models) * scale_reps * n / elapsed_s
+                : 0.0;
+        for (const auto& preds : last_predictions) {
+          row.identical_predictions &= (preds == scale_reference);
+        }
+        if (std::string(kind) == "central-queue") {
+          central_ips[{threads, models}] = row.images_per_sec;
+        } else {
+          const auto ref = central_ips.find({threads, models});
+          if (ref != central_ips.end() && ref->second > 0.0) {
+            row.speedup_vs_central = row.images_per_sec / ref->second;
+          }
+        }
+        scaling_rows.push_back(row);
+
+        scaling_table.print_row(
+            {row.executor, std::to_string(threads), std::to_string(models),
+             hw::TableWriter::fmt(row.images_per_sec, 1),
+             row.speedup_vs_central > 0.0
+                 ? hw::TableWriter::fmt(row.speedup_vs_central) + "x"
+                 : "-",
+             row.identical_predictions ? "yes" : "NO"});
+      }
+    }
+    scaling_table.print_rule();
+  }
+
+  bool scaling_identical = true;
+  for (const ScalingRow& row : scaling_rows) {
+    scaling_identical &= row.identical_predictions;
+  }
+  std::printf("scaling predictions bit-identical across executors/threads/"
+              "steal schedules: %s\n",
+              scaling_identical ? "yes" : "NO — determinism bug!");
+
   std::FILE* json = std::fopen("BENCH_throughput.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "error: cannot write BENCH_throughput.json\n");
@@ -239,8 +398,21 @@ int main(int argc, char** argv) {
                  row.identical_predictions ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(json, "  ],\n  \"scaling\": [\n");
+  for (std::size_t i = 0; i < scaling_rows.size(); ++i) {
+    const ScalingRow& row = scaling_rows[i];
+    std::fprintf(json,
+                 "    {\"executor\": \"%s\", \"threads\": %u, "
+                 "\"models\": %d, \"images_per_sec\": %.1f, "
+                 "\"speedup_vs_central_queue\": %.2f, "
+                 "\"identical_predictions\": %s}%s\n",
+                 row.executor.c_str(), row.threads, row.models,
+                 row.images_per_sec, row.speedup_vs_central,
+                 row.identical_predictions ? "true" : "false",
+                 i + 1 < scaling_rows.size() ? "," : "");
+  }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_throughput.json\n");
-  return (all_identical && fast_identical) ? 0 : 1;
+  return (all_identical && fast_identical && scaling_identical) ? 0 : 1;
 }

@@ -5,7 +5,7 @@
 // as a first-class serving construct: an ordered ladder of precision rungs,
 // each a {bits, FirstLayerEngine, retrained binary tail} triple. A batch
 // enters the cheapest rung, the first layer is chunked across the shared
-// ThreadPool, the rung's tail scores every image, and only the images whose
+// executor, the rung's tail scores every image, and only the images whose
 // softmax top1-top2 margin falls below the confidence threshold are
 // compacted into a dense sub-batch and escalated to the next rung.
 //
@@ -23,9 +23,9 @@
 
 #include "hybrid/first_layer.h"
 #include "nn/network.h"
+#include "runtime/executor.h"
 #include "runtime/inference_engine.h"
 #include "runtime/servable.h"
-#include "runtime/thread_pool.h"
 
 namespace scbnn::runtime {
 
@@ -116,8 +116,12 @@ class AdaptivePipeline : public Servable {
   [[nodiscard]] int max_rung() const noexcept override;
   /// The executor this pipeline computes on — pass it to further models to
   /// share one pool.
-  [[nodiscard]] const std::shared_ptr<ThreadPool>& executor() const noexcept {
+  [[nodiscard]] const std::shared_ptr<Executor>& executor() const noexcept {
     return pool_;
+  }
+  /// Live counters of that executor (fleet-wide totals when shared).
+  [[nodiscard]] ExecutorStats executor_stats() const override {
+    return pool_->stats();
   }
 
   [[nodiscard]] const PipelineStats& last_stats() const noexcept {
@@ -150,7 +154,7 @@ class AdaptivePipeline : public Servable {
   std::atomic<int> max_rung_{kUncappedRung};
   double confidence_margin_;
   RuntimeConfig config_;
-  std::shared_ptr<ThreadPool> pool_;  ///< private or shared (config.executor)
+  std::shared_ptr<Executor> pool_;  ///< private or shared (config.executor)
   // scratch_[rung][worker]: each rung's engine keeps one workspace per pool
   // worker, reused across batches.
   std::vector<std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>>>

@@ -6,6 +6,7 @@
 #include "hw/report.h"
 #include "nn/loss.h"
 #include "runtime/backend_registry.h"
+#include "runtime/work_stealing_executor.h"
 
 namespace scbnn::runtime {
 
@@ -27,17 +28,18 @@ const RuntimeConfig& RuntimeConfig::validate() const {
         "RuntimeConfig: chunk_images must be >= 1, got " +
         std::to_string(chunk_images));
   }
-  if (threads > ThreadPool::kMaxThreads) {
+  if (threads > Executor::kMaxThreads) {
     throw std::invalid_argument(
         "RuntimeConfig: threads must be <= " +
-        std::to_string(ThreadPool::kMaxThreads) + " (0 = auto), got " +
+        std::to_string(Executor::kMaxThreads) + " (0 = auto), got " +
         std::to_string(threads));
   }
   return *this;
 }
 
-std::shared_ptr<ThreadPool> RuntimeConfig::resolve_executor() const {
-  return executor ? executor : std::make_shared<ThreadPool>(threads);
+std::shared_ptr<Executor> RuntimeConfig::resolve_executor() const {
+  return executor ? executor
+                  : std::make_shared<WorkStealingExecutor>(threads);
 }
 
 InferenceEngine::InferenceEngine(

@@ -19,8 +19,8 @@
 
 #include "hybrid/first_layer.h"
 #include "nn/network.h"
+#include "runtime/executor.h"
 #include "runtime/servable.h"
-#include "runtime/thread_pool.h"
 
 namespace scbnn::runtime {
 
@@ -31,20 +31,21 @@ struct RuntimeConfig {
   /// this pool instead of spawning a private one (`threads` is then
   /// ignored — the pool is already sized), so any number of models can
   /// serve from one fixed set of workers without oversubscription. When
-  /// null (the default), a private pool of `threads` workers is built, the
-  /// pre-refactor behavior.
-  std::shared_ptr<ThreadPool> executor;
+  /// null (the default), a private WorkStealingExecutor of `threads`
+  /// workers is built. Any Executor implementation is accepted (the
+  /// legacy central-mutex ThreadPool included, for A/B comparison).
+  std::shared_ptr<Executor> executor;
 
   /// Reject nonsense before any pool or scratch is built: chunk_images must
-  /// be >= 1 and threads must not exceed ThreadPool::kMaxThreads (0 stays
+  /// be >= 1 and threads must not exceed Executor::kMaxThreads (0 stays
   /// the documented "auto" setting). Throws std::invalid_argument naming
   /// the offending field; returns *this so constructors can validate in
   /// their initializer lists.
   const RuntimeConfig& validate() const;
 
-  /// The pool this config resolves to: the shared executor if set,
-  /// otherwise a fresh private pool of `threads` workers.
-  [[nodiscard]] std::shared_ptr<ThreadPool> resolve_executor() const;
+  /// The executor this config resolves to: the shared executor if set,
+  /// otherwise a fresh private WorkStealingExecutor of `threads` workers.
+  [[nodiscard]] std::shared_ptr<Executor> resolve_executor() const;
 };
 
 /// Per-batch serving statistics, refreshed by every features()/predict().
@@ -91,6 +92,11 @@ class InferenceEngine : public Servable {
   [[nodiscard]] unsigned threads() const noexcept override {
     return pool_->size();
   }
+  /// Live counters of the executor this engine computes on (shared
+  /// executors report fleet-wide totals).
+  [[nodiscard]] ExecutorStats executor_stats() const override {
+    return pool_->stats();
+  }
 
   [[nodiscard]] const BatchStats& last_stats() const noexcept {
     return stats_;
@@ -98,10 +104,10 @@ class InferenceEngine : public Servable {
   [[nodiscard]] const hybrid::FirstLayerEngine& engine() const noexcept {
     return *engine_;
   }
-  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+  [[nodiscard]] Executor& pool() noexcept { return *pool_; }
   /// The executor this engine computes on — pass it to further engines to
   /// share one pool across models.
-  [[nodiscard]] const std::shared_ptr<ThreadPool>& executor() const noexcept {
+  [[nodiscard]] const std::shared_ptr<Executor>& executor() const noexcept {
     return pool_;
   }
   [[nodiscard]] const RuntimeConfig& config() const noexcept {
@@ -120,7 +126,7 @@ class InferenceEngine : public Servable {
 
   std::unique_ptr<hybrid::FirstLayerEngine> engine_;
   RuntimeConfig config_;
-  std::shared_ptr<ThreadPool> pool_;  ///< private or shared (config.executor)
+  std::shared_ptr<Executor> pool_;  ///< private or shared (config.executor)
   std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>> scratch_;
   nn::Network tail_;
   bool has_tail_ = false;

@@ -111,6 +111,10 @@ ServerStats ModelRouter::stats(const std::string& id) const {
   return find(id)->server->stats();
 }
 
+ExecutorStats ModelRouter::executor_stats(const std::string& id) const {
+  return find(id)->server->executor_stats();
+}
+
 const Servable& ModelRouter::backend(const std::string& id) const {
   return *find(id)->backend;
 }

@@ -74,6 +74,11 @@ class ModelRouter {
   [[nodiscard]] std::vector<std::string> model_ids() const;
   /// Lifetime stats of model `id` (throws std::out_of_range when unknown).
   [[nodiscard]] ServerStats stats(const std::string& id) const;
+  /// Compute-executor counters of model `id`'s backend (throws
+  /// std::out_of_range when unknown). Models registered on one shared
+  /// executor all report the same fleet-wide snapshot — steals/parks/
+  /// queue depth across every model's fan-outs.
+  [[nodiscard]] ExecutorStats executor_stats(const std::string& id) const;
   /// The registered backend (throws std::out_of_range when unknown).
   [[nodiscard]] const Servable& backend(const std::string& id) const;
   /// Requests waiting in model `id`'s admission queue right now — the

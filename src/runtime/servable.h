@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nn/tensor.h"
+#include "runtime/executor.h"
 
 namespace scbnn::runtime {
 
@@ -94,6 +95,15 @@ class Servable {
 
   /// Worker threads the backend computes with (its pool size).
   [[nodiscard]] virtual unsigned threads() const noexcept = 0;
+
+  /// Counter snapshot of the executor the backend computes on (tasks,
+  /// chunks, steals, parks, queue high-water — see ExecutorStats). When
+  /// models share one executor the numbers are fleet-wide, which is the
+  /// point: one place to read whether the compute layer is balanced.
+  /// Backends without an executor report the default-constructed zeros.
+  [[nodiscard]] virtual ExecutorStats executor_stats() const {
+    return ExecutorStats{};
+  }
 
   /// Cap value meaning "no cap": the full ladder may run.
   static constexpr int kUncappedRung = 1 << 20;

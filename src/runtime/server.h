@@ -103,6 +103,11 @@ class Server {
   void shutdown();
 
   [[nodiscard]] ServerStats stats() const;
+  /// The backend's compute-executor counters (fleet-wide totals when the
+  /// backend shares its executor with other models).
+  [[nodiscard]] ExecutorStats executor_stats() const {
+    return backend_.executor_stats();
+  }
   [[nodiscard]] const ServerConfig& config() const noexcept {
     return config_;
   }

@@ -7,14 +7,6 @@
 
 namespace scbnn::runtime {
 
-unsigned ThreadPool::resolve_threads(unsigned threads) noexcept {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  return std::min(threads, kMaxThreads);
-}
-
 ThreadPool::ThreadPool(unsigned threads) {
   threads = resolve_threads(threads);
   workers_.reserve(threads);
@@ -64,8 +56,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return result;
 }
 
-void ThreadPool::parallel_for(int jobs,
-                              const std::function<void(int, unsigned)>& fn) {
+void ThreadPool::parallel_for_impl(int jobs, ForFn fn, void* ctx) {
   if (jobs <= 0) return;
 
   // A single-worker pool gains nothing from a queue handoff: run the jobs
@@ -74,7 +65,14 @@ void ThreadPool::parallel_for(int jobs,
   // blocked the caller anyway. This keeps single-frame serving (e.g. the
   // progressive-classifier adapter) free of per-call wakeup latency.
   if (size() == 1) {
-    for (int job = 0; job < jobs; ++job) fn(job, 0);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) {
+        throw std::runtime_error(
+            "ThreadPool::parallel_for: pool is shut down");
+      }
+    }
+    for (int job = 0; job < jobs; ++job) fn(ctx, job, 0);
     return;
   }
 
@@ -86,14 +84,14 @@ void ThreadPool::parallel_for(int jobs,
   };
   auto state = std::make_shared<State>();
 
-  // Work-stealing drain loop run by pool workers. The caller blocks on
-  // every future below, so capturing fn and jobs by reference is safe.
-  const auto drain = [state, &fn, jobs](unsigned slot) {
+  // Shared-counter drain loop run by pool workers. The caller blocks on
+  // every future below, so capturing fn and ctx is safe.
+  const auto drain = [state, fn, ctx, jobs](unsigned slot) {
     for (;;) {
       const int job = state->next.fetch_add(1, std::memory_order_relaxed);
       if (job >= jobs || state->failed.load(std::memory_order_relaxed)) return;
       try {
-        fn(job, slot);
+        fn(ctx, job, slot);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->error_mutex);
         if (!state->error) state->error = std::current_exception();
@@ -126,10 +124,6 @@ void ThreadPool::parallel_for(int jobs,
 
   for (auto& f : pending) f.get();  // drain() swallows; nothing rethrows here
   if (state->error) std::rethrow_exception(state->error);
-}
-
-std::shared_ptr<ThreadPool> make_shared_executor(unsigned threads) {
-  return std::make_shared<ThreadPool>(threads);
 }
 
 }  // namespace scbnn::runtime

@@ -1,4 +1,13 @@
-// Fixed-size worker pool for the batched inference runtime.
+// The original central-mutex worker pool, retained as the reference
+// implementation of the Executor contract.
+//
+// One mutex-guarded queue, condvar wakeups, a packaged_task + future per
+// drainer on every parallel_for — exactly the contention profile the
+// WorkStealingExecutor (work_stealing_executor.h) was built to remove.
+// It stays in the tree so the scaling sweep in bench/throughput_serving
+// can A/B old-vs-new on the same workload, and as the simplest-possible
+// executor when debugging a suspected scheduler issue
+// (RuntimeConfig::executor accepts either).
 //
 //   - submit() returns a future that rethrows the task's exception, so a
 //     throwing task can never take down a worker thread;
@@ -17,29 +26,20 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/executor.h"
+
 namespace scbnn::runtime {
 
-class ThreadPool {
+class ThreadPool final : public Executor {
  public:
-  /// Hard ceiling on worker threads — far above any sane serving setup,
-  /// low enough that a wild config value cannot exhaust OS resources.
-  static constexpr unsigned kMaxThreads = 512;
-
-  /// The worker count a requested `threads` value actually yields: 0 maps
-  /// to std::thread::hardware_concurrency() (min 1), values above
-  /// kMaxThreads are clamped. The constructor uses exactly this rule, so
-  /// callers sizing per-worker state from a config need not build a pool
-  /// (or re-derive the rule) to know the answer.
-  [[nodiscard]] static unsigned resolve_threads(unsigned threads) noexcept;
-
-  /// `threads` is resolved through resolve_threads().
+  /// `threads` is resolved through Executor::resolve_threads().
   explicit ThreadPool(unsigned threads = 0);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] unsigned size() const noexcept {
+  [[nodiscard]] unsigned size() const noexcept override {
     return static_cast<unsigned>(workers_.size());
   }
 
@@ -47,20 +47,18 @@ class ThreadPool {
   /// destructor calls it. After shutdown, submit() and parallel_for()
   /// throw std::runtime_error instead of enqueueing work that would never
   /// run.
-  void shutdown();
+  void shutdown() override;
 
   /// Enqueue one task. The returned future rethrows whatever the task
   /// throws. Throws std::runtime_error if the pool is shutting down.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) override;
 
-  /// Run fn(job, worker) for every job in [0, jobs), blocking until all
-  /// complete. `worker` is a stable slot id in [0, size()): jobs run only
-  /// on pool workers, so exactly size() threads compute and two jobs with
-  /// the same slot never overlap. If any job throws, remaining unstarted
-  /// jobs are skipped and the first exception is rethrown here; the pool
-  /// stays usable. Must not be called from inside a pool task (the inner
-  /// loop's jobs could never be scheduled).
-  void parallel_for(int jobs, const std::function<void(int, unsigned)>& fn);
+ protected:
+  /// Shared-job-counter drain: every worker pulls the next job index from
+  /// one atomic — correct, but all fan-out traffic meets on the central
+  /// queue lock and that one cache line. Must not be called from inside a
+  /// pool task (the inner loop's jobs could never be scheduled).
+  void parallel_for_impl(int jobs, ForFn fn, void* ctx) override;
 
  private:
   // A queued task receives the slot id of the worker that runs it.
@@ -74,15 +72,5 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
-
-/// A pool intended to be shared by several engines/pipelines: pass the
-/// result as RuntimeConfig::executor to every model that should compute on
-/// the same workers. N models on one executor never oversubscribe the
-/// machine the way N private pools would. parallel_for is safe for
-/// concurrent callers (each call carries its own job counter and error
-/// slot), and worker slot ids stay unique at any instant, so per-model
-/// per-slot scratch never races.
-[[nodiscard]] std::shared_ptr<ThreadPool> make_shared_executor(
-    unsigned threads = 0);
 
 }  // namespace scbnn::runtime

@@ -1,0 +1,220 @@
+#include "runtime/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace scbnn::runtime {
+
+std::string to_string(PinMode mode) {
+  switch (mode) {
+    case PinMode::kOff:
+      return "off";
+    case PinMode::kAuto:
+      return "auto";
+    case PinMode::kCompact:
+      return "compact";
+    case PinMode::kScatter:
+      return "scatter";
+  }
+  return "off";
+}
+
+PinMode pin_mode_from_string(const std::string& name) {
+  if (name == "off") return PinMode::kOff;
+  if (name == "auto") return PinMode::kAuto;
+  if (name == "compact") return PinMode::kCompact;
+  if (name == "scatter") return PinMode::kScatter;
+  throw std::invalid_argument(
+      "pin_mode_from_string: unknown mode \"" + name +
+      "\" (valid: off, auto, compact, scatter)");
+}
+
+PinMode pin_mode_from_env() {
+  const char* value = std::getenv("SCBNN_PIN");
+  if (value == nullptr || *value == '\0') return PinMode::kOff;
+  try {
+    return pin_mode_from_string(value);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "warning: SCBNN_PIN: %s; pinning stays off\n",
+                 e.what());
+    return PinMode::kOff;
+  }
+}
+
+std::size_t CpuTopology::physical_cores() const {
+  std::set<std::pair<int, int>> cores;
+  for (const Cpu& cpu : cpus) cores.emplace(cpu.package, cpu.core);
+  return cores.size();
+}
+
+std::size_t CpuTopology::packages() const {
+  std::set<int> packages;
+  for (const Cpu& cpu : cpus) packages.insert(cpu.package);
+  return packages.size();
+}
+
+std::vector<int> parse_cpu_list(const std::string& list) {
+  std::vector<int> ids;
+  std::stringstream in(list);
+  std::string chunk;
+  while (std::getline(in, chunk, ',')) {
+    if (chunk.empty()) continue;
+    char* end = nullptr;
+    const long first = std::strtol(chunk.c_str(), &end, 10);
+    if (end == chunk.c_str() || first < 0) continue;
+    long last = first;
+    if (*end == '-') {
+      const char* lo_end = end;
+      last = std::strtol(lo_end + 1, &end, 10);
+      if (end == lo_end + 1 || last < first) continue;
+    }
+    for (long id = first; id <= last; ++id) {
+      ids.push_back(static_cast<int>(id));
+    }
+  }
+  return ids;
+}
+
+namespace {
+
+/// First integer in `path`, or `fallback` when unreadable.
+int read_sysfs_int(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  int value = fallback;
+  if (in && (in >> value) && value >= 0) return value;
+  return fallback;
+}
+
+CpuTopology flat_topology() {
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  CpuTopology topo;
+  topo.cpus.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    topo.cpus.push_back({static_cast<int>(i), static_cast<int>(i), 0});
+  }
+  return topo;
+}
+
+}  // namespace
+
+CpuTopology read_cpu_topology() {
+#ifdef __linux__
+  std::ifstream online("/sys/devices/system/cpu/online");
+  std::string list;
+  if (!online || !std::getline(online, list)) return flat_topology();
+  const std::vector<int> ids = parse_cpu_list(list);
+  if (ids.empty()) return flat_topology();
+
+  CpuTopology topo;
+  topo.cpus.reserve(ids.size());
+  for (int id : ids) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(id) + "/topology/";
+    CpuTopology::Cpu cpu;
+    cpu.id = id;
+    cpu.core = read_sysfs_int(base + "core_id", id);
+    cpu.package = read_sysfs_int(base + "physical_package_id", 0);
+    topo.cpus.push_back(cpu);
+  }
+  return topo;
+#else
+  return flat_topology();
+#endif
+}
+
+std::vector<int> pin_plan(const CpuTopology& topo, unsigned workers,
+                          PinMode mode) {
+  if (mode == PinMode::kOff || workers == 0 || topo.cpus.empty()) return {};
+  if (mode == PinMode::kAuto && workers > topo.physical_cores()) return {};
+
+  // Compact order: (package, core, id) — consecutive workers land on
+  // consecutive physical cores of one package, SMT siblings of a core are
+  // adjacent so they fill only after every core has one worker... which
+  // the sibling-deferred pass below makes explicit.
+  std::vector<CpuTopology::Cpu> order = topo.cpus;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const CpuTopology::Cpu& a, const CpuTopology::Cpu& b) {
+                     if (a.package != b.package) return a.package < b.package;
+                     if (a.core != b.core) return a.core < b.core;
+                     return a.id < b.id;
+                   });
+
+  // One cpu per distinct (package, core) first, siblings after: pinning
+  // w <= physical_cores workers never doubles up a core.
+  std::vector<CpuTopology::Cpu> primaries, siblings;
+  std::set<std::pair<int, int>> seen;
+  for (const CpuTopology::Cpu& cpu : order) {
+    if (seen.emplace(cpu.package, cpu.core).second) {
+      primaries.push_back(cpu);
+    } else {
+      siblings.push_back(cpu);
+    }
+  }
+
+  if (mode == PinMode::kScatter) {
+    // Round-robin packages so workers spread across sockets/LLCs instead
+    // of saturating one package's memory controller first: bucket the
+    // per-core primaries by package, then take one from each package in
+    // turn.
+    std::vector<std::vector<CpuTopology::Cpu>> buckets;
+    std::vector<int> bucket_package;
+    for (const CpuTopology::Cpu& cpu : primaries) {
+      const auto it = std::find(bucket_package.begin(), bucket_package.end(),
+                                cpu.package);
+      if (it == bucket_package.end()) {
+        bucket_package.push_back(cpu.package);
+        buckets.push_back({cpu});
+      } else {
+        buckets[static_cast<std::size_t>(it - bucket_package.begin())]
+            .push_back(cpu);
+      }
+    }
+    std::vector<CpuTopology::Cpu> interleaved;
+    interleaved.reserve(primaries.size());
+    for (std::size_t depth = 0; interleaved.size() < primaries.size();
+         ++depth) {
+      for (const auto& bucket : buckets) {
+        if (depth < bucket.size()) interleaved.push_back(bucket[depth]);
+      }
+    }
+    primaries = std::move(interleaved);
+  }
+
+  std::vector<int> cycle;
+  cycle.reserve(order.size());
+  for (const CpuTopology::Cpu& cpu : primaries) cycle.push_back(cpu.id);
+  for (const CpuTopology::Cpu& cpu : siblings) cycle.push_back(cpu.id);
+
+  std::vector<int> plan(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    plan[w] = cycle[w % cycle.size()];
+  }
+  return plan;
+}
+
+bool pin_current_thread(int cpu) {
+#ifdef __linux__
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace scbnn::runtime

@@ -1,0 +1,590 @@
+#include "runtime/work_stealing_executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace scbnn::runtime {
+
+namespace {
+
+/// Spins before a worker parks / a fan-out caller futex-waits: long
+/// enough to ride out a chunk handoff, short enough not to burn a core
+/// when the executor is genuinely idle.
+constexpr int kSpinRounds = 64;
+
+bool steal_enabled_from_env() {
+  const char* value = std::getenv("SCBNN_STEAL");
+  if (value == nullptr || *value == '\0') return true;
+  return !(std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0 ||
+           std::strcmp(value, "false") == 0);
+}
+
+void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Which executor (and slot) the calling thread works for, if any —
+/// lets nested parallel_for degrade to inline and submit-from-worker
+/// push straight to the worker's own deque.
+struct WorkerIdentity {
+  const void* executor = nullptr;
+  unsigned slot = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+// ------------------------------------------------------------- StealDeque
+
+bool WorkStealingExecutor::StealDeque::push_bottom(TaskNode* node) noexcept {
+  const std::int64_t b = bottom.load(std::memory_order_relaxed);
+  const std::int64_t t = top.load(std::memory_order_acquire);
+  if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+  slots[static_cast<std::size_t>(b) & kMask].store(node,
+                                                  std::memory_order_relaxed);
+  bottom.store(b + 1, std::memory_order_release);
+  return true;
+}
+
+WorkStealingExecutor::TaskNode*
+WorkStealingExecutor::StealDeque::pop_bottom() noexcept {
+  std::int64_t b = bottom.load(std::memory_order_relaxed);
+  const std::int64_t t_guess = top.load(std::memory_order_relaxed);
+  if (t_guess >= b) return nullptr;  // fast empty check, owner-accurate
+  b -= 1;
+  // The seq_cst store/load pair is the owner<->thief handshake (in place
+  // of the classic standalone fence, which TSan does not model).
+  bottom.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top.load(std::memory_order_seq_cst);
+  if (t < b) {
+    // More than one element left: the bottom one is ours alone.
+    return slots[static_cast<std::size_t>(b) & kMask].load(
+        std::memory_order_relaxed);
+  }
+  TaskNode* node = nullptr;
+  if (t == b) {
+    // Last element: race the thieves for it via the top counter.
+    node = slots[static_cast<std::size_t>(b) & kMask].load(
+        std::memory_order_relaxed);
+    if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      node = nullptr;  // a thief got it
+    }
+  }
+  bottom.store(b + 1, std::memory_order_relaxed);
+  return node;
+}
+
+WorkStealingExecutor::TaskNode*
+WorkStealingExecutor::StealDeque::steal_top() noexcept {
+  std::int64_t t = top.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  TaskNode* node =
+      slots[static_cast<std::size_t>(t) & kMask].load(std::memory_order_relaxed);
+  if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                   std::memory_order_relaxed)) {
+    return nullptr;  // lost to the owner or another thief
+  }
+  return node;
+}
+
+std::size_t WorkStealingExecutor::StealDeque::depth() const noexcept {
+  const std::int64_t b = bottom.load(std::memory_order_relaxed);
+  const std::int64_t t = top.load(std::memory_order_relaxed);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+// ------------------------------------------------------------ construction
+
+WorkStealingExecutor::WorkStealingExecutor(unsigned threads)
+    : WorkStealingExecutor(Options{threads, std::nullopt, std::nullopt}) {}
+
+WorkStealingExecutor::WorkStealingExecutor(const Options& options) {
+  const unsigned threads = resolve_threads(options.threads);
+  steal_ = options.steal.value_or(steal_enabled_from_env());
+  pin_mode_ = options.pin.value_or(pin_mode_from_env());
+  if (pin_mode_ != PinMode::kOff) {
+    pin_plan_ = pin_plan(read_cpu_topology(), threads, pin_mode_);
+  }
+
+  // Enough fan-out frames that every worker could be inside a nested
+  // dispatch and a healthy number of external callers can overlap before
+  // anyone has to wait for a frame to free up.
+  const std::size_t op_slots = static_cast<std::size_t>(threads) + 16;
+  ops_.reserve(op_slots);
+  for (std::size_t i = 0; i < op_slots; ++i) {
+    auto op = std::make_unique<ForOp>();
+    op->chunk_state =
+        std::make_unique<std::atomic<std::uint8_t>[]>(threads);
+    for (unsigned c = 0; c < threads; ++c) {
+      op->chunk_state[c].store(1, std::memory_order_relaxed);  // nothing to claim
+    }
+    ops_.push_back(std::move(op));
+  }
+
+  workers_.reserve(threads);
+  for (unsigned slot = 0; slot < threads; ++slot) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (unsigned slot = 0; slot < threads; ++slot) {
+    workers_[slot]->thread = std::thread([this, slot] { worker_loop(slot); });
+  }
+}
+
+WorkStealingExecutor::~WorkStealingExecutor() {
+  shutdown();
+  // An external parallel_for caller may still be unwinding through
+  // wait_op after the workers finished its chunks; its op frame and the
+  // callers_inflight_ counter live here, so hold destruction until it
+  // has fully left.
+  while (callers_inflight_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+}
+
+void WorkStealingExecutor::shutdown() {
+  {
+    std::unique_lock<std::shared_mutex> gate(gate_);
+    stop_.store(true, std::memory_order_seq_cst);
+  }
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  wake_workers(size());
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+// ------------------------------------------------------------- worker loop
+
+void WorkStealingExecutor::worker_loop(unsigned slot) {
+  tls_worker = {this, slot};
+  if (!pin_plan_.empty()) {
+    (void)pin_current_thread(pin_plan_[slot]);
+  }
+  Worker& me = *workers_[slot];
+
+  int idle_rounds = 0;
+  for (;;) {
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_seq_cst);
+    if (run_one(slot)) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_seq_cst)) {
+      // Drain-then-exit: leave only once nothing is queued anywhere and
+      // no fan-out is mid-flight (its chunks may still need this thread
+      // as a thief). Spin-yield instead of parking — both counters are
+      // about to hit zero.
+      if (pending_tasks_.load(std::memory_order_seq_cst) == 0 &&
+          active_ops_.load(std::memory_order_seq_cst) == 0) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    if (++idle_rounds < kSpinRounds) {
+      cpu_relax();
+      continue;
+    }
+    // Park: announce intent, then re-check for work published since the
+    // epoch read above — a producer either sees sleep==1 and notifies, or
+    // bumped the epoch before we read it here. Either way no lost wake.
+    me.sleep.store(1, std::memory_order_seq_cst);
+    if (work_epoch_.load(std::memory_order_seq_cst) != epoch ||
+        stop_.load(std::memory_order_seq_cst)) {
+      me.sleep.store(0, std::memory_order_relaxed);
+      idle_rounds = 0;
+      continue;
+    }
+    me.parks.fetch_add(1, std::memory_order_relaxed);
+    me.sleep.wait(1, std::memory_order_acquire);
+    me.sleep.store(0, std::memory_order_relaxed);
+    idle_rounds = 0;
+  }
+}
+
+bool WorkStealingExecutor::run_one(unsigned slot) {
+  // Fan-out chunks first (a blocked parallel_for caller is the serving
+  // hot path), then own work LIFO, then the shared inbox, then theft.
+  if (try_run_chunk(slot)) return true;
+  if (run_own_task(slot)) return true;
+  if (run_inbox_task(slot)) return true;
+  if (steal_ && run_stolen_task(slot)) return true;
+  return false;
+}
+
+std::pair<int, int> WorkStealingExecutor::chunk_range(int jobs, int nchunks,
+                                                      int chunk) noexcept {
+  const int base = jobs / nchunks;
+  const int rem = jobs % nchunks;
+  const int first = chunk * base + std::min(chunk, rem);
+  const int count = base + (chunk < rem ? 1 : 0);
+  return {first, first + count};
+}
+
+bool WorkStealingExecutor::try_run_chunk(unsigned slot) {
+  Worker& me = *workers_[slot];
+  for (auto& op_ptr : ops_) {
+    ForOp& op = *op_ptr;
+    if (!op.active.load(std::memory_order_acquire)) continue;
+    const int nchunks = op.nchunks.load(std::memory_order_relaxed);
+    if (nchunks <= 0) continue;  // stale scan of a recycled frame
+
+    // Home chunk first: chunk c's home is worker c, so with stealing off
+    // the assignment is purely static.
+    if (static_cast<int>(slot) < nchunks) {
+      std::uint8_t expect = 0;
+      if (op.chunk_state[slot].load(std::memory_order_relaxed) == 0 &&
+          op.chunk_state[slot].compare_exchange_strong(
+              expect, 1, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        run_chunk(op, static_cast<int>(slot), slot);
+        return true;
+      }
+    }
+    if (!steal_) continue;
+    for (int offset = 1; offset < nchunks; ++offset) {
+      const int c = (static_cast<int>(slot) + offset) % nchunks;
+      if (op.chunk_state[c].load(std::memory_order_relaxed) != 0) continue;
+      me.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      std::uint8_t expect = 0;
+      if (op.chunk_state[c].compare_exchange_strong(
+              expect, 1, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        me.steals.fetch_add(1, std::memory_order_relaxed);
+        run_chunk(op, c, slot);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void WorkStealingExecutor::run_chunk(ForOp& op, int chunk, unsigned slot) {
+  // Field reads are ordered after the claim CAS (acquire), which pairs
+  // with the release chunk-state reset in publish_op — so even a worker
+  // that scanned a stale generation reads the fields of the generation
+  // it actually claimed into.
+  const ForFn fn = op.fn.load(std::memory_order_relaxed);
+  void* ctx = op.ctx.load(std::memory_order_relaxed);
+  const int jobs = op.jobs.load(std::memory_order_relaxed);
+  const int nchunks = op.nchunks.load(std::memory_order_relaxed);
+  const auto [first, last] = chunk_range(jobs, nchunks, chunk);
+
+  if (!op.failed.load(std::memory_order_relaxed)) {
+    try {
+      for (int job = first; job < last; ++job) {
+        if (op.failed.load(std::memory_order_relaxed)) break;
+        fn(ctx, job, slot);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(op.error_mutex);
+        if (!op.error) op.error = std::current_exception();
+      }
+      op.failed.store(true, std::memory_order_release);
+    }
+  }
+  workers_[slot]->chunks_run.fetch_add(1, std::memory_order_relaxed);
+
+  if (op.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    op.done.store(1, std::memory_order_release);
+    op.done.notify_all();
+  }
+}
+
+bool WorkStealingExecutor::run_own_task(unsigned slot) {
+  TaskNode* node = workers_[slot]->deque.pop_bottom();
+  if (node == nullptr) return false;
+  run_task(node, slot);
+  return true;
+}
+
+bool WorkStealingExecutor::run_inbox_task(unsigned slot) {
+  Worker& me = *workers_[slot];
+  TaskNode* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(me.inbox_mutex);
+    if (!me.inbox.empty()) {
+      node = me.inbox.front();
+      me.inbox.erase(me.inbox.begin());
+    }
+  }
+  if (node == nullptr) return false;
+  run_task(node, slot);
+  return true;
+}
+
+bool WorkStealingExecutor::run_stolen_task(unsigned slot) {
+  Worker& me = *workers_[slot];
+  const unsigned n = size();
+  for (unsigned offset = 1; offset < n; ++offset) {
+    Worker& victim = *workers_[(slot + offset) % n];
+    if (victim.deque.depth() > 0) {
+      me.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      TaskNode* node = victim.deque.steal_top();
+      if (node != nullptr) {
+        me.steals.fetch_add(1, std::memory_order_relaxed);
+        run_task(node, slot);
+        return true;
+      }
+    }
+    // A victim stuck in a long chunk can leave inbox tasks stranded;
+    // thieves may take those too (plain mutex handoff).
+    TaskNode* node = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(victim.inbox_mutex);
+      if (!victim.inbox.empty()) {
+        node = victim.inbox.front();
+        victim.inbox.erase(victim.inbox.begin());
+      }
+    }
+    if (node != nullptr) {
+      me.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      run_task(node, slot);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingExecutor::run_task(TaskNode* node, unsigned slot) {
+  node->task();  // packaged_task captures exceptions into its future
+  delete node;
+  workers_[slot]->tasks_run.fetch_add(1, std::memory_order_relaxed);
+  pending_tasks_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// ------------------------------------------------------------------ submit
+
+std::future<void> WorkStealingExecutor::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> result = wrapped.get_future();
+
+  if (size() == 1) {
+    // Single-worker fast path, symmetric with parallel_for's: no queue
+    // round-trip, no wakeup — the task runs here and the future comes
+    // back already resolved (exceptions still land in the future).
+    if (stop_.load(std::memory_order_seq_cst)) {
+      throw std::runtime_error(
+          "WorkStealingExecutor::submit: executor is shut down");
+    }
+    wrapped();
+    return result;
+  }
+
+  auto node = std::make_unique<TaskNode>();
+  node->task = std::move(wrapped);
+  {
+    std::shared_lock<std::shared_mutex> gate(gate_);
+    if (stop_.load(std::memory_order_seq_cst)) {
+      throw std::runtime_error(
+          "WorkStealingExecutor::submit: executor is shut down");
+    }
+    enqueue_task(node.release());
+  }
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  wake_workers(1);
+  return result;
+}
+
+void WorkStealingExecutor::enqueue_task(TaskNode* node) {
+  pending_tasks_.fetch_add(1, std::memory_order_seq_cst);
+  const int self = current_worker_slot();
+  if (self >= 0) {
+    // Submit from inside a worker: LIFO onto our own deque (locality),
+    // inbox overflow when full.
+    Worker& me = *workers_[static_cast<unsigned>(self)];
+    if (!me.deque.push_bottom(node)) {
+      std::lock_guard<std::mutex> lock(me.inbox_mutex);
+      me.inbox.push_back(node);
+    }
+    note_queue_depth(static_cast<unsigned>(self));
+    return;
+  }
+  const unsigned target =
+      next_inbox_.fetch_add(1, std::memory_order_relaxed) % size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->inbox_mutex);
+    workers_[target]->inbox.push_back(node);
+  }
+  note_queue_depth(target);
+}
+
+void WorkStealingExecutor::note_queue_depth(unsigned slot) {
+  Worker& w = *workers_[slot];
+  std::size_t depth = w.deque.depth();
+  {
+    std::lock_guard<std::mutex> lock(w.inbox_mutex);
+    depth += w.inbox.size();
+  }
+  std::size_t seen = w.queue_high_water.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !w.queue_high_water.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+// ------------------------------------------------------------ parallel_for
+
+void WorkStealingExecutor::parallel_for_impl(int jobs, ForFn fn, void* ctx) {
+  if (jobs <= 0) return;
+
+  const int self = current_worker_slot();
+  if (size() == 1 || self >= 0) {
+    // Single-worker executors run inline on the caller under slot 0 (no
+    // other worker could be computing on that scratch slot while the
+    // caller blocks here), and nested fan-out from inside a worker runs
+    // inline under that worker's own slot — the worker cannot overlap
+    // with itself, so the slot contract holds and nothing deadlocks.
+    if (stop_.load(std::memory_order_seq_cst)) {
+      throw std::runtime_error(
+          "WorkStealingExecutor::parallel_for: executor is shut down");
+    }
+    const unsigned slot = self >= 0 ? static_cast<unsigned>(self) : 0;
+    inline_fors_.fetch_add(1, std::memory_order_relaxed);
+    for (int job = 0; job < jobs; ++job) fn(ctx, job, slot);
+    return;
+  }
+
+  callers_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  struct CallerGuard {
+    std::atomic<int>& counter;
+    ~CallerGuard() { counter.fetch_sub(1, std::memory_order_acq_rel); }
+  } caller_guard{callers_inflight_};
+
+  ForOp& op = acquire_op();
+  const int nchunks = std::min(static_cast<int>(size()), jobs);
+  {
+    std::shared_lock<std::shared_mutex> gate(gate_);
+    if (stop_.load(std::memory_order_seq_cst)) {
+      op.in_use.store(false, std::memory_order_release);
+      throw std::runtime_error(
+          "WorkStealingExecutor::parallel_for: executor is shut down");
+    }
+    publish_op(op, jobs, nchunks, fn, ctx);
+  }
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  wake_workers(static_cast<unsigned>(nchunks));
+
+  wait_op(op);
+
+  // Synchronizes with the last finisher via done (release/acquire in
+  // wait_op), which itself ordered-after every chunk's remaining
+  // decrement — the error slot is stable here.
+  std::exception_ptr error = op.error;
+  op.active.store(false, std::memory_order_relaxed);
+  active_ops_.fetch_sub(1, std::memory_order_seq_cst);
+  op.in_use.store(false, std::memory_order_release);
+  if (error) std::rethrow_exception(error);
+}
+
+WorkStealingExecutor::ForOp& WorkStealingExecutor::acquire_op() {
+  for (;;) {
+    for (auto& op : ops_) {
+      bool expect = false;
+      if (!op->in_use.load(std::memory_order_relaxed) &&
+          op->in_use.compare_exchange_strong(expect, true,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+        return *op;
+      }
+    }
+    // More concurrent fan-outs than frames (pathological): wait for one.
+    std::this_thread::yield();
+  }
+}
+
+void WorkStealingExecutor::publish_op(ForOp& op, int jobs, int nchunks,
+                                      ForFn fn, void* ctx) {
+  op.fn.store(fn, std::memory_order_relaxed);
+  op.ctx.store(ctx, std::memory_order_relaxed);
+  op.jobs.store(jobs, std::memory_order_relaxed);
+  op.nchunks.store(nchunks, std::memory_order_relaxed);
+  op.failed.store(false, std::memory_order_relaxed);
+  op.error = nullptr;
+  op.done.store(0, std::memory_order_relaxed);
+  op.remaining.store(nchunks, std::memory_order_relaxed);
+  active_ops_.fetch_add(1, std::memory_order_seq_cst);
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  // The release stores below are the publication edge every claim CAS
+  // acquires against; all fields above are written before them.
+  for (int c = 0; c < nchunks; ++c) {
+    op.chunk_state[c].store(0, std::memory_order_release);
+  }
+  op.active.store(true, std::memory_order_release);
+}
+
+void WorkStealingExecutor::wait_op(ForOp& op) {
+  for (int spin = 0; spin < kSpinRounds; ++spin) {
+    if (op.done.load(std::memory_order_acquire) != 0) return;
+    cpu_relax();
+  }
+  while (op.done.load(std::memory_order_acquire) == 0) {
+    op.done.wait(0, std::memory_order_acquire);
+  }
+}
+
+// ------------------------------------------------------------------- wake
+
+void WorkStealingExecutor::wake_workers(unsigned count) {
+  if (count == 0) return;
+  for (const auto& worker : workers_) {
+    if (worker->sleep.load(std::memory_order_seq_cst) != 1) continue;
+    if (worker->sleep.exchange(0, std::memory_order_seq_cst) == 1) {
+      worker->sleep.notify_one();
+      if (--count == 0) return;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ stats
+
+ExecutorStats WorkStealingExecutor::stats() const {
+  ExecutorStats s;
+  s.workers = size();
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed) +
+                    inline_fors_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    s.tasks_run += worker->tasks_run.load(std::memory_order_relaxed);
+    s.chunks_run += worker->chunks_run.load(std::memory_order_relaxed);
+    s.steal_attempts +=
+        worker->steal_attempts.load(std::memory_order_relaxed);
+    s.steals += worker->steals.load(std::memory_order_relaxed);
+    s.parks += worker->parks.load(std::memory_order_relaxed);
+    s.queue_high_water =
+        std::max(s.queue_high_water,
+                 worker->queue_high_water.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+int WorkStealingExecutor::current_worker_slot() const noexcept {
+  return tls_worker.executor == this ? static_cast<int>(tls_worker.slot) : -1;
+}
+
+// ------------------------------------------------------ shared constructor
+
+unsigned Executor::resolve_threads(unsigned threads) noexcept {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return std::min(threads, kMaxThreads);
+}
+
+std::shared_ptr<Executor> make_shared_executor(unsigned threads) {
+  return std::make_shared<WorkStealingExecutor>(threads);
+}
+
+}  // namespace scbnn::runtime

@@ -141,6 +141,13 @@ class SensorSession : public LoadSignal {
     return config_;
   }
 
+  /// Compute-executor counters behind this session's model (fleet-wide
+  /// totals when models share one executor) — lets a stream supervisor see
+  /// steals/parks/queue depth next to its latency signal.
+  [[nodiscard]] runtime::ExecutorStats executor_stats() const {
+    return router_.executor_stats(model_);
+  }
+
   // ------------------------------------------------------------ LoadSignal
   [[nodiscard]] long inflight() const override;
   [[nodiscard]] double recent_p99_ms() const override;

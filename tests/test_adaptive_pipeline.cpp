@@ -108,7 +108,7 @@ TEST_F(AdaptivePipelineTest, RuntimeConfigValidatedOnConstruction) {
                                 rc),
                std::invalid_argument);
   rc.chunk_images = 8;
-  rc.threads = ThreadPool::kMaxThreads + 1;
+  rc.threads = Executor::kMaxThreads + 1;
   EXPECT_THROW(AdaptivePipeline(make_rungs(base_, tiny_lenet(), {3u}), 0.5,
                                 rc),
                std::invalid_argument);

@@ -291,6 +291,15 @@ TEST(SharedExecutor, RouterFleetOnOneExecutorServesConcurrently) {
     EXPECT_EQ(fc[static_cast<std::size_t>(i)].get().label,
               direct_c[static_cast<std::size_t>(i)].label);
   }
+
+  // Models riding one executor all report the same fleet-wide counter
+  // snapshot through the router — the point of the shared view.
+  const ExecutorStats ea = router.executor_stats("a");
+  EXPECT_EQ(ea.workers, 2u);
+  EXPECT_GT(ea.parallel_fors, 0u);
+  EXPECT_GT(ea.chunks_run, 0u);
+  EXPECT_EQ(router.executor_stats("b").workers, 2u);
+  EXPECT_THROW((void)router.executor_stats("nope"), std::out_of_range);
 }
 
 }  // namespace
