@@ -59,8 +59,6 @@ int main() {
     int correct = 0;
     double herr = 0.0, lerr = 0.0;
     const int n_eval = static_cast<int>(ds.test.size());
-#pragma omp parallel for reduction(+ : correct, herr, lerr) \
-    schedule(dynamic, 4)
     for (int i = 0; i < n_eval; ++i) {
       const float* img =
           ds.test.images.data() + static_cast<std::size_t>(i) * 784;

@@ -12,8 +12,12 @@
 
 #include "data/synthetic_mnist.h"
 #include "hybrid/binary_first_layer.h"
+#include "hybrid/hybrid_network.h"
 #include "hybrid/sc_first_layer.h"
 #include "nn/conv2d.h"
+#include "nn/gemm.h"
+#include "nn/inference_plan.h"
+#include "nn/init.h"
 #include "nn/quantize.h"
 #include "hybrid/sc_first_layer_fast.h"
 #include "runtime/thread_pool.h"
@@ -384,6 +388,89 @@ void BM_Conv2DForward(benchmark::State& state) {
   state.SetLabel("batch of 8");
 }
 BENCHMARK(BM_Conv2DForward);
+
+// --- Tail GEMM micro-benchmarks (nn/gemm.h) ---------------------------------
+// Scalar vs dispatched microkernels at the exact shapes the serving tail's
+// InferencePlan runs, so the SIMD speedup of the binary tail reads off one
+// report. items_per_second is output elements; the flops counter is the
+// 2*m*k*n multiply-add work through the kernel.
+
+std::vector<float> random_floats(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& f : v) f = uni(rng);
+  return v;
+}
+
+void BM_GemmRowBiasConvShape(benchmark::State& state) {
+  // The plan's fused conv+bias+ReLU step for the bench tail's second conv:
+  // 8 kernels x (32ch * 5x5 im2col rows) x 10x10 output positions.
+  const auto level = bench_level(state);
+  constexpr int kM = 8, kK = 800, kN = 100;
+  const auto a = random_floats(static_cast<std::size_t>(kM) * kK, 1);
+  const auto b = random_floats(static_cast<std::size_t>(kK) * kN, 2);
+  const auto bias = random_floats(kM, 3);
+  std::vector<float> c(static_cast<std::size_t>(kM) * kN);
+  for (auto _ : state) {
+    nn::kern::gemm_rowbias_act(a.data(), b.data(), bias.data(), c.data(), kM,
+                               kK, kN, /*relu=*/true, level);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kM * kN);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * kM * kK * kN,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmRowBiasConvShape)->Apply(add_simd_levels);
+
+void BM_GemmColBiasDenseShape(benchmark::State& state) {
+  // The plan's whole-batch dense step: 8 images x 200 features -> 32 units,
+  // weights pre-packed [in, out].
+  const auto level = bench_level(state);
+  constexpr int kM = 8, kK = 200, kN = 32;
+  const auto a = random_floats(static_cast<std::size_t>(kM) * kK, 4);
+  const auto b = random_floats(static_cast<std::size_t>(kK) * kN, 5);
+  const auto bias = random_floats(kN, 6);
+  std::vector<float> c(static_cast<std::size_t>(kM) * kN);
+  for (auto _ : state) {
+    nn::kern::gemm_colbias_act(a.data(), b.data(), bias.data(), c.data(), kM,
+                               kK, kN, /*relu=*/true, level);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kM * kN);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * kM * kK * kN,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmColBiasDenseShape)->Apply(add_simd_levels);
+
+void BM_FusedTailPlan(benchmark::State& state) {
+  // The whole vectorized tail (pool-conv-pool-dense-dense with fused bias/
+  // ReLU, arena scratch) on one 8-image chunk — the per-worker unit of the
+  // serving runtime's tail stage. items_per_second is images.
+  const auto level = bench_level(state);
+  constexpr int kBatch = 8;
+  const hybrid::LeNetConfig lenet{32, 8, 32, 0.0f};
+  nn::Rng rng(7);
+  nn::Network tail = hybrid::build_tail(lenet, rng);
+  const nn::InferencePlan plan(tail, lenet.conv1_kernels, hybrid::kImageSize,
+                               hybrid::kImageSize);
+  nn::InferencePlan::Arena arena = plan.make_arena(kBatch);
+  const auto x = random_floats(kBatch * plan.input_size(), 8);
+  std::vector<float> logits(static_cast<std::size_t>(kBatch) *
+                            plan.classes());
+  for (auto _ : state) {
+    plan.run(x.data(), kBatch, logits.data(), arena, level);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch *
+          static_cast<double>(plan.flops_per_image()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusedTailPlan)->Apply(add_simd_levels);
 
 }  // namespace
 

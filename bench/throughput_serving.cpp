@@ -1,23 +1,27 @@
 // Batched end-to-end serving throughput across first-layer backends and
 // thread counts.
 //
-// For every registered backend the same image batch is served by the
-// inference runtime at 1..8 worker threads: images/sec and latency come
-// from the runtime's BatchStats, the energy column from the calibrated
-// 65nm hardware model, and a bit-identity check confirms the determinism
-// contract (fixed seed => identical predictions at every thread count).
-// Results are printed as a table and written to BENCH_throughput.json so
-// the performance trajectory is tracked from PR to PR.
+// For every registered backend the same image batch is served END TO END
+// (set_tail + classify: threaded first layer, then the vectorized
+// zero-allocation tail plan) at 1..8 worker threads: images/sec, latency,
+// and the first-layer/tail stage split come from the runtime's ServeStats,
+// and two referees gate the exit code — cross-thread bit-identity (fixed
+// seed => identical labels at every thread count) and the tail referee
+// (classify's labels AND margins must match the Network::forward +
+// softmax_margins reference bit for bit at every thread count). Results
+// are printed as a table and written to BENCH_throughput.json (including
+// the per-stage split and the per-frame energy of the calibrated 65nm
+// hardware model) so the performance trajectory is tracked from PR to PR.
 //
 // Scale knobs: --n / SCBNN_BENCH_N (batch size, default 96) and
 // --bits / SCBNN_BENCH_BITS (first-layer precision, default 4).
 //
 // Against a committed baseline (--baseline=path, default: the seed numbers
-// in bench/baselines/BENCH_throughput.baseline.json) a "vs baseline"
-// column reports each backend's single-thread speedup over its baseline
-// entry; "-fast" backends with no baseline row of their own fall back to
-// their canonical name, so the column reads as the fast path's speedup
-// over the seed scalar engine.
+// in bench/baselines/BENCH_throughput.baseline.json) a "vs seed" column
+// reports each backend's single-thread end-to-end speedup over its
+// baseline entry; "-fast" backends with no baseline row of their own fall
+// back to their canonical name, so the column reads as the fast path's
+// speedup over the seed scalar engine.
 // The executor scaling sweep (second table) serves the same workload
 // through `models` concurrent engines sharing ONE executor, comparing the
 // legacy central-queue ThreadPool against the WorkStealingExecutor (steal
@@ -25,7 +29,9 @@
 // replacement. Knobs: --models / SCBNN_BENCH_MODELS (default 4) and
 // --reps / SCBNN_BENCH_REPS (batches per driver thread, default 3).
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -42,6 +48,7 @@
 #include "hw/report.h"
 #include "hybrid/hybrid_network.h"
 #include "nn/init.h"
+#include "nn/loss.h"
 #include "nn/quantize.h"
 #include "runtime/backend_registry.h"
 #include "runtime/inference_engine.h"
@@ -54,12 +61,39 @@ struct Row {
   std::string backend;
   unsigned threads = 1;
   double latency_ms = 0.0;
+  double first_layer_ms = 0.0;
+  double tail_ms = 0.0;
   double images_per_sec = 0.0;
   double energy_nj_per_frame = 0.0;
   bool identical_predictions = true;
+  bool tail_exact = true;  // labels+margins match the forward() reference
   double speedup_vs_1t = 1.0;
   double speedup_vs_baseline = 0.0;  // 0 = no baseline entry
 };
+
+/// Labels of a classified batch, for cross-thread/cross-executor referees.
+std::vector<int> labels_of(
+    const std::vector<scbnn::runtime::Prediction>& preds) {
+  std::vector<int> labels(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) labels[i] = preds[i].label;
+  return labels;
+}
+
+/// Tail referee: classify's Predictions must carry the exact label and the
+/// bit-exact margin of the Network::forward + softmax_margins reference —
+/// the contract the vectorized tail plan is sold on.
+bool matches_reference(const std::vector<scbnn::runtime::Prediction>& preds,
+                       const std::vector<scbnn::nn::SoftmaxMargin>& ref) {
+  if (preds.size() != ref.size()) return false;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i].label != ref[i].best) return false;
+    if (std::bit_cast<std::uint64_t>(preds[i].margin) !=
+        std::bit_cast<std::uint64_t>(ref[i].margin)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// Single-thread images/sec per backend from a previous run's JSON. The
 /// file is this bench's own output, so a minimal line-oriented scan of the
@@ -167,50 +201,75 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("Serving throughput: %d images, %u-bit first layer\n", n, bits);
+  std::printf(
+      "Serving throughput (end-to-end classify): %d images, %u-bit first "
+      "layer\n",
+      n, bits);
   if (!baseline.empty()) {
     std::printf("baseline: %s (\"vs seed\" = 1-thread images/sec over the "
-                "committed seed run)\n",
+                "committed seed run;\n"
+                "the seed rows timed the first layer only, so the column "
+                "UNDERSTATES end-to-end gains)\n",
                 baseline_path.c_str());
   }
   std::printf("\n");
-  hw::TableWriter table({"backend", "threads", "latency (ms)", "images/sec",
-                         "speedup", "vs seed", "nJ/frame", "bit-identical"},
-                        {20, 7, 12, 12, 8, 8, 10, 13});
+  hw::TableWriter table({"backend", "threads", "latency (ms)", "first (ms)",
+                         "tail (ms)", "images/sec", "speedup", "vs seed",
+                         "bit-identical"},
+                        {20, 7, 12, 10, 10, 12, 8, 8, 13});
   table.print_header();
 
   std::vector<Row> rows;
   std::map<std::string, std::vector<int>> predictions_1t;
+  bool tail_referee_ok = true;
   for (const std::string& backend :
        runtime::BackendRegistry::instance().names()) {
-    std::vector<int> reference_predictions;
+    std::vector<int> reference_labels;
+    std::vector<nn::SoftmaxMargin> reference_margins;
     double images_per_sec_1t = 0.0;
     for (unsigned threads : kThreadCounts) {
       runtime::RuntimeConfig rc;
       rc.threads = threads;
       runtime::InferenceEngine engine(backend, qw, flc, rc);
       nn::Rng trng(kSeed + 1);  // identical tail for every run
-      nn::Network tail = hybrid::build_tail(lenet, trng);
+      engine.set_tail(hybrid::build_tail(lenet, trng));
 
-      (void)engine.features(split.train.images);  // warm-up (page-in, pool)
-      const auto predictions = engine.predict(split.train.images, tail);
+      // Tail referee reference, once per backend: the same tail served the
+      // slow way — Network::forward on this backend's features, margins via
+      // softmax_margins. classify() must reproduce it bit for bit.
+      if (threads == kThreadCounts[0]) {
+        nn::Rng rrng(kSeed + 1);
+        nn::Network ref_tail = hybrid::build_tail(lenet, rrng);
+        reference_margins = nn::softmax_margins(
+            ref_tail.forward(engine.features(split.train.images),
+                             /*training=*/false));
+      }
+
+      (void)engine.classify(split.train.images);  // warm-up (pool, arenas)
+      const std::vector<runtime::Prediction> preds =
+          engine.classify(split.train.images);
       const runtime::BatchStats& stats = engine.last_stats();
+      const std::vector<int> predictions = labels_of(preds);
 
       Row row;
       row.backend = backend;
       row.threads = threads;
       row.latency_ms = stats.latency_ms;
+      row.first_layer_ms = stats.first_layer_ms;
+      row.tail_ms = stats.tail_ms;
       row.images_per_sec = stats.images_per_sec;
       row.energy_nj_per_frame =
           stats.images > 0 ? stats.energy_j * 1e9 / stats.images : 0.0;
       if (threads == kThreadCounts[0]) {
-        reference_predictions = predictions;
+        reference_labels = predictions;
         images_per_sec_1t = stats.images_per_sec;
         predictions_1t[backend] = predictions;
         const double base = baseline_for(baseline, backend);
         if (base > 0.0) row.speedup_vs_baseline = stats.images_per_sec / base;
       }
-      row.identical_predictions = predictions == reference_predictions;
+      row.identical_predictions = predictions == reference_labels;
+      row.tail_exact = matches_reference(preds, reference_margins);
+      tail_referee_ok &= row.tail_exact;
       row.speedup_vs_1t = images_per_sec_1t > 0.0
                               ? stats.images_per_sec / images_per_sec_1t
                               : 1.0;
@@ -218,13 +277,15 @@ int main(int argc, char** argv) {
 
       table.print_row({backend, std::to_string(threads),
                        hw::TableWriter::fmt(row.latency_ms),
+                       hw::TableWriter::fmt(row.first_layer_ms),
+                       hw::TableWriter::fmt(row.tail_ms),
                        hw::TableWriter::fmt(row.images_per_sec, 1),
                        hw::TableWriter::fmt(row.speedup_vs_1t) + "x",
                        row.speedup_vs_baseline > 0.0
                            ? hw::TableWriter::fmt(row.speedup_vs_baseline) + "x"
                            : "-",
-                       hw::TableWriter::fmt(row.energy_nj_per_frame, 1),
-                       row.identical_predictions ? "yes" : "NO"});
+                       row.identical_predictions && row.tail_exact ? "yes"
+                                                                   : "NO"});
     }
     table.print_rule();
   }
@@ -233,6 +294,9 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) all_identical &= row.identical_predictions;
   std::printf("\npredictions bit-identical across thread counts: %s\n",
               all_identical ? "yes" : "NO — determinism bug!");
+  std::printf("fast tail matches Network::forward reference (labels AND "
+              "margins, bitwise): %s\n",
+              tail_referee_ok ? "yes" : "NO — fast tail diverges!");
 
   // Optimization referee: every "-fast" backend must predict exactly like
   // its canonical design — same seed, same bits, same predictions.
@@ -278,8 +342,8 @@ int main(int argc, char** argv) {
     rc.executor = make_sweep_executor("central-queue", 1);
     runtime::InferenceEngine engine(scale_backend, qw, flc, rc);
     nn::Rng trng(kSeed + 1);
-    nn::Network tail = hybrid::build_tail(lenet, trng);
-    scale_reference = engine.predict(split.train.images, tail);
+    engine.set_tail(hybrid::build_tail(lenet, trng));
+    scale_reference = labels_of(engine.classify(split.train.images));
   }
 
   std::printf("\nExecutor scaling: %s, %d images/batch, %d reps/model\n\n",
@@ -300,15 +364,14 @@ int main(int argc, char** argv) {
         rc.executor = make_sweep_executor(kind, threads);
 
         std::vector<std::unique_ptr<runtime::InferenceEngine>> engines;
-        std::vector<nn::Network> tails;
         for (int m = 0; m < models; ++m) {
           engines.push_back(std::make_unique<runtime::InferenceEngine>(
               scale_backend, qw, flc, rc));
           nn::Rng trng(kSeed + 1);  // identical tail for every model
-          tails.push_back(hybrid::build_tail(lenet, trng));
+          engines.back()->set_tail(hybrid::build_tail(lenet, trng));
         }
         for (auto& engine : engines) {
-          (void)engine->features(split.train.images);  // warm-up
+          (void)engine->classify(split.train.images);  // warm-up
         }
 
         std::vector<std::vector<int>> last_predictions(
@@ -320,8 +383,8 @@ int main(int argc, char** argv) {
           drivers.emplace_back([&, m] {
             for (int rep = 0; rep < scale_reps; ++rep) {
               last_predictions[static_cast<std::size_t>(m)] =
-                  engines[static_cast<std::size_t>(m)]->predict(
-                      split.train.images, tails[static_cast<std::size_t>(m)]);
+                  labels_of(engines[static_cast<std::size_t>(m)]->classify(
+                      split.train.images));
             }
           });
         }
@@ -381,21 +444,26 @@ int main(int argc, char** argv) {
                "{\n  \"bench\": \"throughput_serving\",\n"
                "  \"images\": %d,\n  \"bits\": %u,\n"
                "  \"all_predictions_identical\": %s,\n"
-               "  \"fast_backends_match_reference\": %s,\n  \"results\": [\n",
+               "  \"fast_backends_match_reference\": %s,\n"
+               "  \"tail_matches_forward_reference\": %s,\n  \"results\": [\n",
                n, bits, all_identical ? "true" : "false",
-               fast_identical ? "true" : "false");
+               fast_identical ? "true" : "false",
+               tail_referee_ok ? "true" : "false");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(json,
                  "    {\"backend\": \"%s\", \"threads\": %u, "
-                 "\"latency_ms\": %.3f, \"images_per_sec\": %.1f, "
+                 "\"latency_ms\": %.3f, \"first_layer_ms\": %.3f, "
+                 "\"tail_ms\": %.3f, \"images_per_sec\": %.1f, "
                  "\"speedup_vs_1t\": %.2f, \"speedup_vs_baseline\": %.2f, "
                  "\"energy_nj_per_frame\": %.2f, "
-                 "\"identical_predictions\": %s}%s\n",
+                 "\"identical_predictions\": %s, \"tail_exact\": %s}%s\n",
                  row.backend.c_str(), row.threads, row.latency_ms,
-                 row.images_per_sec, row.speedup_vs_1t,
-                 row.speedup_vs_baseline, row.energy_nj_per_frame,
+                 row.first_layer_ms, row.tail_ms, row.images_per_sec,
+                 row.speedup_vs_1t, row.speedup_vs_baseline,
+                 row.energy_nj_per_frame,
                  row.identical_predictions ? "true" : "false",
+                 row.tail_exact ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n  \"scaling\": [\n");
@@ -414,5 +482,8 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_throughput.json\n");
-  return (all_identical && fast_identical && scaling_identical) ? 0 : 1;
+  return (all_identical && fast_identical && tail_referee_ok &&
+          scaling_identical)
+             ? 0
+             : 1;
 }

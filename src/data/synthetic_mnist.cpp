@@ -178,7 +178,6 @@ DataSplit generate_synthetic_mnist(std::size_t train_n, std::size_t test_n,
     std::mt19937_64 shuffle_rng(cfg.seed ^ (instance_base * 0x9E3779B9ull));
     std::shuffle(order.begin(), order.end(), shuffle_rng);
 
-#pragma omp parallel for schedule(dynamic, 64)
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
       const auto slot = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
       const int digit = static_cast<int>(slot % 10);

@@ -94,7 +94,9 @@ double HybridNetwork::evaluate(const nn::Tensor& test_features,
 }
 
 std::vector<int> HybridNetwork::predict(const nn::Tensor& images) {
-  return runtime_.predict(images, tail());
+  // Attached-tail overload: vectorized plan tail, bit-identical labels to
+  // runtime_.predict(images, tail()).
+  return runtime_.predict(images);
 }
 
 std::vector<runtime::Prediction> HybridNetwork::classify(

@@ -7,8 +7,7 @@ namespace scbnn::nn {
 Tensor ReLU::forward(const Tensor& x, bool training) {
   if (training) cached_input_ = x;
   Tensor y(x.shape());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
     y[i] = x[i] > 0.0f ? x[i] : 0.0f;
   }
   return y;

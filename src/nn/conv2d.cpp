@@ -84,28 +84,25 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
   Tensor y({batch, out_c_, out_h, out_w});
   if (training) cached_input_ = x;
 
-#pragma omp parallel
-  {
-    std::vector<float> col(static_cast<std::size_t>(krows) * cols);
-#pragma omp for schedule(static)
-    for (int b = 0; b < batch; ++b) {
-      const float* xb =
-          x.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
-      im2col(xb, in_c_, h, w, kernel_, pad_, col.data());
-      float* yb = y.data() + static_cast<std::size_t>(b) * out_c_ * cols;
-      // y[outC, cols] = w[outC, krows] * col[krows, cols]  (serial gemm:
-      // the batch loop already provides the parallelism).
-      for (int oc = 0; oc < out_c_; ++oc) {
-        float* yrow = yb + static_cast<std::size_t>(oc) * cols;
-        const float bias = b_[oc];
-        for (int j = 0; j < cols; ++j) yrow[j] = bias;
-        const float* wrow = w_.data() + static_cast<std::size_t>(oc) * krows;
-        for (int p = 0; p < krows; ++p) {
-          const float wv = wrow[p];
-          if (wv == 0.0f) continue;
-          const float* crow = col.data() + static_cast<std::size_t>(p) * cols;
-          for (int j = 0; j < cols; ++j) yrow[j] += wv * crow[j];
-        }
+  // Straight-line bias-init MAC — the operation-order reference that the
+  // fused gemm_rowbias_act microkernel (nn/gemm.h) replays; no zero-skip,
+  // so the float sequence is a strict multiply-accumulate. Serving-side
+  // parallelism lives in runtime::Executor (per-image chunks), not here.
+  std::vector<float> col(static_cast<std::size_t>(krows) * cols);
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
+    im2col(xb, in_c_, h, w, kernel_, pad_, col.data());
+    float* yb = y.data() + static_cast<std::size_t>(b) * out_c_ * cols;
+    // y[outC, cols] = w[outC, krows] * col[krows, cols]
+    for (int oc = 0; oc < out_c_; ++oc) {
+      float* yrow = yb + static_cast<std::size_t>(oc) * cols;
+      const float bias = b_[oc];
+      for (int j = 0; j < cols; ++j) yrow[j] = bias;
+      const float* wrow = w_.data() + static_cast<std::size_t>(oc) * krows;
+      for (int p = 0; p < krows; ++p) {
+        const float wv = wrow[p];
+        const float* crow = col.data() + static_cast<std::size_t>(p) * cols;
+        for (int j = 0; j < cols; ++j) yrow[j] += wv * crow[j];
       }
     }
   }
@@ -121,56 +118,42 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
 
   Tensor dx({batch, in_c_, h, w});
 
-#pragma omp parallel
-  {
-    std::vector<float> col(static_cast<std::size_t>(krows) * cols);
-    std::vector<float> dcol(static_cast<std::size_t>(krows) * cols);
-    std::vector<float> dw_local(w_.size(), 0.0f);
-    std::vector<float> db_local(static_cast<std::size_t>(out_c_), 0.0f);
+  std::vector<float> col(static_cast<std::size_t>(krows) * cols);
+  std::vector<float> dcol(static_cast<std::size_t>(krows) * cols);
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
+    const float* gb =
+        grad_out.data() + static_cast<std::size_t>(b) * out_c_ * cols;
+    im2col(xb, in_c_, h, w, kernel_, pad_, col.data());
 
-#pragma omp for schedule(static) nowait
-    for (int b = 0; b < batch; ++b) {
-      const float* xb = x.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
-      const float* gb =
-          grad_out.data() + static_cast<std::size_t>(b) * out_c_ * cols;
-      im2col(xb, in_c_, h, w, kernel_, pad_, col.data());
-
-      // dW += g[outC, cols] * col[krows, cols]^T ; db += row sums of g.
-      for (int oc = 0; oc < out_c_; ++oc) {
-        const float* grow = gb + static_cast<std::size_t>(oc) * cols;
-        float bsum = 0.0f;
-        for (int j = 0; j < cols; ++j) bsum += grow[j];
-        db_local[oc] += bsum;
-        float* dwrow = dw_local.data() + static_cast<std::size_t>(oc) * krows;
-        for (int p = 0; p < krows; ++p) {
-          const float* crow = col.data() + static_cast<std::size_t>(p) * cols;
-          float acc = 0.0f;
-          for (int j = 0; j < cols; ++j) acc += grow[j] * crow[j];
-          dwrow[p] += acc;
-        }
+    // dW += g[outC, cols] * col[krows, cols]^T ; db += row sums of g.
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* grow = gb + static_cast<std::size_t>(oc) * cols;
+      float bsum = 0.0f;
+      for (int j = 0; j < cols; ++j) bsum += grow[j];
+      db_[oc] += bsum;
+      float* dwrow = dw_.data() + static_cast<std::size_t>(oc) * krows;
+      for (int p = 0; p < krows; ++p) {
+        const float* crow = col.data() + static_cast<std::size_t>(p) * cols;
+        float acc = 0.0f;
+        for (int j = 0; j < cols; ++j) acc += grow[j] * crow[j];
+        dwrow[p] += acc;
       }
-
-      // dcol[krows, cols] = w^T[krows, outC] * g[outC, cols].
-      std::fill(dcol.begin(), dcol.end(), 0.0f);
-      for (int oc = 0; oc < out_c_; ++oc) {
-        const float* grow = gb + static_cast<std::size_t>(oc) * cols;
-        const float* wrow = w_.data() + static_cast<std::size_t>(oc) * krows;
-        for (int p = 0; p < krows; ++p) {
-          const float wv = wrow[p];
-          if (wv == 0.0f) continue;
-          float* drow = dcol.data() + static_cast<std::size_t>(p) * cols;
-          for (int j = 0; j < cols; ++j) drow[j] += wv * grow[j];
-        }
-      }
-      float* dxb = dx.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
-      col2im(dcol.data(), in_c_, h, w, kernel_, pad_, dxb);
     }
 
-#pragma omp critical
-    {
-      for (std::size_t i = 0; i < dw_.size(); ++i) dw_[i] += dw_local[i];
-      for (int oc = 0; oc < out_c_; ++oc) db_[oc] += db_local[oc];
+    // dcol[krows, cols] = w^T[krows, outC] * g[outC, cols].
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* grow = gb + static_cast<std::size_t>(oc) * cols;
+      const float* wrow = w_.data() + static_cast<std::size_t>(oc) * krows;
+      for (int p = 0; p < krows; ++p) {
+        const float wv = wrow[p];
+        float* drow = dcol.data() + static_cast<std::size_t>(p) * cols;
+        for (int j = 0; j < cols; ++j) drow[j] += wv * grow[j];
+      }
     }
+    float* dxb = dx.data() + static_cast<std::size_t>(b) * in_c_ * h * w;
+    col2im(dcol.data(), in_c_, h, w, kernel_, pad_, dxb);
   }
   return dx;
 }

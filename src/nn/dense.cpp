@@ -29,7 +29,6 @@ Tensor Dense::forward(const Tensor& x, bool training) {
   Tensor y({batch, out_f_});
   // y[B, out] = flat[B, in] * w[out, in]^T + b
   gemm_bt(flat.data(), w_.data(), y.data(), batch, in_f_, out_f_);
-#pragma omp parallel for schedule(static)
   for (int b = 0; b < batch; ++b) {
     for (int o = 0; o < out_f_; ++o) y.at2(b, o) += b_[o];
   }

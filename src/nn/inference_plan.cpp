@@ -1,0 +1,214 @@
+#include "nn/inference_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/maxpool.h"
+
+namespace scbnn::nn {
+
+namespace {
+
+[[noreturn]] void bad_layer(std::size_t idx, const std::string& what) {
+  throw std::invalid_argument("InferencePlan: layer " + std::to_string(idx) +
+                              ": " + what);
+}
+
+}  // namespace
+
+InferencePlan::InferencePlan(Network& net, int in_c, int in_h, int in_w)
+    : in_c_(in_c), in_h_(in_h), in_w_(in_w) {
+  if (in_c <= 0 || in_h <= 0 || in_w <= 0) {
+    throw std::invalid_argument("InferencePlan: bad input shape");
+  }
+  in_size_ = static_cast<std::size_t>(in_c) * in_h * in_w;
+  max_act_ = in_size_;
+
+  // First pass: size the packed Dense storage so pointers into it survive
+  // the second pass (vector reallocation would invalidate them).
+  std::size_t packed_total = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* d = dynamic_cast<Dense*>(&net.layer(i))) {
+      packed_total += d->weights().size();
+    }
+  }
+  packed_.resize(packed_total);
+
+  int c = in_c, h = in_h, w = in_w;
+  std::size_t packed_off = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    Layer& layer = net.layer(i);
+    Step step;
+    step.in_c = c;
+    step.in_h = h;
+    step.in_w = w;
+    if (auto* conv = dynamic_cast<Conv2D*>(&layer)) {
+      if (conv->in_channels() != c) {
+        bad_layer(i, "Conv2D expects " +
+                         std::to_string(conv->in_channels()) +
+                         " channels, input has " + std::to_string(c));
+      }
+      const int k = conv->kernel(), pad = conv->pad();
+      const int oh = h + 2 * pad - k + 1, ow = w + 2 * pad - k + 1;
+      if (oh <= 0 || ow <= 0) bad_layer(i, "Conv2D output is empty");
+      step.kind = Step::Kind::kConv;
+      step.out_c = conv->out_channels();
+      step.out_h = oh;
+      step.out_w = ow;
+      step.kernel = k;
+      step.pad = pad;
+      step.w = conv->weights().data();
+      step.b = conv->bias().data();
+      const std::size_t krows = static_cast<std::size_t>(c) * k * k;
+      col_size_ = std::max(col_size_,
+                           krows * static_cast<std::size_t>(oh) * ow);
+      flops_ += 2.0 * step.out_c * static_cast<double>(krows) * oh * ow;
+    } else if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      const int out_f = dense->weights().dim(0);
+      const int in_f = dense->weights().dim(1);
+      if (static_cast<std::size_t>(in_f) !=
+          static_cast<std::size_t>(c) * h * w) {
+        bad_layer(i, "Dense expects " + std::to_string(in_f) +
+                         " features, input flattens to " +
+                         std::to_string(static_cast<std::size_t>(c) * h * w));
+      }
+      step.kind = Step::Kind::kDense;
+      step.out_c = out_f;
+      step.out_h = 1;
+      step.out_w = 1;
+      step.in_c = in_f;  // treated as flat [in_f]
+      step.in_h = 1;
+      step.in_w = 1;
+      step.dense = dense;
+      step.packed_off = packed_off;
+      packed_off += dense->weights().size();
+      step.b = dense->bias().data();
+      flops_ += 2.0 * in_f * static_cast<double>(out_f);
+    } else if (dynamic_cast<MaxPool2*>(&layer) != nullptr) {
+      if (h % 2 != 0 || w % 2 != 0) {
+        bad_layer(i, "MaxPool2 needs even spatial dims, input is " +
+                         std::to_string(h) + "x" + std::to_string(w));
+      }
+      step.kind = Step::Kind::kPool;
+      step.out_c = c;
+      step.out_h = h / 2;
+      step.out_w = w / 2;
+    } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
+      // Fuse into the preceding conv/dense when possible.
+      if (!steps_.empty() && !steps_.back().relu &&
+          (steps_.back().kind == Step::Kind::kConv ||
+           steps_.back().kind == Step::Kind::kDense)) {
+        steps_.back().relu = true;
+        continue;
+      }
+      step.kind = Step::Kind::kRelu;
+      step.out_c = c;
+      step.out_h = h;
+      step.out_w = w;
+    } else if (dynamic_cast<Dropout*>(&layer) != nullptr) {
+      continue;  // identity at inference time
+    } else {
+      bad_layer(i, "unsupported layer " + layer.name());
+    }
+    c = step.out_c;
+    h = step.out_h;
+    w = step.out_w;
+    max_act_ = std::max(max_act_, step.out_size());
+    steps_.push_back(step);
+  }
+  classes_ = static_cast<int>(static_cast<std::size_t>(c) * h * w);
+  refresh_params();
+}
+
+void InferencePlan::refresh_params() {
+  for (Step& step : steps_) {
+    if (step.kind != Step::Kind::kDense) continue;
+    // Repack [out, in] -> [in, out] so output columns are contiguous in
+    // the GEMM's B rows.
+    const float* src = step.dense->weights().data();
+    float* dst = packed_.data() + step.packed_off;
+    const int in_f = step.in_c, out_f = step.out_c;
+    for (int p = 0; p < in_f; ++p) {
+      for (int j = 0; j < out_f; ++j) {
+        dst[static_cast<std::size_t>(p) * out_f + j] =
+            src[static_cast<std::size_t>(j) * in_f + p];
+      }
+    }
+  }
+}
+
+InferencePlan::Arena InferencePlan::make_arena(int max_images) const {
+  if (max_images <= 0) {
+    throw std::invalid_argument("InferencePlan::make_arena: max_images < 1");
+  }
+  Arena a;
+  a.max_images = max_images;
+  a.ping.resize(max_act_ * static_cast<std::size_t>(max_images));
+  a.pong.resize(max_act_ * static_cast<std::size_t>(max_images));
+  a.col.resize(col_size_);
+  return a;
+}
+
+void InferencePlan::run(const float* x, int n, float* logits, Arena& arena,
+                        kern::Level level) const {
+  if (n <= 0) return;
+  if (n > arena.max_images) {
+    throw std::invalid_argument("InferencePlan::run: arena sized for " +
+                                std::to_string(arena.max_images) +
+                                " images, got " + std::to_string(n));
+  }
+  if (steps_.empty()) {
+    std::memcpy(logits, x, static_cast<std::size_t>(n) * in_size_ *
+                               sizeof(float));
+    return;
+  }
+  const float* cur = x;
+  float* bufs[2] = {arena.ping.data(), arena.pong.data()};
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    float* out = s + 1 == steps_.size() ? logits : bufs[s % 2];
+    switch (step.kind) {
+      case Step::Kind::kPool:
+        kern::maxpool2(cur, n * step.in_c, step.in_h, step.in_w, out, level);
+        break;
+      case Step::Kind::kConv: {
+        const std::size_t in_size = step.in_size();
+        const std::size_t out_size = step.out_size();
+        const int krows = step.in_c * step.kernel * step.kernel;
+        const int cols = step.out_h * step.out_w;
+        for (int img = 0; img < n; ++img) {
+          Conv2D::im2col(cur + static_cast<std::size_t>(img) * in_size,
+                         step.in_c, step.in_h, step.in_w, step.kernel,
+                         step.pad, arena.col.data());
+          kern::gemm_rowbias_act(step.w, arena.col.data(), step.b,
+                                 out + static_cast<std::size_t>(img) *
+                                           out_size,
+                                 step.out_c, krows, cols, step.relu, level);
+        }
+        break;
+      }
+      case Step::Kind::kDense:
+        kern::gemm_colbias_act(cur, packed_.data() + step.packed_off, step.b,
+                               out, n, step.in_c, step.out_c, step.relu,
+                               level);
+        break;
+      case Step::Kind::kRelu: {
+        const std::size_t total =
+            static_cast<std::size_t>(n) * step.in_size();
+        for (std::size_t i = 0; i < total; ++i) {
+          out[i] = cur[i] > 0.0f ? cur[i] : 0.0f;
+        }
+        break;
+      }
+    }
+    cur = out;
+  }
+}
+
+}  // namespace scbnn::nn

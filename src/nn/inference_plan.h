@@ -1,0 +1,97 @@
+// Inference-only execution plan for a sequential Network.
+//
+// Network::forward allocates a fresh Tensor per layer and runs naive scalar
+// loops — fine for training, wasteful for serving. InferencePlan walks the
+// network once at build time, resolves every intermediate shape, packs the
+// Dense weights into GEMM-friendly layout, and fuses conv→bias→ReLU and
+// dense→bias→ReLU into single microkernel calls (nn/gemm.h). At run time
+// the plan executes out of a caller-owned Arena (ping-pong activation
+// buffers + im2col scratch), so the warm path performs ZERO heap
+// allocations per batch — a property regression tests enforce by counting
+// operator new calls.
+//
+// Bit-identity: the microkernels replay the reference layers' float
+// operation order element for element (see nn/gemm.h), so plan logits are
+// bit-exact matches of Network::forward at every dispatch level. Per-image
+// independence means a batch can be split across workers at any chunk
+// boundary without changing a single bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/network.h"
+
+namespace scbnn::nn {
+
+class Dense;
+
+class InferencePlan {
+ public:
+  /// Caller-owned scratch for one worker: two ping-pong activation buffers
+  /// sized for `max_images()` images at the widest intermediate shape,
+  /// plus one image worth of im2col columns. Build with make_arena(); a
+  /// given Arena is only valid for the plan that built it.
+  struct Arena {
+    std::vector<float> ping, pong, col;
+    int max_images = 0;
+  };
+
+  /// Build a plan for `net` on per-image input shape [in_c, in_h, in_w].
+  /// Supported layers: Conv2D, Dense, MaxPool2, ReLU, Dropout (inference
+  /// no-op, skipped). Throws std::invalid_argument on any other layer or
+  /// on a shape mismatch, naming the offending layer — callers fall back
+  /// to Network::forward.
+  InferencePlan(Network& net, int in_c, int in_h, int in_w);
+
+  [[nodiscard]] Arena make_arena(int max_images) const;
+
+  /// Run `n` images (n <= arena.max_images) from `x` ([n, in_c, in_h,
+  /// in_w] row-major) to `logits` ([n, classes()] row-major) at the given
+  /// dispatch level. No heap allocation; throws std::invalid_argument if
+  /// the arena is too small.
+  void run(const float* x, int n, float* logits, Arena& arena,
+           kern::Level level) const;
+
+  /// Re-pack the Dense weight copies from the (possibly retrained)
+  /// network. Conv and bias parameters are referenced in place and always
+  /// current; only the packed Dense layout is a snapshot. Call after
+  /// mutating the network's parameters. No allocation.
+  void refresh_params();
+
+  [[nodiscard]] int classes() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t input_size() const noexcept { return in_size_; }
+  /// Multiply-add FLOPs (2 per MAC) of the GEMM stages, for roofline math.
+  [[nodiscard]] double flops_per_image() const noexcept { return flops_; }
+
+ private:
+  struct Step {
+    enum class Kind { kPool, kConv, kDense, kRelu } kind;
+    int in_c = 0, in_h = 0, in_w = 0;   // per-image input shape
+    int out_c = 0, out_h = 0, out_w = 0;
+    bool relu = false;                   // fused activation (conv/dense)
+    const float* w = nullptr;            // conv weights [outC, inC*K*K]
+    const float* b = nullptr;            // bias (conv: outC, dense: outF)
+    int kernel = 0, pad = 0;             // conv geometry
+    Dense* dense = nullptr;              // source layer for re-packing
+    std::size_t packed_off = 0;          // dense weights into packed_
+    [[nodiscard]] std::size_t in_size() const noexcept {
+      return static_cast<std::size_t>(in_c) * in_h * in_w;
+    }
+    [[nodiscard]] std::size_t out_size() const noexcept {
+      return static_cast<std::size_t>(out_c) * out_h * out_w;
+    }
+  };
+
+  std::vector<Step> steps_;
+  std::vector<float> packed_;  ///< dense weights repacked to [in, out]
+  int in_c_ = 0, in_h_ = 0, in_w_ = 0;
+  std::size_t in_size_ = 0;
+  std::size_t max_act_ = 0;  ///< widest per-image activation across steps
+  std::size_t col_size_ = 0; ///< widest one-image im2col buffer
+  int classes_ = 0;
+  double flops_ = 0.0;
+};
+
+}  // namespace scbnn::nn

@@ -23,28 +23,60 @@ Tensor softmax(const Tensor& logits) {
   return p;
 }
 
+SoftmaxMargin softmax_margin_row(const float* logits, int classes) {
+  if (classes < 2) {
+    throw std::invalid_argument("softmax_margin_row: classes < 2");
+  }
+  float stack_p[kSoftmaxMarginStackClasses];
+  std::vector<float> heap_p;
+  float* p = stack_p;
+  if (classes > kSoftmaxMarginStackClasses) {
+    heap_p.resize(static_cast<std::size_t>(classes));
+    p = heap_p.data();
+  }
+  // Same float sequence as softmax(): running max, exp(x - max) with the
+  // sum accumulated in encounter order, then an in-place divide. Comparing
+  // the divided probabilities (not the raw exponentials) keeps the
+  // best/second scan bit-identical to the batch path even when division
+  // rounding creates or breaks ties.
+  float maxv = logits[0];
+  for (int c = 1; c < classes; ++c) maxv = std::max(maxv, logits[c]);
+  float sum = 0.0f;
+  for (int c = 0; c < classes; ++c) {
+    const float e = std::exp(logits[c] - maxv);
+    p[c] = e;
+    sum += e;
+  }
+  for (int c = 0; c < classes; ++c) p[c] /= sum;
+
+  SoftmaxMargin m;
+  int best = 0, second = 1;
+  if (p[second] > p[best]) std::swap(best, second);
+  for (int c = 2; c < classes; ++c) {
+    if (p[c] > p[best]) {
+      second = best;
+      best = c;
+    } else if (p[c] > p[second]) {
+      second = c;
+    }
+  }
+  m.best = best;
+  m.second = second;
+  m.margin = static_cast<double>(p[best]) - p[second];
+  return m;
+}
+
 std::vector<SoftmaxMargin> softmax_margins(const Tensor& logits) {
   if (logits.rank() != 2 || logits.dim(1) < 2) {
     throw std::invalid_argument("softmax_margins: expected [B, classes>=2]");
   }
-  const Tensor p = softmax(logits);
-  const int batch = p.dim(0), classes = p.dim(1);
+  const int batch = logits.dim(0), classes = logits.dim(1);
   std::vector<SoftmaxMargin> out(static_cast<std::size_t>(batch));
   for (int b = 0; b < batch; ++b) {
-    int best = 0, second = 1;
-    if (p.at2(b, second) > p.at2(b, best)) std::swap(best, second);
-    for (int c = 2; c < classes; ++c) {
-      if (p.at2(b, c) > p.at2(b, best)) {
-        second = best;
-        best = c;
-      } else if (p.at2(b, c) > p.at2(b, second)) {
-        second = c;
-      }
-    }
-    auto& m = out[static_cast<std::size_t>(b)];
-    m.best = best;
-    m.second = second;
-    m.margin = static_cast<double>(p.at2(b, best)) - p.at2(b, second);
+    out[static_cast<std::size_t>(b)] =
+        softmax_margin_row(logits.data() + static_cast<std::size_t>(b) *
+                                               classes,
+                           classes);
   }
   return out;
 }

@@ -29,6 +29,19 @@ struct SoftmaxMargin {
   double margin = 0.0;  ///< p(best) - p(second), in [0, 1]
 };
 
+/// Rows at or under this many classes run softmax_margin_row without any
+/// heap allocation (probabilities live on the stack).
+inline constexpr int kSoftmaxMarginStackClasses = 64;
+
+/// Margin analysis of a single logits row — the allocation-free (for
+/// classes <= kSoftmaxMarginStackClasses) core that softmax_margins is
+/// built on, used by the zero-allocation serving path. Arithmetic is the
+/// exact float sequence of softmax(): max, exp(x - max), running sum,
+/// per-element divide — then the same best/second scan, so results are
+/// bit-identical to the batch version.
+[[nodiscard]] SoftmaxMargin softmax_margin_row(const float* logits,
+                                               int classes);
+
 /// Per-row softmax margins for a [B, classes] logits batch (classes >= 2).
 [[nodiscard]] std::vector<SoftmaxMargin> softmax_margins(const Tensor& logits);
 

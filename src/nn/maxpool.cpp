@@ -15,7 +15,6 @@ Tensor MaxPool2::forward(const Tensor& x, bool training) {
   argmax_.assign(y.size(), 0);
   in_shape_ = x.shape();
 
-#pragma omp parallel for schedule(static)
   for (int b = 0; b < batch; ++b) {
     for (int ch = 0; ch < c; ++ch) {
       for (int i = 0; i < oh; ++i) {

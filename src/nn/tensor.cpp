@@ -54,14 +54,18 @@ std::string Tensor::shape_string() const {
 
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
           bool accumulate) {
-#pragma omp parallel for schedule(static)
+  // Straight-line MAC on purpose: no data-dependent skips, so throughput is
+  // input-independent and the float sequence is a strict multiply-accumulate
+  // (a zero-skip is NOT bit-neutral for -0.0 accumulators or NaN operands).
+  // This loop is the operation-order reference the SIMD microkernels in
+  // nn/gemm.h replay; serving-side parallelism lives in runtime::Executor,
+  // not here.
   for (int i = 0; i < m; ++i) {
     float* crow = c + static_cast<std::size_t>(i) * n;
     if (!accumulate) std::fill(crow, crow + n, 0.0f);
     const float* arow = a + static_cast<std::size_t>(i) * k;
     for (int p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b + static_cast<std::size_t>(p) * n;
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -70,13 +74,11 @@ void gemm(const float* a, const float* b, float* c, int m, int k, int n,
 
 void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
              bool accumulate) {
-#pragma omp parallel for schedule(static)
   for (int i = 0; i < m; ++i) {
     float* crow = c + static_cast<std::size_t>(i) * n;
     if (!accumulate) std::fill(crow, crow + n, 0.0f);
     for (int p = 0; p < k; ++p) {
       const float av = a[static_cast<std::size_t>(p) * m + i];
-      if (av == 0.0f) continue;
       const float* brow = b + static_cast<std::size_t>(p) * n;
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -85,7 +87,6 @@ void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
 
 void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,
              bool accumulate) {
-#pragma omp parallel for schedule(static)
   for (int i = 0; i < m; ++i) {
     float* crow = c + static_cast<std::size_t>(i) * n;
     const float* arow = a + static_cast<std::size_t>(i) * k;

@@ -69,7 +69,9 @@ class Tensor {
   std::vector<float> data_;
 };
 
-/// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). OpenMP-parallel over rows.
+/// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). Serial straight-line MAC —
+/// the operation-order reference for the SIMD microkernels in nn/gemm.h;
+/// batch-level parallelism belongs to runtime::Executor.
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
           bool accumulate = false);
 

@@ -8,6 +8,7 @@
 
 #include "hw/report.h"
 #include "nn/loss.h"
+#include "sc/simd.h"
 
 namespace scbnn::runtime {
 
@@ -63,6 +64,27 @@ AdaptivePipeline::AdaptivePipeline(std::vector<AdaptiveRung> rungs,
     for (unsigned w = 0; w < pool_->size(); ++w) {
       per_worker.push_back(rung.engine->make_scratch());
     }
+  }
+  // Vectorized tail plans per rung; a plan-incompatible tail leaves a null
+  // slot and that rung serves through Network::forward instead.
+  plans_.reserve(rungs_.size());
+  arenas_.resize(rungs_.size());
+  for (std::size_t r = 0; r < rungs_.size(); ++r) {
+    std::unique_ptr<nn::InferencePlan> plan;
+    try {
+      plan = std::make_unique<nn::InferencePlan>(
+          rungs_[r].tail, rungs_[r].engine->kernels(), hybrid::kImageSize,
+          hybrid::kImageSize);
+    } catch (const std::invalid_argument&) {
+      plan = nullptr;
+    }
+    if (plan) {
+      arenas_[r].reserve(pool_->size());
+      for (unsigned w = 0; w < pool_->size(); ++w) {
+        arenas_[r].push_back(plan->make_arena(config_.chunk_images));
+      }
+    }
+    plans_.push_back(std::move(plan));
   }
 }
 
@@ -137,6 +159,7 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
     const std::size_t out_stride = static_cast<std::size_t>(k) * kPixels;
     const int chunk = config_.chunk_images;
     const int jobs = (m + chunk - 1) / chunk;
+    const auto first_layer_start = Clock::now();
     pool_->parallel_for(jobs, [&](int job, unsigned worker) {
       const int first = job * chunk;
       const int count = std::min(chunk, m - first);
@@ -145,12 +168,40 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
           features.data() + static_cast<std::size_t>(first) * out_stride,
           *scratch_[r][worker]);
     });
+    const auto tail_start = Clock::now();
+    stats_.first_layer_ms += ms_between(first_layer_start, tail_start);
 
-    // Tail + margins run on the calling thread: the tail forward is batch
-    // math (per-image independent), and keeping it serial preserves the
-    // bit-identity contract without per-worker tail copies.
-    const nn::Tensor logits = rung.tail.forward(features, /*training=*/false);
-    const std::vector<nn::SoftmaxMargin> margins = nn::softmax_margins(logits);
+    // Tail + margins: with a plan, the vectorized fast path runs
+    // executor-parallel over the same deterministic chunk homes as the
+    // first layer (per-image independence keeps it bit-identical to the
+    // serial reference); without one, Network::forward batch math on the
+    // calling thread.
+    std::vector<nn::SoftmaxMargin> margins;
+    if (plans_[r]) {
+      const nn::InferencePlan& plan = *plans_[r];
+      const int classes = plan.classes();
+      logits_.resize(static_cast<std::size_t>(m) * classes);
+      const sc::simd::Level level = sc::simd::active_level();
+      pool_->parallel_for(jobs, [&](int job, unsigned worker) {
+        const int first = job * chunk;
+        const int count = std::min(chunk, m - first);
+        plan.run(features.data() +
+                     static_cast<std::size_t>(first) * plan.input_size(),
+                 count,
+                 logits_.data() + static_cast<std::size_t>(first) * classes,
+                 arenas_[r][worker], level);
+      });
+      margins.resize(static_cast<std::size_t>(m));
+      for (int j = 0; j < m; ++j) {
+        margins[static_cast<std::size_t>(j)] = nn::softmax_margin_row(
+            logits_.data() + static_cast<std::size_t>(j) * classes, classes);
+      }
+    } else {
+      const nn::Tensor logits =
+          rung.tail.forward(features, /*training=*/false);
+      margins = nn::softmax_margins(logits);
+    }
+    stats_.tail_ms += ms_since(tail_start);
 
     const double cycles_per_image = rung_cycles_per_image(r);
     energy.push_back({rung.engine->name(), rung.bits, k, m});

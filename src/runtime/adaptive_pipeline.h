@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hybrid/first_layer.h"
+#include "nn/inference_plan.h"
 #include "nn/network.h"
 #include "runtime/executor.h"
 #include "runtime/inference_engine.h"
@@ -159,6 +160,13 @@ class AdaptivePipeline : public Servable {
   // worker, reused across batches.
   std::vector<std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>>>
       scratch_;
+  // Vectorized tail plans, one per rung (null => that rung falls back to
+  // Network::forward on the calling thread), with arenas_[rung][worker]
+  // mirroring scratch_. Rung tails are frozen after construction, so the
+  // packed parameters never go stale.
+  std::vector<std::unique_ptr<nn::InferencePlan>> plans_;
+  std::vector<std::vector<nn::InferencePlan::Arena>> arenas_;
+  std::vector<float> logits_;  ///< grow-only per-rung logits buffer
   PipelineStats stats_;
 };
 

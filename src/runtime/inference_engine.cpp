@@ -7,6 +7,7 @@
 #include "nn/loss.h"
 #include "runtime/backend_registry.h"
 #include "runtime/work_stealing_executor.h"
+#include "sc/simd.h"
 
 namespace scbnn::runtime {
 
@@ -45,6 +46,10 @@ std::shared_ptr<Executor> RuntimeConfig::resolve_executor() const {
 InferenceEngine::InferenceEngine(
     std::unique_ptr<hybrid::FirstLayerEngine> engine, RuntimeConfig config)
     : engine_(require_engine(std::move(engine))),
+      energy_per_frame_j_(hw::backend_energy_per_frame_j(
+          engine_->name(), engine_->bits(), engine_->kernels())),
+      sc_cycles_per_frame_(hw::backend_sc_cycles_per_frame(
+          engine_->name(), engine_->bits(), engine_->kernels())),
       config_(config.validate()),
       pool_(config.resolve_executor()) {
   scratch_.reserve(pool_->size());
@@ -89,19 +94,15 @@ nn::Tensor InferenceEngine::features(const nn::Tensor& images) {
   const auto start = ServeClock::now();
   compute_features(images.data(), n, out.data());
   refresh_stats(n, ms_between(start, ServeClock::now()));
+  stats_.first_layer_ms = stats_.latency_ms;
   return out;
 }
 
 void InferenceEngine::refresh_stats(int n, double elapsed_ms) {
-  const int k = engine_->kernels();
   stats_ = ServeStats{};
   stats_.set_timing(n, pool_->size(), elapsed_ms);
-  stats_.energy_j =
-      static_cast<double>(n) *
-      hw::backend_energy_per_frame_j(engine_->name(), engine_->bits(), k);
-  stats_.sc_cycles =
-      static_cast<double>(n) *
-      hw::backend_sc_cycles_per_frame(engine_->name(), engine_->bits(), k);
+  stats_.energy_j = static_cast<double>(n) * energy_per_frame_j_;
+  stats_.sc_cycles = static_cast<double>(n) * sc_cycles_per_frame_;
 }
 
 std::vector<int> InferenceEngine::predict(const nn::Tensor& images,
@@ -109,9 +110,63 @@ std::vector<int> InferenceEngine::predict(const nn::Tensor& images,
   return tail.predict(features(images));
 }
 
+std::vector<int> InferenceEngine::predict(const nn::Tensor& images) {
+  check_image_batch(images, "InferenceEngine::predict");
+  if (!has_tail_) {
+    throw std::logic_error(
+        "InferenceEngine::predict: no tail attached (call set_tail first)");
+  }
+  const int n = images.dim(0);
+  if (!plan_) return tail_.predict(features(images));
+
+  const std::size_t feat_stride =
+      static_cast<std::size_t>(engine_->kernels()) *
+      hybrid::kOutputsPerKernel;
+  const auto start = ServeClock::now();
+  feats_.resize(static_cast<std::size_t>(n) * feat_stride);
+  compute_features(images.data(), n, feats_.data());
+  const auto first_layer_done = ServeClock::now();
+
+  const int classes = plan_->classes();
+  logits_.resize(static_cast<std::size_t>(n) * classes);
+  run_tail_plan(feats_.data(), n, logits_.data());
+
+  // Network::predict's exact argmax rule on bit-identical logits: strict >
+  // keeps the earliest class on ties.
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits_.data() + static_cast<std::size_t>(i) * classes;
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    labels[static_cast<std::size_t>(i)] = best;
+  }
+  const auto end = ServeClock::now();
+  refresh_stats(n, ms_between(start, end));
+  stats_.first_layer_ms = ms_between(start, first_layer_done);
+  stats_.tail_ms = ms_between(first_layer_done, end);
+  return labels;
+}
+
 void InferenceEngine::set_tail(nn::Network tail) {
   tail_ = std::move(tail);
   has_tail_ = true;
+  plan_.reset();
+  arenas_.clear();
+  plan_params_dirty_ = false;
+  try {
+    plan_ = std::make_unique<nn::InferencePlan>(
+        tail_, engine_->kernels(), hybrid::kImageSize, hybrid::kImageSize);
+  } catch (const std::invalid_argument&) {
+    // Unsupported architecture: classify()/predict() fall back to
+    // Network::forward on the calling thread.
+    return;
+  }
+  arenas_.reserve(pool_->size());
+  for (unsigned i = 0; i < pool_->size(); ++i) {
+    arenas_.push_back(plan_->make_arena(config_.chunk_images));
+  }
 }
 
 nn::Network& InferenceEngine::tail() {
@@ -119,7 +174,30 @@ nn::Network& InferenceEngine::tail() {
     throw std::logic_error(
         "InferenceEngine::tail: no tail attached (call set_tail first)");
   }
+  // The caller may mutate parameters through this reference; re-pack the
+  // plan's Dense weight copies before the next fast-path run.
+  plan_params_dirty_ = true;
   return tail_;
+}
+
+void InferenceEngine::run_tail_plan(const float* feats, int n,
+                                    float* logits) {
+  if (plan_params_dirty_) {
+    plan_->refresh_params();
+    plan_params_dirty_ = false;
+  }
+  const int chunk = config_.chunk_images;
+  const int jobs = (n + chunk - 1) / chunk;
+  const std::size_t in_stride = plan_->input_size();
+  const int classes = plan_->classes();
+  const sc::simd::Level level = sc::simd::active_level();
+  pool_->parallel_for(jobs, [&](int job, unsigned worker) {
+    const int first = job * chunk;
+    const int count = std::min(chunk, n - first);
+    plan_->run(feats + static_cast<std::size_t>(first) * in_stride, count,
+               logits + static_cast<std::size_t>(first) * classes,
+               arenas_[worker], level);
+  });
 }
 
 ServeStats InferenceEngine::classify(const float* images, int n,
@@ -129,26 +207,57 @@ ServeStats InferenceEngine::classify(const float* images, int n,
         "InferenceEngine::classify: no tail attached (call set_tail first)");
   }
   const auto start = ServeClock::now();
-  nn::Tensor feats(
-      {n, engine_->kernels(), hybrid::kImageSize, hybrid::kImageSize});
-  compute_features(images, n, feats.data());
+  ServeClock::time_point first_layer_done;
 
-  // The tail forward is batch math (per-image independent) and runs on the
-  // calling thread, preserving the bit-identity contract without
-  // per-worker tail copies.
-  const nn::Tensor logits = tail_.forward(feats, /*training=*/false);
-  const std::vector<nn::SoftmaxMargin> margins = nn::softmax_margins(logits);
-  for (int i = 0; i < n; ++i) {
-    const nn::SoftmaxMargin& sm = margins[static_cast<std::size_t>(i)];
-    Prediction& p = out[i];
-    p = Prediction{};
-    p.label = sm.best;
-    p.margin = sm.margin;
-    p.rung = 0;
-    p.bits_used = engine_->bits();
+  if (plan_) {
+    // Fast path: both stages executor-parallel, grow-only buffers +
+    // per-worker arenas, so a warm batch performs zero heap allocations.
+    const std::size_t feat_stride =
+        static_cast<std::size_t>(engine_->kernels()) *
+        hybrid::kOutputsPerKernel;
+    feats_.resize(static_cast<std::size_t>(n) * feat_stride);
+    compute_features(images, n, feats_.data());
+    first_layer_done = ServeClock::now();
+
+    const int classes = plan_->classes();
+    logits_.resize(static_cast<std::size_t>(n) * classes);
+    run_tail_plan(feats_.data(), n, logits_.data());
+    for (int i = 0; i < n; ++i) {
+      const nn::SoftmaxMargin sm = nn::softmax_margin_row(
+          logits_.data() + static_cast<std::size_t>(i) * classes, classes);
+      Prediction& p = out[i];
+      p = Prediction{};
+      p.label = sm.best;
+      p.margin = sm.margin;
+      p.rung = 0;
+      p.bits_used = engine_->bits();
+    }
+  } else {
+    // Fallback for plan-incompatible tails: Network::forward batch math on
+    // the calling thread (per-image independent, so still deterministic).
+    nn::Tensor feats(
+        {n, engine_->kernels(), hybrid::kImageSize, hybrid::kImageSize});
+    compute_features(images, n, feats.data());
+    first_layer_done = ServeClock::now();
+
+    const nn::Tensor logits = tail_.forward(feats, /*training=*/false);
+    const std::vector<nn::SoftmaxMargin> margins =
+        nn::softmax_margins(logits);
+    for (int i = 0; i < n; ++i) {
+      const nn::SoftmaxMargin& sm = margins[static_cast<std::size_t>(i)];
+      Prediction& p = out[i];
+      p = Prediction{};
+      p.label = sm.best;
+      p.margin = sm.margin;
+      p.rung = 0;
+      p.bits_used = engine_->bits();
+    }
   }
 
-  refresh_stats(n, ms_between(start, ServeClock::now()));
+  const auto end = ServeClock::now();
+  refresh_stats(n, ms_between(start, end));
+  stats_.first_layer_ms = ms_between(start, first_layer_done);
+  stats_.tail_ms = ms_between(first_layer_done, end);
   return stats_;
 }
 

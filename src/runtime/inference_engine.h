@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hybrid/first_layer.h"
+#include "nn/inference_plan.h"
 #include "nn/network.h"
 #include "runtime/executor.h"
 #include "runtime/servable.h"
@@ -70,21 +71,47 @@ class InferenceEngine : public Servable {
 
   /// Full pipeline: threaded first layer, then the binary tail's argmax.
   /// last_stats() covers the first-layer stage only (the near-sensor part).
+  /// This is the REFERENCE path — the external tail runs through
+  /// Network::forward on the calling thread; benches referee the fast
+  /// attached-tail paths against it.
   [[nodiscard]] std::vector<int> predict(const nn::Tensor& images,
                                          nn::Network& tail);
 
+  /// Same pipeline on the attached tail via the vectorized InferencePlan
+  /// (executor-parallel, allocation-free tail): bit-identical labels to
+  /// predict(images, tail()) — plan logits match Network::forward exactly
+  /// and the argmax rule is Network::predict's. Requires set_tail();
+  /// throws std::logic_error otherwise. Updates last_stats() with the
+  /// first-layer/tail stage split.
+  [[nodiscard]] std::vector<int> predict(const nn::Tensor& images);
+
   /// Attach the binary tail that completes the network, making classify()
-  /// available. The engine owns the tail from here on.
+  /// available. The engine owns the tail from here on. Builds the
+  /// vectorized InferencePlan when every layer is plan-compatible
+  /// (Conv2D/Dense/MaxPool2/ReLU/Dropout); otherwise classify() falls back
+  /// to Network::forward on the calling thread.
   void set_tail(nn::Network tail);
   [[nodiscard]] bool has_tail() const noexcept { return has_tail_; }
+  /// True when classify()/predict() run the vectorized zero-allocation
+  /// tail plan instead of the Network::forward fallback.
+  [[nodiscard]] bool has_fast_tail() const noexcept {
+    return plan_ != nullptr;
+  }
   /// Mutable access to the attached tail (retraining happens in place).
-  /// Throws std::logic_error when no tail is attached.
+  /// Throws std::logic_error when no tail is attached. Marks the plan's
+  /// packed parameters stale — the next classify()/predict() re-packs them
+  /// from the (possibly retrained) tail before running.
   [[nodiscard]] nn::Network& tail();
 
   // ------------------------------------------------------------- Servable
   /// Threaded first layer + attached tail + softmax margins. Requires
-  /// set_tail() first (throws std::logic_error otherwise). Updates
-  /// last_stats() with whole-call timing (first layer + tail).
+  /// set_tail() first (throws std::logic_error otherwise). With a fast
+  /// tail both stages run executor-parallel with zero heap allocation on
+  /// the warm path (grow-only feature/logit buffers, per-worker arenas);
+  /// margins are bit-identical to the Network::forward + softmax_margins
+  /// reference at every thread count and dispatch level. Updates
+  /// last_stats() with whole-call timing plus the first_layer_ms/tail_ms
+  /// stage split.
   ServeStats classify(const float* images, int n, Prediction* out) override;
   using Servable::classify;
   /// The first-layer backend's registry name (e.g. "sc-proposed").
@@ -124,12 +151,29 @@ class InferenceEngine : public Servable {
   /// the hardware-model energy and SC-cycle estimates.
   void refresh_stats(int n, double elapsed_ms);
 
+  /// Run the tail plan over `n` feature images into `logits` ([n, classes]
+  /// row-major), chunked across the executor with the same deterministic
+  /// chunk homes as compute_features. Re-packs stale plan parameters
+  /// first. No heap allocation.
+  void run_tail_plan(const float* feats, int n, float* logits);
+
   std::unique_ptr<hybrid::FirstLayerEngine> engine_;
+  /// Hardware-model per-frame costs, resolved once at construction (the
+  /// engine's backend/bits/kernels are frozen) so refresh_stats() does no
+  /// string lookups — and no allocations — per batch.
+  double energy_per_frame_j_ = 0.0;
+  double sc_cycles_per_frame_ = 0.0;
   RuntimeConfig config_;
   std::shared_ptr<Executor> pool_;  ///< private or shared (config.executor)
   std::vector<std::unique_ptr<hybrid::FirstLayerEngine::Scratch>> scratch_;
   nn::Network tail_;
   bool has_tail_ = false;
+  std::unique_ptr<nn::InferencePlan> plan_;  ///< null => forward() fallback
+  std::vector<nn::InferencePlan::Arena> arenas_;  ///< one per pool worker
+  bool plan_params_dirty_ = false;  ///< tail() handed out mutable access
+  /// Grow-only warm-path buffers for classify()/predict(): features and
+  /// logits live here so a steady-state batch allocates nothing.
+  std::vector<float> feats_, logits_;
   BatchStats stats_;
 };
 

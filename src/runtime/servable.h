@@ -74,6 +74,13 @@ struct ServeStats {
   double energy_j = 0.0;
   /// SC cycles spent on the batch; 0 for backends without an SC notion.
   double sc_cycles = 0.0;
+  /// Stage split of latency_ms: time in the stochastic first layer vs the
+  /// binary tail (conv/dense GEMMs + margins). Both 0 when the backend
+  /// doesn't separate stages (e.g. features()-only calls fill first_layer_ms
+  /// and leave tail_ms 0). They need not sum exactly to latency_ms — glue
+  /// (prediction fill, stats) stays outside both.
+  double first_layer_ms = 0.0;
+  double tail_ms = 0.0;
 
   /// Fill the latency-derived fields from a wall-clock measurement.
   void set_timing(int n, unsigned thread_count, double elapsed_ms) noexcept;

@@ -1,10 +1,16 @@
 // Serving-runtime tests: thread-pool lifecycle and exception safety, the
-// backend registry, and the determinism contract of the batched inference
-// engine (same seed => bit-identical features at any thread count).
+// backend registry, the determinism contract of the batched inference
+// engine (same seed => bit-identical features at any thread count), and
+// the vectorized zero-allocation tail fast path (bit-identity vs the
+// Network::forward reference, warm-path allocation count, InferencePlan
+// error paths).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <cstdlib>
+#include <new>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -14,11 +20,67 @@
 #include "hybrid/binary_first_layer.h"
 #include "hybrid/first_layer.h"
 #include "hybrid/hybrid_network.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/inference_plan.h"
+#include "nn/maxpool.h"
 #include "nn/init.h"
+#include "nn/loss.h"
 #include "nn/quantize.h"
 #include "runtime/backend_registry.h"
 #include "runtime/inference_engine.h"
 #include "runtime/thread_pool.h"
+#include "sc/simd.h"
+
+// ----------------------------------------------------- allocation counting
+//
+// Global operator new/delete replacements (same scheme as
+// test_executor.cpp) let the zero-allocation classify regression observe
+// every heap allocation in the binary. Counting is always on; tests read
+// the counter delta around the window they care about.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<long long> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace scbnn::runtime {
 namespace {
@@ -342,6 +404,245 @@ TEST(InferenceEngine, StatsReportBatchAndEnergy) {
   EXPECT_GT(stats.energy_j, 0.0);
   // ... and an SC backend reports its cycle spend.
   EXPECT_GT(stats.sc_cycles, 0.0);
+}
+
+// ---------------------------------------------------- vectorized fast tail
+
+constexpr hybrid::LeNetConfig kTestLeNet{4, 3, 16, 0.0f};
+
+// One engine + attached tail, plus an identically-seeded standalone tail
+// to serve as the Network::forward reference.
+struct FastTailRig {
+  InferenceEngine engine;
+  nn::Network ref_tail;
+
+  explicit FastTailRig(unsigned threads, int chunk_images = 4)
+      : engine("sc-proposed", sample_qweights(kTestLeNet.conv1_kernels, 4, 9),
+               [] {
+                 hybrid::FirstLayerConfig c;
+                 c.bits = 4;
+                 return c;
+               }(),
+               [&] {
+                 RuntimeConfig rc;
+                 rc.threads = threads;
+                 rc.chunk_images = chunk_images;
+                 return rc;
+               }()),
+        ref_tail([] {
+          nn::Rng rng(77);
+          return hybrid::build_tail(kTestLeNet, rng);
+        }()) {
+    nn::Rng rng(77);  // same seed => same weights as ref_tail
+    engine.set_tail(hybrid::build_tail(kTestLeNet, rng));
+  }
+};
+
+TEST(FastTail, BuildsPlanForTheLeNetTail) {
+  FastTailRig rig(2);
+  EXPECT_TRUE(rig.engine.has_fast_tail());
+}
+
+// The acceptance gate: classify()'s labels AND margins are bit-identical
+// to the Network::forward + softmax_margins reference, across thread
+// counts and odd batch sizes (1, 7, max) at the ambient dispatch level
+// (CI reruns this suite with SCBNN_SIMD=scalar).
+TEST(FastTail, ClassifyBitIdenticalToReferenceAcrossThreadsAndBatches) {
+  const data::DataSplit split = data::generate_synthetic_mnist(16, 1, 41);
+  for (const unsigned threads : {1u, 3u}) {
+    FastTailRig rig(threads, 3);
+    ASSERT_TRUE(rig.engine.has_fast_tail());
+    for (const int n : {1, 7, 16}) {
+      nn::Tensor batch({n, 1, 28, 28});
+      std::copy(split.train.images.data(),
+                split.train.images.data() + batch.size(), batch.data());
+
+      const nn::Tensor feats = rig.engine.features(batch);
+      const nn::Tensor ref_logits = rig.ref_tail.forward(feats, false);
+      const auto ref_margins = nn::softmax_margins(ref_logits);
+
+      std::vector<Prediction> preds(static_cast<std::size_t>(n));
+      (void)rig.engine.classify(batch.data(), n, preds.data());
+      for (int i = 0; i < n; ++i) {
+        const auto& rm = ref_margins[static_cast<std::size_t>(i)];
+        ASSERT_EQ(preds[static_cast<std::size_t>(i)].label, rm.best)
+            << "threads=" << threads << " n=" << n << " image " << i;
+        ASSERT_EQ(
+            std::bit_cast<std::uint64_t>(
+                preds[static_cast<std::size_t>(i)].margin),
+            std::bit_cast<std::uint64_t>(rm.margin))
+            << "threads=" << threads << " n=" << n << " image " << i;
+      }
+    }
+  }
+}
+
+TEST(FastTail, PredictMatchesExternalTailReference) {
+  const data::DataSplit split = data::generate_synthetic_mnist(11, 1, 43);
+  FastTailRig rig(2);
+  const std::vector<int> fast = rig.engine.predict(split.train.images);
+  const std::vector<int> ref =
+      rig.engine.predict(split.train.images, rig.ref_tail);
+  EXPECT_EQ(fast, ref);
+}
+
+TEST(FastTail, ReportsStageSplit) {
+  const data::DataSplit split = data::generate_synthetic_mnist(8, 1, 47);
+  FastTailRig rig(2);
+  const auto preds = rig.engine.Servable::classify(split.train.images);
+  ASSERT_EQ(preds.size(), 8u);
+  const BatchStats& stats = rig.engine.last_stats();
+  EXPECT_GE(stats.first_layer_ms, 0.0);
+  EXPECT_GT(stats.tail_ms, 0.0);
+  EXPECT_LE(stats.first_layer_ms + stats.tail_ms, stats.latency_ms + 1e-6);
+}
+
+// Mutating the tail through the engine's accessor must reach the next
+// classify() — the plan's packed Dense weights are re-packed, not stale.
+TEST(FastTail, RetrainedTailParametersAreNotStale) {
+  const data::DataSplit split = data::generate_synthetic_mnist(9, 1, 53);
+  FastTailRig rig(2);
+  auto nudge = [](nn::Network& net) {
+    for (const nn::Param& p : net.params()) {
+      for (std::size_t i = 0; i < p.value->size(); ++i) {
+        (*p.value)[i] += 0.25f * static_cast<float>(i % 3);
+      }
+    }
+  };
+  nudge(rig.engine.tail());
+  nudge(rig.ref_tail);
+
+  const nn::Tensor feats = rig.engine.features(split.train.images);
+  const nn::Tensor ref_logits = rig.ref_tail.forward(feats, false);
+  const auto ref_margins = nn::softmax_margins(ref_logits);
+
+  std::vector<Prediction> preds(9);
+  (void)rig.engine.classify(split.train.images.data(), 9, preds.data());
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_EQ(preds[static_cast<std::size_t>(i)].label,
+              ref_margins[static_cast<std::size_t>(i)].best)
+        << "image " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(
+                  preds[static_cast<std::size_t>(i)].margin),
+              std::bit_cast<std::uint64_t>(
+                  ref_margins[static_cast<std::size_t>(i)].margin))
+        << "image " << i;
+  }
+}
+
+// The tentpole's warm-path contract: after one warm-up batch, classify()
+// performs ZERO heap allocations — features/logits live in grow-only
+// buffers, the plan runs out of per-worker arenas, margins are computed on
+// the stack, and the executor's parallel_for frames are pooled.
+TEST(FastTail, ClassifyWarmPathIsAllocationFree) {
+  const data::DataSplit split = data::generate_synthetic_mnist(12, 1, 59);
+  FastTailRig rig(3);
+  ASSERT_TRUE(rig.engine.has_fast_tail());
+  std::vector<Prediction> preds(12);
+  // Warm up: buffers grow, executor pools its loop frames.
+  (void)rig.engine.classify(split.train.images.data(), 12, preds.data());
+  (void)rig.engine.classify(split.train.images.data(), 12, preds.data());
+
+  const long long before = g_heap_allocs.load(std::memory_order_relaxed);
+  (void)rig.engine.classify(split.train.images.data(), 12, preds.data());
+  // A smaller batch reuses the grown buffers too.
+  (void)rig.engine.classify(split.train.images.data(), 5, preds.data());
+  const long long after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "warm classify() allocated " << (after - before) << " times";
+}
+
+// ------------------------------------------------------------ InferencePlan
+
+TEST(InferencePlan, MatchesNetworkForwardBitExactAtEveryLevel) {
+  nn::Rng rng(123);
+  nn::Network net = hybrid::build_tail(kTestLeNet, rng);
+  nn::InferencePlan plan(net, kTestLeNet.conv1_kernels, 28, 28);
+  ASSERT_EQ(plan.classes(), 10);
+
+  const int kBatch = 5;
+  nn::Tensor x({kBatch, kTestLeNet.conv1_kernels, 28, 28});
+  nn::Rng data_rng(7);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Ternary feature-like inputs plus signed zeros.
+    const float r = data_rng.normal(0.0f, 1.0f);
+    x[i] = r > 0.5f ? 1.0f : (r < -0.5f ? -1.0f : (r > 0.0f ? 0.0f : -0.0f));
+  }
+  const nn::Tensor want = net.forward(x, false);
+
+  for (const sc::simd::Level level : sc::simd::available_levels()) {
+    // Whole batch in one run, and image-by-image (chunk boundaries must
+    // not change a bit).
+    auto arena = plan.make_arena(kBatch);
+    std::vector<float> got(static_cast<std::size_t>(kBatch) * 10);
+    plan.run(x.data(), kBatch, got.data(), arena, level);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(got[i]),
+                std::bit_cast<std::uint32_t>(want[i]))
+          << "level " << sc::simd::to_string(level) << " logit " << i;
+    }
+    auto arena1 = plan.make_arena(1);
+    for (int b = 0; b < kBatch; ++b) {
+      std::vector<float> row(10);
+      plan.run(x.data() + static_cast<std::size_t>(b) * plan.input_size(), 1,
+               row.data(), arena1, level);
+      for (int c = 0; c < 10; ++c) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(row[static_cast<std::size_t>(c)]),
+                  std::bit_cast<std::uint32_t>(want.at2(b, c)))
+            << "level " << sc::simd::to_string(level) << " image " << b;
+      }
+    }
+  }
+}
+
+TEST(InferencePlan, RejectsUnsupportedLayersAndBadShapes) {
+  nn::Rng rng(5);
+  {
+    nn::Network net;
+    net.add<nn::Tanh>();
+    EXPECT_THROW(nn::InferencePlan(net, 1, 28, 28), std::invalid_argument);
+  }
+  {
+    nn::Network net;  // Conv2D channel mismatch: expects 3, input has 4
+    net.add<nn::Conv2D>(3, 2, 5, 2, rng);
+    EXPECT_THROW(nn::InferencePlan(net, 4, 28, 28), std::invalid_argument);
+  }
+  {
+    nn::Network net;  // Dense feature mismatch
+    net.add<nn::Dense>(100, 10, rng);
+    EXPECT_THROW(nn::InferencePlan(net, 1, 28, 28), std::invalid_argument);
+  }
+  {
+    nn::Network net;  // MaxPool2 on odd spatial dims
+    net.add<nn::MaxPool2>();
+    EXPECT_THROW(nn::InferencePlan(net, 1, 7, 7), std::invalid_argument);
+  }
+  {
+    nn::Network net;  // Conv2D eats the whole image -> empty output
+    net.add<nn::Conv2D>(1, 2, 5, 0, rng);
+    EXPECT_THROW(nn::InferencePlan(net, 1, 4, 4), std::invalid_argument);
+  }
+  EXPECT_THROW(
+      {
+        nn::Network net;
+        net.add<nn::Dense>(784, 10, rng);
+        nn::InferencePlan plan(net, 1, 28, 28);
+        (void)plan.make_arena(0);
+      },
+      std::invalid_argument);
+}
+
+TEST(InferencePlan, RunRejectsBatchBeyondArenaCapacity) {
+  nn::Rng rng(6);
+  nn::Network net;
+  net.add<nn::Dense>(784, 10, rng);
+  nn::InferencePlan plan(net, 1, 28, 28);
+  auto arena = plan.make_arena(2);
+  std::vector<float> x(static_cast<std::size_t>(3) * 784, 0.5f);
+  std::vector<float> logits(static_cast<std::size_t>(3) * 10);
+  EXPECT_THROW(plan.run(x.data(), 3, logits.data(), arena,
+                        sc::simd::Level::kScalar),
+               std::invalid_argument);
 }
 
 }  // namespace
