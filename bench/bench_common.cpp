@@ -150,6 +150,39 @@ double ms_since(runtime::ServeClock::time_point start) {
   return runtime::ms_between(start, runtime::ServeClock::now());
 }
 
+hybrid::ModelBundle make_frozen_bundle(
+    const std::string& entry, const std::vector<unsigned>& ladder_bits) {
+  constexpr std::uint64_t kSeed = 7;
+  const hybrid::LeNetConfig lenet{32, 8, 32, 0.0f};
+  nn::Rng base_rng(kSeed);
+  nn::Network base = hybrid::build_lenet(lenet, base_rng);
+
+  hybrid::ModelBundle bundle;
+  bundle.backend = entry;
+  bundle.lenet = lenet;
+  bundle.confidence_margin = 0.5;
+  bundle.trained_seed = kSeed;
+  for (const unsigned bits : ladder_bits) {
+    hybrid::BundleRung rung;
+    rung.bits = bits;
+    rung.qw =
+        nn::quantize_conv_weights(hybrid::base_conv1_weights(base), bits);
+    rung.flc.bits = bits;
+    rung.flc.soft_threshold = 0.30;
+    rung.flc.seed = static_cast<std::uint32_t>(kSeed | 1u);
+    nn::Rng tail_rng(kSeed + 1);
+    rung.tail = hybrid::build_tail(lenet, tail_rng);
+    hybrid::copy_tail_params(base, rung.tail);
+    bundle.rungs.push_back(std::move(rung));
+  }
+  return bundle;
+}
+
+std::uint64_t peak_rss_bytes() { return runtime::peak_rss_bytes(); }
+std::uint64_t peak_rss_bytes(pid_t pid) {
+  return runtime::peak_rss_bytes(pid);
+}
+
 std::unique_ptr<runtime::Servable> make_frozen_servable(
     const std::string& entry, unsigned bits, runtime::RuntimeConfig rc) {
   constexpr std::uint64_t kSeed = 7;

@@ -15,7 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "hybrid/bundle.h"
 #include "runtime/inference_engine.h"
+#include "runtime/process_stats.h"
 #include "runtime/servable.h"
 
 namespace scbnn::bench {
@@ -76,5 +78,20 @@ class Flags {
 /// deterministic (two calls with equal arguments are bit-identical).
 [[nodiscard]] std::unique_ptr<runtime::Servable> make_frozen_servable(
     const std::string& entry, unsigned bits, runtime::RuntimeConfig rc);
+
+/// The same frozen-weight model as make_frozen_servable, packaged as a
+/// ModelBundle — the artifact fleet shards cold-start from. A ladder with
+/// one entry yields a fixed-precision bundle, more entries an escalation
+/// ladder (bits strictly increasing). Deterministic: equal arguments give
+/// bit-identical bundles, so a fleet and an in-process reference built from
+/// the same call agree to the bit.
+[[nodiscard]] hybrid::ModelBundle make_frozen_bundle(
+    const std::string& entry, const std::vector<unsigned>& ladder_bits);
+
+/// Peak resident set size in bytes — of this process, or of a live child by
+/// pid. Benches emit these next to throughput so every BENCH_*.json reports
+/// per-process memory the same way (thin veneer over runtime::process_stats).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+[[nodiscard]] std::uint64_t peak_rss_bytes(pid_t pid);
 
 }  // namespace scbnn::bench

@@ -1,0 +1,396 @@
+// Sharded fleet serving: aggregate throughput, per-tenant tail latency, and
+// kill -9 recovery across shard counts.
+//
+// The measurement: a population of synthetic sensor sessions (each with its
+// own drifting camera and its own Poisson/bursty/diurnal arrival process —
+// sensor::SessionStreamDriver) is replayed open-loop into a
+// fleet::FleetCoordinator at each requested shard count. The frames, their
+// order, and their session->tenant assignment are identical at every
+// operating point, so img/s vs shard count is a clean scaling curve and the
+// predictions are comparable frame for frame.
+//
+// Three gates anchor the numbers:
+//
+//   identity  — every served frame's (label, margin, rung, bits_used) must
+//               be bitwise-identical to a single in-process Servable
+//               instantiated from the same ModelBundle file the shards
+//               cold-start from. The fleet moves bytes, never math. Always
+//               enforced in the exit code.
+//   recovery  — a dedicated phase kills a shard -9 mid-stream and requires
+//               the supervisor's respawn to have the replacement ready
+//               (bundle reloaded, serving) in under --recovery-budget-ms.
+//               Always enforced.
+//   scaling   — aggregate img/s at the largest shard count must reach
+//               --min-speedup x the 1-shard fleet. Enforced only when the
+//               machine has at least (shards + 1) hardware threads; a
+//               1-core container cannot demonstrate process-level
+//               parallelism, so there the curve is reported but not gated.
+//
+// Knobs (flag / env): --sessions/SCBNN_FLEET_SESSIONS, --frames/
+// SCBNN_FLEET_FRAMES (per session), --shard-counts/SCBNN_FLEET_SHARDS,
+// --backend/SCBNN_FLEET_BACKEND, --ladder/SCBNN_FLEET_LADDER,
+// --ring-cap, --max-batch, --shard-threads, --deadline-ms (tenant 0 is
+// hard-deadline), --recovery-budget-ms, --min-speedup, --bundle (artifact
+// path). Results land in BENCH_fleet.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/coordinator.h"
+#include "hw/report.h"
+#include "hybrid/bundle.h"
+#include "nn/tensor.h"
+#include "runtime/percentile.h"
+#include "sensor/session_driver.h"
+
+namespace {
+
+using namespace scbnn;
+
+constexpr std::uint64_t kSeed = 7;
+
+std::uint32_t tenant_of(long session) {
+  return static_cast<std::uint32_t>(session % 4);
+}
+
+/// Submit with bounded backoff on ring backpressure (open-loop saturation
+/// fills rings by design; quota rejections would be a config bug here).
+std::future<fleet::FleetResult> submit_with_retry(
+    fleet::FleetCoordinator& fleet, const sensor::SessionEvent& event,
+    double deadline_ms) {
+  const std::uint32_t tenant = tenant_of(event.session);
+  const fleet::SloClass slo = tenant == 0
+                                  ? fleet::SloClass::kHardDeadline
+                                  : fleet::SloClass::kDegradeTolerant;
+  while (true) {
+    try {
+      return fleet.submit(event.sensor_id, tenant, event.frame.pixels.data(),
+                          slo, deadline_ms);
+    } catch (const fleet::FleetRejectError&) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+struct DriveOutcome {
+  std::vector<fleet::FleetResult> results;  ///< indexed by event order
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  fleet::FleetStats stats;
+};
+
+/// Replay the whole session population into `fleet`; optionally SIGKILL
+/// shard 0 after `kill_after` submissions (-1 = never).
+DriveOutcome drive(fleet::FleetCoordinator& fleet,
+                   sensor::SessionStreamDriver& driver, double deadline_ms,
+                   long kill_after) {
+  driver.reset();
+  DriveOutcome out;
+  std::vector<std::future<fleet::FleetResult>> futures;
+  futures.reserve(static_cast<std::size_t>(driver.total_events()));
+
+  const auto start = runtime::ServeClock::now();
+  sensor::SessionEvent event;
+  long submitted = 0;
+  while (driver.next(event)) {
+    futures.push_back(submit_with_retry(fleet, event, deadline_ms));
+    if (++submitted == kill_after) fleet.kill_shard(0);
+  }
+  out.results.reserve(futures.size());
+  for (auto& future : futures) out.results.push_back(future.get());
+  out.wall_ms = bench::ms_since(start);
+  out.throughput_rps =
+      out.wall_ms > 0.0
+          ? static_cast<double>(out.results.size()) * 1e3 / out.wall_ms
+          : 0.0;
+  out.stats = fleet.stats();
+  return out;
+}
+
+/// Served (non-dropped) predictions must match the reference bit for bit.
+long count_mismatches(const DriveOutcome& outcome,
+                      const std::vector<runtime::Prediction>& reference) {
+  long mismatches = 0;
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    const fleet::FleetResult& r = outcome.results[i];
+    if (r.deadline_dropped) continue;  // no prediction to compare
+    const runtime::Prediction& ref = reference[i];
+    const bool same = r.prediction.label == ref.label &&
+                      r.prediction.margin == ref.margin &&
+                      r.prediction.rung == ref.rung &&
+                      r.prediction.bits_used == ref.bits_used;
+    mismatches += same ? 0 : 1;
+  }
+  return mismatches;
+}
+
+struct Point {
+  int shards = 0;
+  DriveOutcome outcome;
+  long mismatches = 0;
+  double speedup = 1.0;
+  std::uint64_t peak_rss_max = 0;
+};
+
+double max_recovery(const std::vector<double>& samples) {
+  return samples.empty()
+             ? 0.0
+             : *std::max_element(samples.begin(), samples.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const long sessions =
+      flags.get_long("sessions", "SCBNN_FLEET_SESSIONS", 1024, 1, 1000000);
+  const long frames =
+      flags.get_long("frames", "SCBNN_FLEET_FRAMES", 4, 1, 10000);
+  const std::vector<double> shard_counts = flags.get_double_list(
+      "shard-counts", "SCBNN_FLEET_SHARDS", "1,2,4", 1, 64);
+  const std::string backend_name = flags.get_string(
+      "backend", "SCBNN_FLEET_BACKEND", "sc-proposed-fast");
+  const std::vector<double> ladder_doubles =
+      flags.get_double_list("ladder", "SCBNN_FLEET_LADDER", "4", 2, 8);
+  const auto ring_cap = static_cast<std::size_t>(
+      flags.get_long("ring-cap", "SCBNN_FLEET_RING_CAP", 1024, 2, 1 << 20));
+  const int max_batch = static_cast<int>(
+      flags.get_long("max-batch", "SCBNN_FLEET_MAX_BATCH", 32, 1, 4096));
+  const auto shard_threads = static_cast<unsigned>(
+      flags.get_long("shard-threads", "SCBNN_FLEET_SHARD_THREADS", 1, 1, 64));
+  const double deadline_ms = flags.get_double(
+      "deadline-ms", "SCBNN_FLEET_DEADLINE_MS", 5000.0, 1.0, 1e6);
+  const double recovery_budget_ms = flags.get_double(
+      "recovery-budget-ms", "SCBNN_FLEET_RECOVERY_MS", 250.0, 1.0, 1e6);
+  const double min_speedup =
+      flags.get_double("min-speedup", "SCBNN_FLEET_MIN_SPEEDUP", 3.0, 1.0, 64);
+  const std::string bundle_path = flags.get_string(
+      "bundle", "SCBNN_FLEET_BUNDLE", "fleet_frozen.bundle");
+
+  std::vector<unsigned> ladder;
+  for (const double bits : ladder_doubles) {
+    ladder.push_back(static_cast<unsigned>(bits));
+  }
+
+  // The one artifact everything serves from: shards cold-start by loading
+  // it, and the identity reference is instantiated from the same file.
+  {
+    hybrid::ModelBundle bundle = bench::make_frozen_bundle(backend_name,
+                                                           ladder);
+    hybrid::save_bundle(bundle, bundle_path);
+  }
+
+  sensor::SessionStreamConfig stream_cfg;
+  stream_cfg.sessions = sessions;
+  stream_cfg.frames_per_session = frames;
+  stream_cfg.seed = kSeed;
+  sensor::SessionStreamDriver driver(stream_cfg);
+  const long total = driver.total_events();
+
+  // In-process reference over the exact frame sequence, in event order.
+  std::vector<runtime::Prediction> reference;
+  {
+    hybrid::ModelBundle bundle = hybrid::load_bundle(bundle_path);
+    runtime::RuntimeConfig rc;
+    rc.threads = shard_threads;
+    const std::unique_ptr<runtime::Servable> direct =
+        hybrid::instantiate_servable(bundle, rc);
+    nn::Tensor all({static_cast<int>(total), 1, fleet::kFrameSide,
+                    fleet::kFrameSide});
+    sensor::SessionEvent event;
+    long i = 0;
+    while (driver.next(event)) {
+      std::copy(event.frame.pixels.begin(), event.frame.pixels.end(),
+                all.data() + static_cast<std::size_t>(i) * fleet::kFramePixels);
+      ++i;
+    }
+    reference = direct->classify(all);
+  }
+
+  std::printf(
+      "Fleet serving: %ld sessions x %ld frames (%ld total), backend %s, "
+      "ring %zu, max_batch %d, %u thread(s)/shard, %u hw threads\n\n",
+      sessions, frames, total, backend_name.c_str(), ring_cap, max_batch,
+      shard_threads, std::thread::hardware_concurrency());
+
+  fleet::FleetConfig base_cfg;
+  base_cfg.bundle_path = bundle_path;
+  base_cfg.ring_capacity = ring_cap;
+  base_cfg.shard_max_batch = max_batch;
+  base_cfg.shard_threads = shard_threads;
+  // Open-loop saturation fills rings by design; keep the degrade machinery
+  // parked so the identity gate covers every served frame (tests exercise
+  // the cap path).
+  base_cfg.degrade_watermark = ring_cap;
+
+  hw::TableWriter table({"shards", "img/s", "speedup", "p50 ms", "p99 ms",
+                         "t0 p99", "dropped", "dup", "nJ/frm",
+                         "rss MB/shard", "identical"},
+                        {6, 9, 8, 8, 9, 9, 8, 5, 10, 12, 9});
+  table.print_header();
+
+  std::vector<Point> points;
+  bool identity_ok = true;
+  for (const double shards_d : shard_counts) {
+    const int shards = static_cast<int>(shards_d);
+    fleet::FleetConfig cfg = base_cfg;
+    cfg.shards = shards;
+
+    Point pt;
+    pt.shards = shards;
+    {
+      fleet::FleetCoordinator fleet(cfg);
+      pt.outcome = drive(fleet, driver, deadline_ms, /*kill_after=*/-1);
+      fleet.shutdown();
+    }
+    pt.mismatches = count_mismatches(pt.outcome, reference);
+    identity_ok &= pt.mismatches == 0;
+    pt.speedup = points.empty() || points.front().outcome.throughput_rps <= 0
+                     ? 1.0
+                     : pt.outcome.throughput_rps /
+                           points.front().outcome.throughput_rps;
+    for (const fleet::ShardReport& report : pt.outcome.stats.shards) {
+      pt.peak_rss_max = std::max(pt.peak_rss_max, report.peak_rss_bytes);
+    }
+
+    const fleet::FleetStats& fs = pt.outcome.stats;
+    const runtime::LatencyHistogram* t0 = nullptr;
+    if (const auto it = fs.tenant_latency.find(0);
+        it != fs.tenant_latency.end()) {
+      t0 = &it->second;
+    }
+    table.print_row(
+        {std::to_string(shards),
+         hw::TableWriter::fmt(pt.outcome.throughput_rps, 0),
+         hw::TableWriter::fmt(pt.speedup, 2),
+         hw::TableWriter::fmt(fs.fleet_latency.percentile(50.0)),
+         hw::TableWriter::fmt(fs.fleet_latency.percentile(99.0)),
+         hw::TableWriter::fmt(t0 != nullptr ? t0->percentile(99.0) : 0.0),
+         std::to_string(fs.deadline_dropped), std::to_string(fs.duplicates),
+         hw::TableWriter::fmt(
+             total > 0 ? fs.energy_j * 1e9 / static_cast<double>(total) : 0.0,
+             1),
+         hw::TableWriter::fmt(
+             static_cast<double>(pt.peak_rss_max) / (1024.0 * 1024.0), 1),
+         pt.mismatches == 0 ? "yes" : "NO"});
+    points.push_back(std::move(pt));
+  }
+  table.print_rule();
+
+  // Recovery phase: 2 shards, kill shard 0 a quarter of the way in, and
+  // require the respawned process to be serving again within budget. Every
+  // future still resolves (the ring tail replays), so this phase also
+  // re-checks identity through a crash.
+  double recovery_ready_ms = 0.0;
+  double recovery_first_ms = 0.0;
+  std::uint64_t recovery_respawns = 0;
+  bool recovery_ok = true;
+  {
+    fleet::FleetConfig cfg = base_cfg;
+    cfg.shards = 2;
+    fleet::FleetCoordinator fleet(cfg);
+    DriveOutcome outcome =
+        drive(fleet, driver, deadline_ms, std::max<long>(1, total / 4));
+    fleet.shutdown();
+    const long mismatches = count_mismatches(outcome, reference);
+    identity_ok &= mismatches == 0;
+    recovery_ready_ms = max_recovery(outcome.stats.recovery_ready_ms);
+    recovery_first_ms = max_recovery(outcome.stats.recovery_first_response_ms);
+    recovery_respawns = outcome.stats.respawns;
+    recovery_ok = recovery_respawns >= 1 &&
+                  recovery_ready_ms <= recovery_budget_ms;
+    std::printf(
+        "\nrecovery: kill -9 at %ld/%ld submissions -> respawned %llu "
+        "shard(s), ready in %.1f ms, first response %.1f ms, %llu replayed "
+        "duplicate(s), identity %s (budget %.0f ms: %s)\n",
+        std::max<long>(1, total / 4), total,
+        static_cast<unsigned long long>(recovery_respawns), recovery_ready_ms,
+        recovery_first_ms,
+        static_cast<unsigned long long>(outcome.stats.duplicates),
+        mismatches == 0 ? "intact" : "BROKEN",
+        recovery_budget_ms, recovery_ok ? "ok" : "MISSED");
+  }
+
+  // Scaling gate: only meaningful when the hardware can actually run the
+  // shards in parallel.
+  const Point& top = *std::max_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.shards < b.shards; });
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool scaling_gated =
+      points.size() > 1 && hw_threads >= static_cast<unsigned>(top.shards) + 1;
+  const bool scaling_ok = !scaling_gated || top.speedup >= min_speedup;
+  std::printf(
+      "scaling: %.2fx at %d shards (min %.2fx, %s on %u hw threads)\n",
+      top.speedup, top.shards, min_speedup,
+      scaling_gated ? (scaling_ok ? "gated: ok" : "gated: MISSED")
+                    : "not gated",
+      hw_threads);
+  std::printf("identity vs in-process ModelBundle servable: %s\n",
+              identity_ok ? "bitwise-identical"
+                          : "MISMATCH — the transport changed arithmetic!");
+
+  std::FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"fleet_serving\",\n"
+               "  \"sessions\": %ld,\n  \"frames_per_session\": %ld,\n"
+               "  \"backend\": \"%s\",\n  \"ring_capacity\": %zu,\n"
+               "  \"max_batch\": %d,\n  \"shard_threads\": %u,\n"
+               "  \"hw_threads\": %u,\n  \"identity_ok\": %s,\n"
+               "  \"scaling_gated\": %s,\n  \"scaling_ok\": %s,\n"
+               "  \"recovery\": {\"respawns\": %llu, \"ready_ms\": %.2f, "
+               "\"first_response_ms\": %.2f, \"budget_ms\": %.1f, "
+               "\"ok\": %s},\n"
+               "  \"results\": [\n",
+               sessions, frames, backend_name.c_str(), ring_cap, max_batch,
+               shard_threads, hw_threads, identity_ok ? "true" : "false",
+               scaling_gated ? "true" : "false", scaling_ok ? "true" : "false",
+               static_cast<unsigned long long>(recovery_respawns),
+               recovery_ready_ms, recovery_first_ms, recovery_budget_ms,
+               recovery_ok ? "true" : "false");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    const fleet::FleetStats& fs = pt.outcome.stats;
+    std::fprintf(json,
+                 "    {\"shards\": %d, \"throughput_rps\": %.1f, "
+                 "\"speedup_vs_1\": %.3f, \"wall_ms\": %.1f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"deadline_dropped\": %llu, \"duplicates\": %llu, "
+                 "\"energy_j\": %.9g, \"peak_rss_per_shard_bytes\": %llu, "
+                 "\"mismatches\": %ld, \"tenants\": [",
+                 pt.shards, pt.outcome.throughput_rps, pt.speedup,
+                 pt.outcome.wall_ms, fs.fleet_latency.percentile(50.0),
+                 fs.fleet_latency.percentile(95.0),
+                 fs.fleet_latency.percentile(99.0),
+                 static_cast<unsigned long long>(fs.deadline_dropped),
+                 static_cast<unsigned long long>(fs.duplicates), fs.energy_j,
+                 static_cast<unsigned long long>(pt.peak_rss_max),
+                 pt.mismatches);
+    bool first = true;
+    for (const auto& [tenant, histogram] : fs.tenant_latency) {
+      std::fprintf(json,
+                   "%s{\"tenant\": %u, \"count\": %llu, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f}",
+                   first ? "" : ", ", tenant,
+                   static_cast<unsigned long long>(histogram.count()),
+                   histogram.percentile(50.0), histogram.percentile(99.0));
+      first = false;
+    }
+    std::fprintf(json, "]}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_fleet.json\n");
+
+  return identity_ok && recovery_ok && scaling_ok ? 0 : 1;
+}

@@ -23,7 +23,6 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
-#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +37,7 @@
 #include "runtime/inference_engine.h"
 #include "runtime/percentile.h"
 #include "runtime/server.h"
+#include "sensor/arrival_schedule.h"
 
 namespace {
 
@@ -152,8 +152,13 @@ int main(int argc, char** argv) {
         sc.queue_capacity = queue_cap;
         runtime::Server server(*backend, sc);
 
-        std::mt19937_64 rng(kSeed);
-        std::exponential_distribution<double> interarrival(offered_rps);
+        // Open-loop Poisson arrivals from the shared schedule (the same
+        // implementation the sensor streams and the fleet bench draw from),
+        // deterministically seeded per operating point.
+        sensor::ArrivalConfig arrival_cfg;
+        arrival_cfg.kind = sensor::ArrivalKind::kPoisson;
+        arrival_cfg.rate_hz = offered_rps;
+        sensor::ArrivalSchedule interarrival(arrival_cfg, kSeed);
         std::vector<std::future<runtime::Prediction>> futures;
         std::vector<int> frame_of;  // request -> frame index (for identity)
         futures.reserve(static_cast<std::size_t>(frames_per_point));
@@ -163,7 +168,7 @@ int main(int argc, char** argv) {
         auto next_arrival = t0;
         for (int i = 0; i < frames_per_point; ++i) {
           next_arrival += std::chrono::nanoseconds(
-              static_cast<long>(interarrival(rng) * 1e9));
+              static_cast<long>(interarrival.next_gap_s() * 1e9));
           std::this_thread::sleep_until(next_arrival);
           try {
             futures.push_back(server.submit(

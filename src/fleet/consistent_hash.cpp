@@ -1,0 +1,120 @@
+#include "fleet/consistent_hash.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fleet/wire.h"
+
+namespace scbnn::fleet {
+
+namespace {
+
+/// Ring point of (shard, vnode): two mix rounds decorrelate shard ids that
+/// differ in one bit.
+std::uint64_t vnode_point(std::uint32_t shard, int vnode) {
+  return mix64(mix64(static_cast<std::uint64_t>(shard) << 32 |
+                     static_cast<std::uint32_t>(vnode)));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(int vnodes, double load_factor)
+    : vnodes_(vnodes), load_factor_(load_factor) {
+  if (vnodes < 1) {
+    throw std::invalid_argument("ConsistentHashRing: vnodes must be >= 1");
+  }
+  if (!(load_factor > 1.0)) {
+    throw std::invalid_argument(
+        "ConsistentHashRing: load_factor must be > 1");
+  }
+}
+
+void ConsistentHashRing::add_shard(std::uint32_t shard) {
+  if (loads_.count(shard) != 0) return;
+  for (int v = 0; v < vnodes_; ++v) {
+    ring_.emplace(vnode_point(shard, v), shard);
+  }
+  loads_.emplace(shard, 0);
+}
+
+void ConsistentHashRing::remove_shard(std::uint32_t shard) {
+  if (loads_.erase(shard) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == shard ? ring_.erase(it) : std::next(it);
+  }
+  for (auto it = placed_.begin(); it != placed_.end();) {
+    it = it->second == shard ? placed_.erase(it) : std::next(it);
+  }
+}
+
+bool ConsistentHashRing::contains(std::uint32_t shard) const {
+  return loads_.count(shard) != 0;
+}
+
+std::vector<std::uint32_t> ConsistentHashRing::shards() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(loads_.size());
+  for (const auto& [shard, load] : loads_) out.push_back(shard);
+  return out;
+}
+
+std::uint32_t ConsistentHashRing::owner(std::uint64_t key) const {
+  if (ring_.empty()) {
+    throw std::logic_error("ConsistentHashRing: no shards");
+  }
+  const auto it = ring_.lower_bound(mix64(key));
+  return it != ring_.end() ? it->second : ring_.begin()->second;
+}
+
+std::size_t ConsistentHashRing::load_bound() const {
+  if (loads_.empty()) return 0;
+  // Bound for the placement about to happen: sessions + 1 keeps the bound
+  // meaningful when the ring is empty (first session always fits).
+  const double mean = static_cast<double>(placed_.size() + 1) /
+                      static_cast<double>(loads_.size());
+  return static_cast<std::size_t>(std::ceil(load_factor_ * mean));
+}
+
+std::uint32_t ConsistentHashRing::place(std::uint64_t key) {
+  if (ring_.empty()) {
+    throw std::logic_error("ConsistentHashRing: no shards");
+  }
+  if (const auto it = placed_.find(key); it != placed_.end()) {
+    return it->second;
+  }
+  const std::size_t bound = load_bound();
+  auto it = ring_.lower_bound(mix64(key));
+  // Walk clockwise past overloaded shards; at most one full lap (the bound
+  // exceeds the mean, so some shard always has room).
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::uint32_t shard = it->second;
+    if (loads_[shard] < bound) {
+      placed_.emplace(key, shard);
+      ++loads_[shard];
+      return shard;
+    }
+    ++it;
+  }
+  const std::uint32_t fallback = owner(key);  // unreachable in practice
+  placed_.emplace(key, fallback);
+  ++loads_[fallback];
+  return fallback;
+}
+
+void ConsistentHashRing::release(std::uint64_t key) {
+  const auto it = placed_.find(key);
+  if (it == placed_.end()) return;
+  if (const auto load = loads_.find(it->second); load != loads_.end() &&
+      load->second > 0) {
+    --load->second;
+  }
+  placed_.erase(it);
+}
+
+std::size_t ConsistentHashRing::load(std::uint32_t shard) const {
+  const auto it = loads_.find(shard);
+  return it != loads_.end() ? it->second : 0;
+}
+
+}  // namespace scbnn::fleet

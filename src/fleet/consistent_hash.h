@@ -1,0 +1,74 @@
+// Consistent-hash session placement with bounded loads.
+//
+// Sessions are pinned to shards by sensor id: the same key always lands on
+// the same shard (feature caches, per-session ordering), and adding or
+// removing a shard remaps only the minimal slice of keys — the departing
+// shard's sessions on a loss, a 1/N slice toward the newcomer on a join;
+// no key ever moves between two surviving shards.
+//
+// Classic Karger ring with virtual nodes (each shard hashes to `vnodes`
+// points; a key is owned by the first point clockwise), plus the
+// bounded-load refinement (Mirrokni et al.): sticky placement skips a
+// shard once it holds more than ceil(load_factor * mean) live sessions and
+// walks on to the next point, so one hot slice cannot melt a single shard
+// while its neighbors idle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace scbnn::fleet {
+
+class ConsistentHashRing {
+ public:
+  /// `vnodes` points per shard (more = smoother key split), `load_factor`
+  /// > 1: a shard accepts new sessions until it holds
+  /// ceil(load_factor * sessions / shards). Throws std::invalid_argument
+  /// on vnodes < 1 or load_factor <= 1.
+  explicit ConsistentHashRing(int vnodes = 64, double load_factor = 1.25);
+
+  /// Add shard `shard` to the ring. Existing sticky placements are
+  /// untouched (only future placements may choose the newcomer); owner()
+  /// changes only for keys whose arc the newcomer claimed. Idempotent.
+  void add_shard(std::uint32_t shard);
+
+  /// Remove shard `shard`: its vnodes leave the ring and its sticky
+  /// sessions are forgotten, so exactly those sessions re-place on next
+  /// touch. No other shard's sessions move.
+  void remove_shard(std::uint32_t shard);
+
+  [[nodiscard]] bool contains(std::uint32_t shard) const;
+  [[nodiscard]] std::vector<std::uint32_t> shards() const;
+
+  /// Pure ring lookup (no load bound, no stickiness): the shard whose
+  /// vnode is first clockwise of hash(key). Throws std::logic_error on an
+  /// empty ring.
+  [[nodiscard]] std::uint32_t owner(std::uint64_t key) const;
+
+  /// Sticky bounded-load placement: returns the shard this session lives
+  /// on, assigning it on first touch to the first clockwise shard with
+  /// spare capacity and remembering the choice. Throws std::logic_error on
+  /// an empty ring.
+  std::uint32_t place(std::uint64_t key);
+
+  /// Forget session `key` (frees its load slot). No-op when unknown.
+  void release(std::uint64_t key);
+
+  /// Live sessions currently placed on `shard`.
+  [[nodiscard]] std::size_t load(std::uint32_t shard) const;
+  /// Live sessions across all shards.
+  [[nodiscard]] std::size_t sessions() const { return placed_.size(); }
+  /// Current bounded-load ceiling per shard (what place() enforces).
+  [[nodiscard]] std::size_t load_bound() const;
+
+ private:
+  int vnodes_;
+  double load_factor_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  ///< vnode point -> shard
+  std::unordered_map<std::uint64_t, std::uint32_t> placed_;  ///< key -> shard
+  std::unordered_map<std::uint32_t, std::size_t> loads_;
+};
+
+}  // namespace scbnn::fleet

@@ -1,0 +1,430 @@
+#include "fleet/coordinator.h"
+
+#include "runtime/process_stats.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace scbnn::fleet {
+
+namespace {
+
+using Clock = runtime::ServeClock;
+
+std::int64_t to_epoch_ns(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const FleetConfig& FleetConfig::validate() const {
+  if (shards < 1) {
+    throw std::invalid_argument("FleetConfig: shards must be >= 1");
+  }
+  if (!valid_ring_capacity(ring_capacity)) {
+    throw std::invalid_argument(
+        "FleetConfig: ring_capacity must be a power of two >= 2");
+  }
+  if (shard_max_batch < 1) {
+    throw std::invalid_argument("FleetConfig: shard_max_batch must be >= 1");
+  }
+  if (bundle_path.empty()) {
+    throw std::invalid_argument("FleetConfig: bundle_path must be set");
+  }
+  if (supervise_interval_us < 100) {
+    throw std::invalid_argument(
+        "FleetConfig: supervise_interval_us must be >= 100");
+  }
+  return *this;
+}
+
+FleetCoordinator::FleetCoordinator(FleetConfig config)
+    : config_(config.validate()),
+      placement_(config.vnodes, config.load_factor) {
+  shards_.resize(static_cast<std::size_t>(config_.shards));
+  const std::size_t response_slots = config_.ring_capacity * 2;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(config_.shards);
+       ++i) {
+    ShardSlot& slot = shards_[i];
+    slot.segment = std::make_unique<ShmSegment>(
+        ShardChannel::bytes_for(config_.ring_capacity, response_slots));
+    slot.channel = ShardChannel::attach(slot.segment->data(),
+                                        config_.ring_capacity,
+                                        response_slots, /*initialize=*/true);
+    placement_.add_shard(i);
+  }
+  // Fork the whole fleet BEFORE starting any coordinator thread: the
+  // initial children are forked from a single-threaded process, which
+  // sidesteps every fork-vs-threads hazard for the common path. (Respawns
+  // do fork from the supervisor thread; the child immediately re-runs
+  // shard_main, which allocates — glibc's atfork handling of the malloc
+  // arenas makes that safe on the platforms this transport targets.)
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(config_.shards);
+       ++i) {
+    spawn_shard(i);
+  }
+  collector_ = std::thread([this] { collector_loop(); });
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+}
+
+FleetCoordinator::~FleetCoordinator() { shutdown(); }
+
+void FleetCoordinator::spawn_shard(std::uint32_t shard) {
+  ShardSlot& slot = shards_[shard];
+  const ShardSpec spec{config_.bundle_path, config_.shard_threads,
+                       config_.shard_max_batch};
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: serve until the request ring closes, then vanish without
+    // running parent-owned global teardown.
+    const int rc = shard_main(slot.channel, spec);
+    std::_Exit(rc);
+  }
+  if (pid < 0) {
+    throw std::runtime_error("FleetCoordinator: fork() failed");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot.pid = pid;
+  slot.alive = true;
+}
+
+std::future<FleetResult> FleetCoordinator::submit(std::uint64_t session_key,
+                                                  std::uint32_t tenant,
+                                                  const float* pixels,
+                                                  SloClass slo,
+                                                  double deadline_ms) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("FleetCoordinator: submit after shutdown");
+  }
+
+  RequestSlot req;
+  req.session_key = session_key;
+  req.tenant = tenant;
+  req.slo = slo;
+  const auto now = Clock::now();
+  req.deadline_ns =
+      slo == SloClass::kHardDeadline && deadline_ms > 0.0
+          ? to_epoch_ns(now + std::chrono::nanoseconds(
+                                  static_cast<long>(deadline_ms * 1e6)))
+          : 0;
+  std::memcpy(req.pixels, pixels, sizeof(float) * kFramePixels);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t shard = placement_.place(session_key);
+  ShardSlot& slot = shards_[shard];
+
+  if (const auto quota = config_.tenant_quota.find(tenant);
+      quota != config_.tenant_quota.end() &&
+      tenant_inflight_[tenant] >= quota->second) {
+    ++stats_.rejected_quota;
+    throw FleetRejectError(
+        FleetRejectError::Reason::kTenantQuota,
+        "tenant " + std::to_string(tenant) + " at its in-flight quota (" +
+            std::to_string(quota->second) + ")");
+  }
+
+  // Overload-adaptive precision: once this shard's ring backs up past the
+  // watermark, degrade-tolerant admissions carry the reduced cap — the
+  // shard sheds precision instead of frames (hard-deadline traffic keeps
+  // the full ladder; its recourse is the deadline).
+  const bool backlogged =
+      slot.channel.requests.size() > config_.degrade_watermark;
+  req.rung_cap = slo == SloClass::kDegradeTolerant && backlogged
+                     ? config_.degraded_rung_cap
+                     : runtime::Servable::kUncappedRung;
+
+  req.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  Pending pending;
+  pending.submitted = now;
+  pending.session_key = session_key;
+  pending.tenant = tenant;
+  pending.shard = shard;
+  std::future<FleetResult> future = pending.promise.get_future();
+
+  if (!slot.channel.requests.try_push(req)) {
+    ++stats_.rejected_backpressure;
+    throw FleetRejectError(
+        FleetRejectError::Reason::kRingFull,
+        "shard " + std::to_string(shard) + " request ring full (" +
+            std::to_string(slot.channel.requests.capacity()) + " slots)");
+  }
+  pending_.emplace(req.sequence, std::move(pending));
+  ++tenant_inflight_[tenant];
+  ++stats_.submitted;
+  return future;
+}
+
+void FleetCoordinator::end_session(std::uint64_t session_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  placement_.release(session_key);
+}
+
+std::uint32_t FleetCoordinator::shard_of(std::uint64_t session_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return placement_.place(session_key);
+}
+
+void FleetCoordinator::kill_shard(std::uint32_t shard) {
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shard >= shards_.size() || !shards_[shard].alive) return;
+    pid = shards_[shard].pid;
+  }
+  ::kill(pid, SIGKILL);
+}
+
+void FleetCoordinator::complete_response(std::uint32_t shard,
+                                         const ResponseSlot& slot) {
+  std::promise<FleetResult> promise;
+  FleetResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(slot.sequence);
+    if (it == pending_.end()) {
+      // A replayed batch from a respawned shard: the original incarnation
+      // already answered this sequence. At-least-once delivery, deduped
+      // here.
+      ++stats_.duplicates;
+      return;
+    }
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    if (auto inflight = tenant_inflight_.find(pending.tenant);
+        inflight != tenant_inflight_.end() && inflight->second > 0) {
+      --inflight->second;
+    }
+
+    const auto now = Clock::now();
+    result.shard = shard;
+    result.deadline_dropped = (slot.flags & kFlagDeadlineDropped) != 0;
+    result.e2e_ms = runtime::ms_between(pending.submitted, now);
+    result.prediction.label = slot.label;
+    result.prediction.margin = slot.margin;
+    result.prediction.rung = slot.rung;
+    result.prediction.bits_used = slot.bits_used;
+    result.prediction.rung_cap = slot.rung_cap;
+    result.prediction.energy_j = slot.energy_j;
+    result.prediction.compute_ms = slot.compute_ms;
+    result.prediction.batch_size = slot.batch_size;
+    result.prediction.queue_wait_ms =
+        std::max(0.0, result.e2e_ms - slot.compute_ms);
+
+    ++stats_.completed;
+    if (result.deadline_dropped) {
+      ++stats_.deadline_dropped;
+    } else {
+      shard_tenant_latency_[shard][pending.tenant].record(result.e2e_ms);
+    }
+    if ((slot.flags & kFlagFirstAfterRespawn) != 0 &&
+        shards_[shard].awaiting_first_response) {
+      shards_[shard].awaiting_first_response = false;
+      stats_.recovery_first_response_ms.push_back(
+          runtime::ms_between(shards_[shard].death_detected, now));
+    }
+    promise = std::move(pending.promise);
+  }
+  promise.set_value(result);
+}
+
+void FleetCoordinator::collector_loop() {
+  ResponseSlot slot;
+  int idle_rounds = 0;
+  while (true) {
+    bool any = false;
+    bool all_drained = true;
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+      SpscRing<ResponseSlot> responses = shards_[i].channel.responses;
+      // Bounded drain per shard per round so one hot shard cannot starve
+      // the others' completions.
+      for (int budget = 0; budget < 512; ++budget) {
+        if (!responses.try_pop(slot)) break;
+        complete_response(i, slot);
+        any = true;
+      }
+      if (!(responses.closed() && responses.size() == 0)) {
+        all_drained = false;
+      }
+    }
+    if (any) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (shutting_down_.load(std::memory_order_acquire) && all_drained) {
+      return;
+    }
+    // Adaptive idle: spin a few empty rounds, then sleep briefly. The
+    // sleep bounds added latency at ~100us while keeping the idle
+    // coordinator off the CPU.
+    if (++idle_rounds > 64) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else {
+      detail::cpu_relax();
+    }
+  }
+}
+
+void FleetCoordinator::supervisor_loop() {
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.supervise_interval_us));
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+      ShardSlot& slot = shards_[i];
+      pid_t pid = -1;
+      bool alive = false;
+      bool awaiting_ready = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pid = slot.pid;
+        alive = slot.alive;
+        awaiting_ready = slot.awaiting_ready;
+      }
+
+      if (awaiting_ready &&
+          slot.channel.status->ready.load(std::memory_order_acquire) != 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (slot.awaiting_ready) {
+          slot.awaiting_ready = false;
+          stats_.recovery_ready_ms.push_back(runtime::ms_between(
+              slot.death_detected, Clock::now()));
+        }
+      }
+
+      if (!alive) continue;
+      int wait_status = 0;
+      if (::waitpid(pid, &wait_status, WNOHANG) != pid) continue;
+
+      // The shard died (kill -9, crash, or a failed start). Mark it, and
+      // respawn onto the SAME rings: head never advanced past unanswered
+      // requests, so the new incarnation replays the ring tail.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot.alive = false;
+        slot.death_detected = Clock::now();
+      }
+      if (config_.respawn && !shutting_down_.load()) {
+        spawn_shard(i);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.respawns;
+        slot.awaiting_ready = true;
+        slot.awaiting_first_response = true;
+      }
+    }
+  }
+}
+
+FleetStats FleetCoordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FleetStats out = stats_;
+  out.shards.clear();
+  out.energy_j = 0.0;
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    const ShardSlot& slot = shards_[i];
+    const ShardStatus& status = *slot.channel.status;
+    ShardReport report;
+    report.shard = i;
+    report.pid = status.pid.load(std::memory_order_relaxed);
+    report.alive = slot.alive;
+    report.epoch = status.epoch.load(std::memory_order_relaxed);
+    report.heartbeat = status.heartbeat.load(std::memory_order_relaxed);
+    report.served = status.served.load(std::memory_order_relaxed);
+    report.dropped_deadline =
+        status.dropped_deadline.load(std::memory_order_relaxed);
+    report.batches = status.batches.load(std::memory_order_relaxed);
+    report.energy_j = status_double(status.energy_j_bits);
+    report.compute_ms = status_double(status.compute_ms_bits);
+    report.peak_rss_bytes =
+        status.peak_rss_bytes.load(std::memory_order_relaxed);
+    if (slot.alive) {
+      // The shard only refreshes its status word periodically; for a live
+      // process the kernel's current high-water mark is authoritative.
+      report.peak_rss_bytes = std::max(
+          report.peak_rss_bytes, runtime::peak_rss_bytes(report.pid));
+    }
+    report.request_ring_depth = slot.channel.requests.size();
+    report.sessions = placement_.load(i);
+    out.energy_j += report.energy_j;
+    out.shards.push_back(report);
+  }
+  out.tenant_latency.clear();
+  for (const auto& [shard, tenants] : shard_tenant_latency_) {
+    for (const auto& [tenant, histogram] : tenants) {
+      out.tenant_latency[tenant].merge(histogram);
+      out.fleet_latency.merge(histogram);
+    }
+  }
+  return out;
+}
+
+void FleetCoordinator::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+
+    // Closing the request rings is the drain signal: each live shard
+    // finishes what is queued, pushes the responses, closes its response
+    // ring, and exits.
+    for (ShardSlot& slot : shards_) {
+      slot.channel.status->shutdown.store(1, std::memory_order_release);
+      slot.channel.requests.close();
+    }
+
+    // Reap children; anything that ignores the drain window is killed.
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    for (ShardSlot& slot : shards_) {
+      bool alive;
+      pid_t pid;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        alive = slot.alive;
+        pid = slot.pid;
+      }
+      if (!alive) continue;
+      int wait_status = 0;
+      while (::waitpid(pid, &wait_status, WNOHANG) == 0) {
+        if (Clock::now() > deadline) {
+          ::kill(pid, SIGKILL);
+          ::waitpid(pid, &wait_status, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot.alive = false;
+    }
+
+    // A shard killed -9 never closed its response ring; close them all so
+    // the collector's drain condition is reachable (idempotent for rings
+    // the shard closed itself).
+    for (ShardSlot& slot : shards_) {
+      slot.channel.responses.close();
+    }
+
+    shutting_down_.store(true, std::memory_order_release);
+    if (supervisor_.joinable()) supervisor_.join();
+    if (collector_.joinable()) collector_.join();
+
+    // Whatever is still pending was admitted but never answered (e.g. a
+    // dead shard with respawn disabled). Resolve exceptionally — a future
+    // must never dangle.
+    std::unordered_map<std::uint64_t, Pending> orphaned;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      orphaned.swap(pending_);
+    }
+    for (auto& [sequence, pending] : orphaned) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("fleet shutdown before response")));
+    }
+  });
+}
+
+}  // namespace scbnn::fleet

@@ -1,0 +1,98 @@
+#include "fleet/shm_ring.h"
+
+#include <stdexcept>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#else
+#include <sys/mman.h>
+#include <chrono>
+#include <thread>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace scbnn::fleet {
+
+namespace detail {
+
+#ifdef __linux__
+
+// Cross-process futexes: deliberately NOT FUTEX_PRIVATE — the doorbell
+// words live in a MAP_SHARED segment and the waiter may be in another
+// process.
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                long timeout_ns) {
+  struct timespec ts;
+  ts.tv_sec = timeout_ns / 1'000'000'000L;
+  ts.tv_nsec = timeout_ns % 1'000'000'000L;
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* word) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+          INT32_MAX, nullptr, nullptr, 0);
+}
+
+#else  // portable fallback: timed polling instead of kernel parking
+
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                long timeout_ns) {
+  if (word->load(std::memory_order_acquire) != expected) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      std::min(timeout_ns, 200'000L)));
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>*) {}
+
+#endif
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace detail
+
+ShmSegment::ShmSegment(std::size_t bytes) : size_(bytes) {
+  if (bytes == 0) throw std::invalid_argument("ShmSegment: zero size");
+  void* mapped = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapped == MAP_FAILED) {
+    throw std::runtime_error("ShmSegment: mmap(MAP_SHARED) failed");
+  }
+  data_ = mapped;
+}
+
+ShmSegment::~ShmSegment() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace scbnn::fleet

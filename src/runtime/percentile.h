@@ -7,6 +7,8 @@
 // StreamStats.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace scbnn::runtime {
@@ -28,5 +30,64 @@ struct LatencySummary {
 
 /// Summarize an unsorted sample (sorts a copy; the input is untouched).
 [[nodiscard]] LatencySummary summarize_latencies(std::vector<double> samples);
+
+/// Mergeable fixed-log-bucket latency histogram.
+///
+/// Per-shard p99s cannot be averaged into a fleet p99 — percentiles only
+/// compose through the underlying distribution. This histogram is the
+/// mergeable representation: every process records into the same fixed
+/// bucket grid (log-spaced, so resolution is relative error, not absolute),
+/// merge() adds counts bucket by bucket, and percentile() answers from the
+/// merged counts exactly as if every sample had been pooled — up to one
+/// bucket width (~9% relative), which the unit tests pin down.
+///
+/// The grid is compile-time fixed (no per-instance configuration) so any
+/// two histograms in the repo are mergeable by construction, and the struct
+/// is trivially copyable so a shard can publish one in shared memory.
+class LatencyHistogram {
+ public:
+  /// Bucket grid: kBucketsPerOctave log2-spaced buckets per factor of two,
+  /// spanning [kMinMs, kMinMs * 2^(kBuckets/kBucketsPerOctave)) — 1us to
+  /// ~4.4 minutes at 8 buckets/octave. Samples below the range land in
+  /// bucket 0, above it in the last bucket (and saturate max_ms truthfully
+  /// via the tracked true min/max).
+  static constexpr double kMinMs = 1e-3;
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kBuckets = 224;
+
+  /// Record one latency sample (milliseconds; negatives clamp to 0).
+  void record(double ms) noexcept;
+
+  /// Add `other`'s counts into this histogram (same fixed grid).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Interpolated percentile (p in [0,100]) from the bucket counts: finds
+  /// the bucket holding the target rank and interpolates linearly inside
+  /// it. Empty histogram yields 0. Error vs the pooled-sample percentile
+  /// is bounded by one bucket width.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double min_ms() const noexcept;
+  [[nodiscard]] double max_ms() const noexcept;
+  /// Sum of recorded samples (exact, for mean computation).
+  [[nodiscard]] double sum_ms() const noexcept { return sum_ms_; }
+  [[nodiscard]] double mean_ms() const noexcept {
+    return count_ > 0 ? sum_ms_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Bucket index a sample falls into (exposed for the bucket-width bound
+  /// in tests).
+  [[nodiscard]] static int bucket_of(double ms) noexcept;
+  /// Lower edge of bucket `b` in ms.
+  [[nodiscard]] static double bucket_floor_ms(int b) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double min_ms_ = 0.0;  ///< valid when count_ > 0
+  double max_ms_ = 0.0;
+};
 
 }  // namespace scbnn::runtime

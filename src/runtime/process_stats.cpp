@@ -1,0 +1,36 @@
+#include "runtime/process_stats.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace scbnn::runtime {
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
+std::uint64_t peak_rss_bytes(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%ld/status",
+                static_cast<long>(pid));
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long parsed = 0;
+      if (std::sscanf(line + 6, "%llu", &parsed) == 1) kb = parsed;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024u;
+}
+
+}  // namespace scbnn::runtime

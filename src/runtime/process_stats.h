@@ -1,0 +1,24 @@
+// Per-process resource accounting for the serving layer.
+//
+// The fleet coordinator runs N forked shard processes; "how much memory
+// does a shard cost" is a per-process question the in-process ExecutorStats
+// cannot answer. These helpers read the kernel's high-water marks so a
+// shard can publish its own peak RSS into shared memory and the benches can
+// record per-process memory next to throughput.
+#pragma once
+
+#include <cstdint>
+#include <sys/types.h>
+
+namespace scbnn::runtime {
+
+/// Peak resident set size of the calling process in bytes (getrusage
+/// ru_maxrss). 0 if the kernel refuses the query.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Peak resident set size of a live process `pid` in bytes, read from
+/// /proc/<pid>/status VmHWM. 0 when the process is gone or the field is
+/// unavailable (non-Linux).
+[[nodiscard]] std::uint64_t peak_rss_bytes(pid_t pid);
+
+}  // namespace scbnn::runtime

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "sensor/arrival_schedule.h"
 
 namespace scbnn::sensor {
 
@@ -41,63 +42,6 @@ struct Frame {
   int label = -1;
   long sequence = 0;
   double gap_s = 0.0;  ///< inter-arrival gap before this frame (seconds)
-};
-
-/// Arrival-process shapes for sensor streams.
-enum class ArrivalKind {
-  kUniform,  ///< fixed gap 1/rate — a free-running rolling shutter
-  kPoisson,  ///< exponential gaps — memoryless external triggers
-  kBursty,   ///< on/off: dense bursts separated by long idle gaps
-  kDiurnal,  ///< sinusoidal rate modulation — slow load swings
-};
-
-[[nodiscard]] std::string to_string(ArrivalKind kind);
-/// Inverse of to_string; throws std::invalid_argument listing the valid
-/// names — used by benches that take an arrival process on the command
-/// line.
-[[nodiscard]] ArrivalKind arrival_from_string(const std::string& name);
-
-struct ArrivalConfig {
-  ArrivalKind kind = ArrivalKind::kPoisson;
-  double rate_hz = 1000.0;  ///< long-run mean arrival rate
-
-  // Bursty: bursts of `burst_len` frames arrive at `burst_rate_hz`
-  // (0 = 4x rate_hz); idle gaps between bursts are exponential with the
-  // mean that keeps the long-run rate at rate_hz.
-  int burst_len = 16;
-  double burst_rate_hz = 0.0;
-
-  // Diurnal: instantaneous rate = rate_hz * (1 + swing * sin(2*pi *
-  // frame / period_frames)); swing in [0, 1).
-  double swing = 0.8;
-  long period_frames = 256;
-
-  /// rate_hz > 0, burst_len >= 1, burst_rate_hz >= 0, swing in [0, 1),
-  /// period_frames >= 1. Throws std::invalid_argument naming the offending
-  /// field; returns *this for initializer lists.
-  const ArrivalConfig& validate() const;
-};
-
-/// Deterministic inter-arrival gap generator: the same (config, seed)
-/// produces the same gap sequence; reset() rewinds it.
-class ArrivalModel {
- public:
-  ArrivalModel(ArrivalConfig config, std::uint64_t seed);
-
-  /// The gap (seconds) before the next frame; advances the stream.
-  [[nodiscard]] double next_gap_s();
-  void reset();
-
-  [[nodiscard]] const ArrivalConfig& config() const noexcept {
-    return config_;
-  }
-
- private:
-  ArrivalConfig config_;
-  std::uint64_t seed_;
-  std::mt19937_64 rng_;
-  long index_ = 0;     ///< frames emitted so far
-  int burst_left_ = 0; ///< frames remaining in the current burst
 };
 
 class FrameSource {

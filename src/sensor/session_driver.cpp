@@ -1,0 +1,92 @@
+#include "sensor/session_driver.h"
+
+#include <stdexcept>
+
+namespace scbnn::sensor {
+
+const SessionStreamConfig& SessionStreamConfig::validate() const {
+  if (sessions < 1) {
+    throw std::invalid_argument(
+        "SessionStreamConfig: sessions must be >= 1");
+  }
+  if (frames_per_session < 1) {
+    throw std::invalid_argument(
+        "SessionStreamConfig: frames_per_session must be >= 1");
+  }
+  if (!(rate_hz > 0.0)) {
+    throw std::invalid_argument("SessionStreamConfig: rate_hz must be > 0");
+  }
+  return *this;
+}
+
+std::uint64_t SessionStreamDriver::sensor_id_for(std::uint64_t seed,
+                                                 long session) {
+  // Never 0 — placement keys double as map keys in tests.
+  return detail::mix_seed(detail::mix_seed(seed) ^
+                          static_cast<std::uint64_t>(session)) |
+         1ULL;
+}
+
+ArrivalKind SessionStreamDriver::arrival_kind_for(long session) {
+  switch (session % 3) {
+    case 1: return ArrivalKind::kBursty;
+    case 2: return ArrivalKind::kDiurnal;
+    default: return ArrivalKind::kPoisson;
+  }
+}
+
+SessionStreamDriver::SessionStreamDriver(SessionStreamConfig config)
+    : config_(config.validate()) {
+  sessions_.resize(static_cast<std::size_t>(config_.sessions));
+  for (long s = 0; s < config_.sessions; ++s) {
+    ArrivalConfig arrivals;
+    arrivals.kind = arrival_kind_for(s);
+    arrivals.rate_hz = config_.rate_hz;
+    arrivals.burst_rate_hz = 8.0 * config_.rate_hz;
+    Session& session = sessions_[static_cast<std::size_t>(s)];
+    session.sensor_id = sensor_id_for(config_.seed, s);
+    session.source = std::make_unique<DriftingCameraSource>(
+        config_.frames_per_session, arrivals.validate(), session.sensor_id);
+    prime(session);
+  }
+}
+
+void SessionStreamDriver::prime(Session& session) {
+  session.live = session.source->next(session.pending);
+  if (session.live) session.clock_s += session.pending.gap_s;
+}
+
+bool SessionStreamDriver::next(SessionEvent& out) {
+  Session* earliest = nullptr;
+  long index = -1;
+  for (long s = 0; s < config_.sessions; ++s) {
+    Session& session = sessions_[static_cast<std::size_t>(s)];
+    if (!session.live) continue;
+    if (earliest == nullptr || session.clock_s < earliest->clock_s) {
+      earliest = &session;
+      index = s;
+    }
+  }
+  if (earliest == nullptr) return false;
+  out.session = index;
+  out.sensor_id = earliest->sensor_id;
+  out.due_s = earliest->clock_s;
+  out.frame = std::move(earliest->pending);
+  prime(*earliest);
+  return true;
+}
+
+void SessionStreamDriver::reset() {
+  for (Session& session : sessions_) {
+    session.source->reset();
+    session.clock_s = 0.0;
+    session.live = false;
+    prime(session);
+  }
+}
+
+long SessionStreamDriver::total_events() const noexcept {
+  return config_.sessions * config_.frames_per_session;
+}
+
+}  // namespace scbnn::sensor

@@ -1,0 +1,167 @@
+// ConsistentHashRing tests: the two properties fleet placement stands on —
+// bounded-load uniformity (no shard exceeds the stated ceiling at 1k
+// sessions x 4 shards) and minimal remap (a shard leaving or joining moves
+// only the keys it must; no key ever hops between two surviving shards).
+#include "fleet/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "sensor/session_driver.h"
+
+namespace scbnn::fleet {
+namespace {
+
+std::vector<std::uint64_t> session_keys(int n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    keys.push_back(sensor::SessionStreamDriver::sensor_id_for(7, s));
+  }
+  return keys;
+}
+
+TEST(ConsistentHash, RejectsInvalidConfig) {
+  EXPECT_THROW(ConsistentHashRing(0, 1.25), std::invalid_argument);
+  EXPECT_THROW(ConsistentHashRing(64, 1.0), std::invalid_argument);
+  EXPECT_THROW(ConsistentHashRing(64, 0.5), std::invalid_argument);
+}
+
+TEST(ConsistentHash, EmptyRingThrows) {
+  ConsistentHashRing ring;
+  EXPECT_THROW((void)ring.owner(1), std::logic_error);
+  EXPECT_THROW((void)ring.place(1), std::logic_error);
+}
+
+TEST(ConsistentHash, PlacementIsSticky) {
+  ConsistentHashRing ring;
+  for (std::uint32_t s = 0; s < 4; ++s) ring.add_shard(s);
+  for (const std::uint64_t key : session_keys(100)) {
+    const std::uint32_t first = ring.place(key);
+    EXPECT_EQ(ring.place(key), first);
+    EXPECT_EQ(ring.place(key), first);  // and load counted once
+  }
+  EXPECT_EQ(ring.sessions(), 100u);
+}
+
+TEST(ConsistentHash, ReleaseFreesTheLoadSlot) {
+  ConsistentHashRing ring;
+  ring.add_shard(0);
+  ring.add_shard(1);
+  const std::uint32_t shard = ring.place(42);
+  EXPECT_EQ(ring.load(shard), 1u);
+  ring.release(42);
+  EXPECT_EQ(ring.load(shard), 0u);
+  EXPECT_EQ(ring.sessions(), 0u);
+  ring.release(42);  // unknown key is a no-op
+}
+
+TEST(ConsistentHash, ThousandSessionsAcrossFourShardsStayWithinBound) {
+  // The acceptance-criteria operating point: 1k sessions, 4 shards. Every
+  // shard must hold at most ceil(load_factor * sessions / shards) and the
+  // load must actually spread (no empty shard).
+  constexpr int kSessions = 1000;
+  constexpr double kLoadFactor = 1.25;
+  ConsistentHashRing ring(64, kLoadFactor);
+  for (std::uint32_t s = 0; s < 4; ++s) ring.add_shard(s);
+  for (const std::uint64_t key : session_keys(kSessions)) {
+    (void)ring.place(key);
+  }
+  EXPECT_EQ(ring.sessions(), static_cast<std::size_t>(kSessions));
+  const auto bound = static_cast<std::size_t>(kLoadFactor * kSessions / 4) + 1;
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_LE(ring.load(s), bound) << "shard " << s;
+    EXPECT_GT(ring.load(s), 0u) << "shard " << s;
+    total += ring.load(s);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kSessions));
+}
+
+TEST(ConsistentHash, ShardLossRemapsOnlyTheDepartingShardsKeys) {
+  ConsistentHashRing ring;
+  for (std::uint32_t s = 0; s < 4; ++s) ring.add_shard(s);
+  const std::vector<std::uint64_t> keys = session_keys(1000);
+  std::map<std::uint64_t, std::uint32_t> before;
+  for (const std::uint64_t key : keys) before[key] = ring.place(key);
+
+  ring.remove_shard(2);
+
+  for (const std::uint64_t key : keys) {
+    const std::uint32_t now = ring.place(key);
+    EXPECT_NE(now, 2u);
+    if (before[key] != 2) {
+      // Survivors' sessions never move.
+      EXPECT_EQ(now, before[key]) << "key " << key;
+    }
+  }
+  EXPECT_EQ(ring.sessions(), keys.size());
+}
+
+TEST(ConsistentHash, OwnerRemapsMinimallyOnLossAndJoin) {
+  // The pure ring (no stickiness) has the classic guarantee: on a loss,
+  // only the departing shard's keys change owner; on a join, keys only
+  // move *to* the newcomer.
+  ConsistentHashRing ring;
+  for (std::uint32_t s = 0; s < 4; ++s) ring.add_shard(s);
+  const std::vector<std::uint64_t> keys = session_keys(1000);
+  std::map<std::uint64_t, std::uint32_t> with4;
+  for (const std::uint64_t key : keys) with4[key] = ring.owner(key);
+
+  ring.remove_shard(3);
+  for (const std::uint64_t key : keys) {
+    if (with4[key] != 3) {
+      EXPECT_EQ(ring.owner(key), with4[key]) << "key " << key;
+    } else {
+      EXPECT_NE(ring.owner(key), 3u);
+    }
+  }
+
+  ring.add_shard(3);  // rejoin: owners must return to the 4-shard map
+  for (const std::uint64_t key : keys) {
+    EXPECT_EQ(ring.owner(key), with4[key]) << "key " << key;
+  }
+
+  ring.add_shard(4);  // a genuine newcomer: keys move only toward it
+  long moved = 0;
+  for (const std::uint64_t key : keys) {
+    const std::uint32_t now = ring.owner(key);
+    if (now != with4[key]) {
+      EXPECT_EQ(now, 4u) << "key " << key;
+      ++moved;
+    }
+  }
+  // ~1/5 of keys should drift to the newcomer; allow a generous band.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 500);
+}
+
+TEST(ConsistentHash, DisplacedSessionsReplaceWithinBoundAfterLoss) {
+  ConsistentHashRing ring;
+  for (std::uint32_t s = 0; s < 3; ++s) ring.add_shard(s);
+  const std::vector<std::uint64_t> keys = session_keys(600);
+  for (const std::uint64_t key : keys) (void)ring.place(key);
+  ring.remove_shard(1);
+  for (const std::uint64_t key : keys) (void)ring.place(key);
+  EXPECT_EQ(ring.sessions(), keys.size());
+  EXPECT_EQ(ring.load(1), 0u);
+  EXPECT_LE(ring.load(0), ring.load_bound());
+  EXPECT_LE(ring.load(2), ring.load_bound());
+  EXPECT_EQ(ring.load(0) + ring.load(2), keys.size());
+}
+
+TEST(ConsistentHash, AddShardIsIdempotent) {
+  ConsistentHashRing ring;
+  ring.add_shard(0);
+  ring.add_shard(0);
+  EXPECT_EQ(ring.shards().size(), 1u);
+  EXPECT_TRUE(ring.contains(0));
+  EXPECT_FALSE(ring.contains(1));
+}
+
+}  // namespace
+}  // namespace scbnn::fleet
