@@ -46,6 +46,8 @@
 #include "hw/report.h"
 #include "hybrid/bundle.h"
 #include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/percentile.h"
 #include "sensor/session_driver.h"
 
@@ -290,6 +292,7 @@ int main(int argc, char** argv) {
   double recovery_ready_ms = 0.0;
   double recovery_first_ms = 0.0;
   std::uint64_t recovery_respawns = 0;
+  std::size_t recovery_postmortems = 0;
   bool recovery_ok = true;
   {
     fleet::FleetConfig cfg = base_cfg;
@@ -297,7 +300,22 @@ int main(int argc, char** argv) {
     fleet::FleetCoordinator fleet(cfg);
     DriveOutcome outcome =
         drive(fleet, driver, deadline_ms, std::max<long>(1, total / 4));
+    // Observability artifacts from the crash-recovery fleet, captured
+    // while the coordinator is still live: the merged Chrome trace
+    // (coordinator + both shards on one timeline) and a Prometheus
+    // snapshot of the fleet registry views. The trace has spans only when
+    // SCBNN_TRACE is on (CI runs this phase with sampled:16).
+    obs::MetricsRegistry registry;
+    fleet.register_metrics(registry);
+    if (registry.write_prometheus("BENCH_fleet_metrics.prom")) {
+      std::printf("wrote BENCH_fleet_metrics.prom\n");
+    }
+    if (fleet.dump_trace("BENCH_fleet_trace.json")) {
+      std::printf("wrote BENCH_fleet_trace.json (SCBNN_TRACE=%s)\n",
+                  obs::tracing_enabled() ? "on" : "off — empty trace");
+    }
     fleet.shutdown();
+    recovery_postmortems = outcome.stats.postmortems.size();
     const long mismatches = count_mismatches(outcome, reference);
     identity_ok &= mismatches == 0;
     recovery_ready_ms = max_recovery(outcome.stats.recovery_ready_ms);
@@ -308,12 +326,13 @@ int main(int argc, char** argv) {
     std::printf(
         "\nrecovery: kill -9 at %ld/%ld submissions -> respawned %llu "
         "shard(s), ready in %.1f ms, first response %.1f ms, %llu replayed "
-        "duplicate(s), identity %s (budget %.0f ms: %s)\n",
+        "duplicate(s), %zu flight-recorder post-mortem(s), identity %s "
+        "(budget %.0f ms: %s)\n",
         std::max<long>(1, total / 4), total,
         static_cast<unsigned long long>(recovery_respawns), recovery_ready_ms,
         recovery_first_ms,
         static_cast<unsigned long long>(outcome.stats.duplicates),
-        mismatches == 0 ? "intact" : "BROKEN",
+        recovery_postmortems, mismatches == 0 ? "intact" : "BROKEN",
         recovery_budget_ms, recovery_ok ? "ok" : "MISSED");
   }
 
@@ -350,14 +369,14 @@ int main(int argc, char** argv) {
                "  \"scaling_gated\": %s,\n  \"scaling_ok\": %s,\n"
                "  \"recovery\": {\"respawns\": %llu, \"ready_ms\": %.2f, "
                "\"first_response_ms\": %.2f, \"budget_ms\": %.1f, "
-               "\"ok\": %s},\n"
+               "\"postmortems\": %zu, \"ok\": %s},\n"
                "  \"results\": [\n",
                sessions, frames, backend_name.c_str(), ring_cap, max_batch,
                shard_threads, hw_threads, identity_ok ? "true" : "false",
                scaling_gated ? "true" : "false", scaling_ok ? "true" : "false",
                static_cast<unsigned long long>(recovery_respawns),
                recovery_ready_ms, recovery_first_ms, recovery_budget_ms,
-               recovery_ok ? "true" : "false");
+               recovery_postmortems, recovery_ok ? "true" : "false");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& pt = points[i];
     const fleet::FleetStats& fs = pt.outcome.stats;
@@ -384,6 +403,26 @@ int main(int argc, char** argv) {
                    first ? "" : ", ", tenant,
                    static_cast<unsigned long long>(histogram.count()),
                    histogram.percentile(50.0), histogram.percentile(99.0));
+      first = false;
+    }
+    // Per-shard process accounting (shm status + getrusage words the shard
+    // publishes): CPU split and context switches expose scheduling trouble
+    // — e.g. heavy involuntary switches on an oversubscribed box — that
+    // aggregate img/s hides.
+    std::fprintf(json, "], \"shards\": [");
+    first = true;
+    for (const fleet::ShardReport& report : fs.shards) {
+      std::fprintf(json,
+                   "%s{\"shard\": %u, \"served\": %llu, "
+                   "\"peak_rss_bytes\": %llu, \"cpu_utime_s\": %.3f, "
+                   "\"cpu_stime_s\": %.3f, \"vol_ctx_switches\": %llu, "
+                   "\"invol_ctx_switches\": %llu}",
+                   first ? "" : ", ", report.shard,
+                   static_cast<unsigned long long>(report.served),
+                   static_cast<unsigned long long>(report.peak_rss_bytes),
+                   report.cpu_utime_s, report.cpu_stime_s,
+                   static_cast<unsigned long long>(report.vol_ctx_switches),
+                   static_cast<unsigned long long>(report.invol_ctx_switches));
       first = false;
     }
     std::fprintf(json, "]}%s\n", i + 1 < points.size() ? "," : "");

@@ -50,8 +50,10 @@
 #include "nn/init.h"
 #include "nn/loss.h"
 #include "nn/quantize.h"
+#include "obs/trace.h"
 #include "runtime/backend_registry.h"
 #include "runtime/inference_engine.h"
+#include "runtime/server.h"
 #include "runtime/thread_pool.h"
 #include "runtime/work_stealing_executor.h"
 
@@ -121,6 +123,44 @@ std::map<std::string, double> load_baseline(const std::string& path) {
   return baseline;
 }
 
+/// Committed pre-instrumentation throughput floor for the tracing-off
+/// overhead gate. Same line-oriented scan as load_baseline, plus the
+/// provenance header (images/bits the floor was recorded at) — the gate
+/// only engages when the current run matches it.
+struct PretraceFloor {
+  int images = 0;
+  unsigned bits = 0;
+  std::map<std::string, double> floor;  ///< backend -> img/s floor
+};
+
+PretraceFloor load_pretrace(const std::string& path) {
+  PretraceFloor out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto p = line.find("\"images\": "); p != std::string::npos &&
+                                                  out.images == 0) {
+      out.images = static_cast<int>(std::strtol(line.c_str() + p + 10,
+                                                nullptr, 10));
+    }
+    if (const auto p = line.find("\"bits\": ");
+        p != std::string::npos && out.bits == 0) {
+      out.bits = static_cast<unsigned>(std::strtol(line.c_str() + p + 8,
+                                                   nullptr, 10));
+    }
+    const auto bpos = line.find("\"backend\": \"");
+    if (bpos == std::string::npos) continue;
+    const auto bstart = bpos + 12;
+    const auto bend = line.find('"', bstart);
+    const auto ipos = line.find("\"images_per_sec\": ");
+    if (bend == std::string::npos || ipos == std::string::npos) continue;
+    const double ips = std::strtod(line.c_str() + ipos + 18, nullptr);
+    if (ips > 0.0) out.floor[line.substr(bstart, bend - bstart)] = ips;
+  }
+  return out;
+}
+
 /// Baseline images/sec for `backend`, resolving "-fast" names through
 /// their canonical design when the baseline predates the fast backends.
 double baseline_for(const std::map<std::string, double>& baseline,
@@ -165,6 +205,11 @@ int main(int argc, char** argv) {
       flags.get_long("bits", "SCBNN_BENCH_BITS", 4, 2, 8));
   const unsigned kThreadCounts[] = {1, 2, 4, 8};
   constexpr std::uint64_t kSeed = 7;
+
+  // The main tables are the committed performance record: run them with
+  // tracing hard-off whatever SCBNN_TRACE says, so they stay comparable
+  // across runs. The trace-overhead section below switches modes itself.
+  obs::set_trace_mode(obs::TraceMode::kOff);
 
   // Frozen random first-layer weights + a fixed tail: the bench measures
   // serving throughput, not accuracy, so no training is needed.
@@ -435,6 +480,118 @@ int main(int argc, char** argv) {
               "steal schedules: %s\n",
               scaling_identical ? "yes" : "NO — determinism bug!");
 
+  // ---------------------------------------------------- tracing overhead
+  // Two referees for the observability layer:
+  //   1. Free when off: with SCBNN_TRACE=off the instrumented build must
+  //      stay within 1% of the committed pre-instrumentation floor
+  //      (bench/baselines/BENCH_throughput.pretrace.json), measured with
+  //      the floor's own methodology (1 thread, warm-up, best of 5
+  //      classify runs). The floor is the slowest of repeated
+  //      pre-instrumentation runs, so the gate trips on systematic
+  //      instrumentation cost, not host scheduler noise. Wired into the
+  //      exit code — but only when n/bits match the floor's provenance;
+  //      CI's reduced-size smokes report without gating.
+  //   2. Cheap when sampling: the same workload served through a Server
+  //      (so trace ids are actually minted and the submit/batch spans are
+  //      on the measured path) under off vs sampled:64; the relative loss
+  //      is reported as trace_overhead_pct, not gated (it is noisy on
+  //      shared CI machines).
+  const int trace_reps = static_cast<int>(
+      flags.get_long("trace-reps", "SCBNN_BENCH_TRACE_REPS", 5, 1, 1000));
+  const auto served_ips = [&](obs::TraceMode mode, std::uint64_t every) {
+    runtime::RuntimeConfig rc;
+    rc.threads = 1;
+    runtime::InferenceEngine engine("sc-proposed-fast", qw, flc, rc);
+    nn::Rng trng(kSeed + 1);
+    engine.set_tail(hybrid::build_tail(lenet, trng));
+    runtime::ServerConfig sc;
+    sc.max_batch = 32;
+    sc.queue_capacity = static_cast<std::size_t>(n) * 2 + 64;
+    runtime::Server server(engine, sc);
+    {  // warm-up: pool, arenas, batch former
+      auto futures = server.submit_burst(split.train.images.data(), n);
+      for (auto& f : futures) (void)f.get();
+    }
+    obs::set_trace_mode(mode, every);
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < trace_reps; ++rep) {
+      auto futures = server.submit_burst(split.train.images.data(), n);
+      for (auto& f : futures) (void)f.get();
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    obs::set_trace_mode(obs::TraceMode::kOff);
+    server.shutdown();
+    return elapsed_s > 0.0
+               ? static_cast<double>(trace_reps) * n / elapsed_s
+               : 0.0;
+  };
+  const double trace_ips_off = served_ips(obs::TraceMode::kOff, 64);
+  const double trace_ips_sampled = served_ips(obs::TraceMode::kSampled, 64);
+  const double trace_overhead_pct =
+      trace_ips_off > 0.0
+          ? (trace_ips_off - trace_ips_sampled) * 100.0 / trace_ips_off
+          : 0.0;
+
+  PretraceFloor pretrace;
+  for (const char* candidate :
+       {"BENCH_throughput.pretrace.json",
+        "../bench/baselines/BENCH_throughput.pretrace.json",
+        "bench/baselines/BENCH_throughput.pretrace.json"}) {
+    pretrace = load_pretrace(candidate);
+    if (!pretrace.floor.empty()) break;
+  }
+  const bool trace_gate_engaged = !pretrace.floor.empty() &&
+                                  pretrace.images == n && pretrace.bits == bits;
+  bool trace_off_ok = true;
+  int trace_gated_backends = 0;
+  std::printf("\n");
+  if (trace_gate_engaged) {
+    const auto& names = runtime::BackendRegistry::instance().names();
+    for (const auto& [backend, floor_ips] : pretrace.floor) {
+      if (std::find(names.begin(), names.end(), backend) == names.end()) {
+        std::printf("tracing: floor backend %s not registered — skipped\n",
+                    backend.c_str());
+        continue;
+      }
+      runtime::RuntimeConfig rc;
+      rc.threads = 1;
+      runtime::InferenceEngine engine(backend, qw, flc, rc);
+      nn::Rng trng(kSeed + 1);
+      engine.set_tail(hybrid::build_tail(lenet, trng));
+      (void)engine.classify(split.train.images);  // warm-up
+      double best = 0.0;
+      for (int k = 0; k < 5; ++k) {
+        (void)engine.classify(split.train.images);
+        best = std::max(best, engine.last_stats().images_per_sec);
+      }
+      const double ratio = best / floor_ips;
+      const bool ok = ratio >= 0.99;
+      trace_off_ok &= ok;
+      ++trace_gated_backends;
+      std::printf("tracing: off %-20s best-of-5 %7.1f img/s vs "
+                  "pre-instrumentation floor %7.1f -> %.2fx %s\n",
+                  backend.c_str(), best, floor_ips, ratio,
+                  ok ? "ok" : "SLOW — disabled tracing is not free!");
+    }
+    std::printf("tracing: off-mode gate (>=0.99x floor) on %d backend(s): "
+                "%s\n",
+                trace_gated_backends, trace_off_ok ? "ok" : "FAILED");
+  } else if (pretrace.floor.empty()) {
+    std::printf("tracing: off-mode gate not engaged — no pretrace floor "
+                "file found\n");
+  } else {
+    std::printf("tracing: off-mode gate not engaged — run is n=%d bits=%u, "
+                "floor was recorded at n=%d bits=%u\n",
+                n, bits, pretrace.images, pretrace.bits);
+  }
+  std::printf(
+      "tracing: served via Server, off %.1f img/s vs sampled:64 %.1f img/s "
+      "-> overhead %.2f%% (reported, not gated)\n",
+      trace_ips_off, trace_ips_sampled, trace_overhead_pct);
+
   std::FILE* json = std::fopen("BENCH_throughput.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "error: cannot write BENCH_throughput.json\n");
@@ -445,10 +602,18 @@ int main(int argc, char** argv) {
                "  \"images\": %d,\n  \"bits\": %u,\n"
                "  \"all_predictions_identical\": %s,\n"
                "  \"fast_backends_match_reference\": %s,\n"
-               "  \"tail_matches_forward_reference\": %s,\n  \"results\": [\n",
+               "  \"tail_matches_forward_reference\": %s,\n"
+               "  \"trace\": {\"off_within_1pct_of_floor\": %s, "
+               "\"gate_engaged\": %s, \"gated_backends\": %d, "
+               "\"ips_off\": %.1f, \"ips_sampled64\": %.1f, "
+               "\"trace_overhead_pct\": %.2f},\n"
+               "  \"results\": [\n",
                n, bits, all_identical ? "true" : "false",
                fast_identical ? "true" : "false",
-               tail_referee_ok ? "true" : "false");
+               tail_referee_ok ? "true" : "false",
+               trace_off_ok ? "true" : "false",
+               trace_gate_engaged ? "true" : "false", trace_gated_backends,
+               trace_ips_off, trace_ips_sampled, trace_overhead_pct);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(json,
@@ -483,7 +648,7 @@ int main(int argc, char** argv) {
   std::fclose(json);
   std::printf("wrote BENCH_throughput.json\n");
   return (all_identical && fast_identical && tail_referee_ok &&
-          scaling_identical)
+          scaling_identical && trace_off_ok)
              ? 0
              : 1;
 }

@@ -1,5 +1,6 @@
 #include "fleet/coordinator.h"
 
+#include "obs/watchdog.h"
 #include "runtime/process_stats.h"
 
 #include <signal.h>
@@ -43,6 +44,10 @@ const FleetConfig& FleetConfig::validate() const {
   if (supervise_interval_us < 100) {
     throw std::invalid_argument(
         "FleetConfig: supervise_interval_us must be >= 100");
+  }
+  if (wedged_threshold_ms < 0.0) {
+    throw std::invalid_argument(
+        "FleetConfig: wedged_threshold_ms must be >= 0 (0 disables)");
   }
   return *this;
 }
@@ -106,6 +111,11 @@ std::future<FleetResult> FleetCoordinator::submit(std::uint64_t session_key,
     throw std::runtime_error("FleetCoordinator: submit after shutdown");
   }
 
+  // Trace ids are minted here (= the coordinator-global sequence) and ride
+  // the wire headers; only read the clock when tracing is on at all.
+  const std::int64_t trace_t0 =
+      obs::tracing_enabled() ? obs::monotonic_ns() : 0;
+
   RequestSlot req;
   req.session_key = session_key;
   req.tenant = tenant;
@@ -143,6 +153,7 @@ std::future<FleetResult> FleetCoordinator::submit(std::uint64_t session_key,
                      : runtime::Servable::kUncappedRung;
 
   req.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  req.trace_id = req.sequence;
   Pending pending;
   pending.submitted = now;
   pending.session_key = session_key;
@@ -160,6 +171,20 @@ std::future<FleetResult> FleetCoordinator::submit(std::uint64_t session_key,
   pending_.emplace(req.sequence, std::move(pending));
   ++tenant_inflight_[tenant];
   ++stats_.submitted;
+
+  if (obs::trace_sampled(req.trace_id)) {
+    obs::TraceSpan span;
+    span.name = obs::SpanName::kCoordSubmit;
+    span.trace_id = req.trace_id;
+    span.start_ns = trace_t0;
+    span.dur_ns = std::max<std::int64_t>(obs::monotonic_ns() - trace_t0, 1);
+    span.arg0 = shard;
+    span.arg1 = tenant;
+    span.arg2 = slot.channel.requests.size();
+    obs::record_span(span);
+    obs::trace_instant(obs::SpanName::kRingPush, req.trace_id, shard,
+                       req.sequence, slot.channel.requests.size());
+  }
   return future;
 }
 
@@ -208,6 +233,7 @@ void FleetCoordinator::complete_response(std::uint32_t shard,
     result.shard = shard;
     result.deadline_dropped = (slot.flags & kFlagDeadlineDropped) != 0;
     result.e2e_ms = runtime::ms_between(pending.submitted, now);
+    result.prediction.trace_id = slot.trace_id;
     result.prediction.label = slot.label;
     result.prediction.margin = slot.margin;
     result.prediction.rung = slot.rung;
@@ -233,6 +259,9 @@ void FleetCoordinator::complete_response(std::uint32_t shard,
     }
     promise = std::move(pending.promise);
   }
+  obs::trace_instant(
+      obs::SpanName::kCoordComplete, slot.trace_id, shard, slot.sequence,
+      static_cast<std::uint64_t>(std::max(0.0, result.e2e_ms * 1000.0)));
   promise.set_value(result);
 }
 
@@ -274,6 +303,8 @@ void FleetCoordinator::collector_loop() {
 }
 
 void FleetCoordinator::supervisor_loop() {
+  obs::HeartbeatWatchdog watchdog(
+      static_cast<std::int64_t>(config_.wedged_threshold_ms * 1e6));
   while (!shutting_down_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.supervise_interval_us));
@@ -300,6 +331,36 @@ void FleetCoordinator::supervisor_loop() {
       }
 
       if (!alive) continue;
+
+      // Stale-heartbeat watchdog: waitpid only sees death, this catches
+      // alive-but-wedged. Only meaningful while the shard has queued work
+      // it should be consuming — an idle shard parks in wait_nonempty with
+      // a legitimately flat heartbeat, so the empty-ring case re-seeds the
+      // baseline instead of counting toward the threshold.
+      if (config_.wedged_threshold_ms > 0.0 &&
+          slot.channel.status->ready.load(std::memory_order_acquire) != 0) {
+        if (slot.channel.requests.size() == 0) {
+          watchdog.forget(i);
+        } else {
+          const auto event = watchdog.observe(
+              i, slot.channel.status->heartbeat.load(std::memory_order_relaxed),
+              obs::monotonic_ns());
+          if (event == obs::HeartbeatWatchdog::Event::kWedged) {
+            std::fprintf(stderr,
+                         "fleet: shard %u (pid %ld) wedged — heartbeat flat "
+                         ">%.0fms with %zu requests queued\n",
+                         i, static_cast<long>(pid),
+                         config_.wedged_threshold_ms,
+                         slot.channel.requests.size());
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.wedged_events;
+          } else if (event == obs::HeartbeatWatchdog::Event::kRecovered) {
+            std::fprintf(stderr, "fleet: shard %u (pid %ld) recovered\n", i,
+                         static_cast<long>(pid));
+          }
+        }
+      }
+
       int wait_status = 0;
       if (::waitpid(pid, &wait_status, WNOHANG) != pid) continue;
 
@@ -311,6 +372,26 @@ void FleetCoordinator::supervisor_loop() {
         slot.alive = false;
         slot.death_detected = Clock::now();
       }
+      watchdog.forget(i);
+
+      // Flight-recorder post-mortem: the dead incarnation's spans are
+      // still sitting in the shm trace rings (plain atomic words — no
+      // heap, nothing lost to the kill). Extract them BEFORE the respawn
+      // starts writing over the same rings. A shard reaped while the
+      // fleet is shutting down exited on request — no post-mortem.
+      if (!shutting_down_.load(std::memory_order_acquire)) {
+        const std::uint32_t epoch =
+            slot.channel.status->epoch.load(std::memory_order_relaxed);
+        std::string postmortem =
+            "fleet: shard " + std::to_string(i) + " (pid " +
+            std::to_string(static_cast<long>(pid)) + ", epoch " +
+            std::to_string(epoch) + ") died; flight-recorder post-mortem:\n" +
+            obs::format_postmortem(slot.channel.trace.snapshot(), 32);
+        std::fputs(postmortem.c_str(), stderr);
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.postmortems.push_back(std::move(postmortem));
+      }
+
       if (config_.respawn && !shutting_down_.load()) {
         spawn_shard(i);
         std::lock_guard<std::mutex> lock(mutex_);
@@ -344,6 +425,18 @@ FleetStats FleetCoordinator::stats() const {
     report.compute_ms = status_double(status.compute_ms_bits);
     report.peak_rss_bytes =
         status.peak_rss_bytes.load(std::memory_order_relaxed);
+    report.cpu_utime_s =
+        static_cast<double>(
+            status.cpu_utime_us.load(std::memory_order_relaxed)) *
+        1e-6;
+    report.cpu_stime_s =
+        static_cast<double>(
+            status.cpu_stime_us.load(std::memory_order_relaxed)) *
+        1e-6;
+    report.vol_ctx_switches =
+        status.vol_ctx_switches.load(std::memory_order_relaxed);
+    report.invol_ctx_switches =
+        status.invol_ctx_switches.load(std::memory_order_relaxed);
     if (slot.alive) {
       // The shard only refreshes its status word periodically; for a live
       // process the kernel's current high-water mark is authoritative.
@@ -365,9 +458,134 @@ FleetStats FleetCoordinator::stats() const {
   return out;
 }
 
+bool FleetCoordinator::dump_trace(const std::string& path) const {
+  std::vector<obs::TraceProcessDump> processes;
+  processes.push_back(
+      {"coordinator", 1, obs::active_recorder().snapshot()});
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    processes.push_back({"shard " + std::to_string(i), i + 2,
+                         shards_[i].channel.trace.snapshot()});
+  }
+  return obs::write_chrome_trace(path, processes);
+}
+
+void FleetCoordinator::register_metrics(obs::MetricsRegistry& registry) {
+  auto counter = [&](const char* name, const char* help,
+                     std::uint64_t FleetStats::* field) {
+    registry.counter_fn(name, help, {}, [this, field] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return stats_.*field;
+    });
+  };
+  counter("scbnn_fleet_submitted_total", "Frames admitted by the fleet",
+          &FleetStats::submitted);
+  counter("scbnn_fleet_completed_total", "Futures resolved with a response",
+          &FleetStats::completed);
+  counter("scbnn_fleet_rejected_quota_total",
+          "Admissions rejected by tenant quota", &FleetStats::rejected_quota);
+  counter("scbnn_fleet_rejected_backpressure_total",
+          "Admissions rejected by ring backpressure",
+          &FleetStats::rejected_backpressure);
+  counter("scbnn_fleet_duplicates_total",
+          "Replayed responses dropped by sequence dedup",
+          &FleetStats::duplicates);
+  counter("scbnn_fleet_deadline_dropped_total",
+          "Hard-deadline frames dropped stale by shards",
+          &FleetStats::deadline_dropped);
+  counter("scbnn_fleet_respawns_total", "Shard respawns after death",
+          &FleetStats::respawns);
+  counter("scbnn_fleet_wedged_events_total",
+          "Stale-heartbeat watchdog trips (alive but wedged)",
+          &FleetStats::wedged_events);
+
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    const ShardStatus* status = shards_[i].channel.status;
+    auto status_gauge = [&](const char* name, const char* help,
+                            const std::atomic<std::uint64_t>& word) {
+      registry.gauge_fn(name, help, labels, [&word] {
+        return static_cast<double>(word.load(std::memory_order_relaxed));
+      });
+    };
+    status_gauge("scbnn_fleet_shard_heartbeat",
+                 "Shard serve-loop iterations", status->heartbeat);
+    status_gauge("scbnn_fleet_shard_served", "Frames computed",
+                 status->served);
+    status_gauge("scbnn_fleet_shard_peak_rss_bytes",
+                 "Shard peak resident set size", status->peak_rss_bytes);
+    status_gauge("scbnn_fleet_shard_vol_ctx_switches",
+                 "Voluntary context switches (getrusage)",
+                 status->vol_ctx_switches);
+    status_gauge("scbnn_fleet_shard_invol_ctx_switches",
+                 "Involuntary context switches (getrusage)",
+                 status->invol_ctx_switches);
+    registry.gauge_fn("scbnn_fleet_shard_cpu_utime_seconds",
+                      "Shard user CPU seconds (getrusage)", labels, [status] {
+                        return static_cast<double>(status->cpu_utime_us.load(
+                                   std::memory_order_relaxed)) *
+                               1e-6;
+                      });
+    registry.gauge_fn("scbnn_fleet_shard_cpu_stime_seconds",
+                      "Shard system CPU seconds (getrusage)", labels,
+                      [status] {
+                        return static_cast<double>(status->cpu_stime_us.load(
+                                   std::memory_order_relaxed)) *
+                               1e-6;
+                      });
+    registry.gauge_fn("scbnn_fleet_shard_epoch", "Shard incarnations",
+                      labels, [status] {
+                        return static_cast<double>(
+                            status->epoch.load(std::memory_order_relaxed));
+                      });
+    registry.gauge_fn("scbnn_fleet_shard_alive",
+                      "1 while the shard process is alive", labels,
+                      [this, i] {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        return shards_[i].alive ? 1.0 : 0.0;
+                      });
+    registry.gauge_fn("scbnn_fleet_shard_request_ring_depth",
+                      "Requests queued in the shard's shm ring", labels,
+                      [this, i] {
+                        return static_cast<double>(
+                            shards_[i].channel.requests.size());
+                      });
+  }
+
+  registry.gauge_fn("scbnn_fleet_energy_joules",
+                    "Modeled energy summed over shards", {}, [this] {
+                      std::lock_guard<std::mutex> lock(mutex_);
+                      double total = 0.0;
+                      for (const ShardSlot& slot : shards_) {
+                        total += status_double(
+                            slot.channel.status->energy_j_bits);
+                      }
+                      return total;
+                    });
+  registry.histogram_fn(
+      "scbnn_fleet_e2e_latency_ms",
+      "End-to-end latency (submit to future resolution), merged over "
+      "shards and tenants",
+      {}, [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        runtime::LatencyHistogram merged;
+        for (const auto& [shard, tenants] : shard_tenant_latency_) {
+          for (const auto& [tenant, histogram] : tenants) {
+            merged.merge(histogram);
+          }
+        }
+        return merged;
+      });
+}
+
 void FleetCoordinator::shutdown() {
   std::call_once(shutdown_once_, [this] {
     accepting_.store(false, std::memory_order_release);
+
+    // Set BEFORE signaling the shards: the supervisor must stop racing us
+    // on waitpid, or it mistakes a shard exiting on the drain request for
+    // a crash (spurious post-mortem + respawn). The gate in
+    // supervisor_loop re-checks this flag for the same reason.
+    shutting_down_.store(true, std::memory_order_release);
 
     // Closing the request rings is the drain signal: each live shard
     // finishes what is queued, pushes the responses, closes its response
@@ -408,7 +626,6 @@ void FleetCoordinator::shutdown() {
       slot.channel.responses.close();
     }
 
-    shutting_down_.store(true, std::memory_order_release);
     if (supervisor_.joinable()) supervisor_.join();
     if (collector_.joinable()) collector_.join();
 

@@ -40,6 +40,8 @@
 #include "fleet/shard.h"
 #include "fleet/shm_ring.h"
 #include "fleet/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/percentile.h"
 #include "runtime/servable.h"
 
@@ -86,6 +88,11 @@ struct FleetConfig {
 
   bool respawn = true;             ///< revive kill -9'd shards
   long supervise_interval_us = 1000;
+  /// Stale-heartbeat watchdog: a shard whose heartbeat word stays flat
+  /// longer than this while the process is alive is reported wedged (log
+  /// line + FleetStats::wedged_events). 0 disables. waitpid only sees
+  /// death; this catches alive-but-stuck.
+  double wedged_threshold_ms = 1000.0;
 
   int vnodes = 64;            ///< consistent-hash points per shard
   double load_factor = 1.25;  ///< bounded-load ceiling multiplier
@@ -109,6 +116,10 @@ struct ShardReport {
   double energy_j = 0.0;
   double compute_ms = 0.0;
   std::uint64_t peak_rss_bytes = 0;
+  double cpu_utime_s = 0.0;  ///< shard user CPU seconds (getrusage)
+  double cpu_stime_s = 0.0;  ///< shard system CPU seconds
+  std::uint64_t vol_ctx_switches = 0;
+  std::uint64_t invol_ctx_switches = 0;
   std::size_t request_ring_depth = 0;
   std::size_t sessions = 0;  ///< sticky sessions currently placed here
 };
@@ -121,6 +132,11 @@ struct FleetStats {
   std::uint64_t duplicates = 0;  ///< replayed responses dropped by dedup
   std::uint64_t deadline_dropped = 0;
   std::uint64_t respawns = 0;
+  /// Stale-heartbeat watchdog trips (alive-but-wedged transitions).
+  std::uint64_t wedged_events = 0;
+  /// One flight-recorder post-mortem per detected shard death: the dead
+  /// incarnation's last spans, recovered from its shm trace rings.
+  std::vector<std::string> postmortems;
   /// Detect-death -> shard ready again (bundle reloaded), one entry per
   /// respawn.
   std::vector<double> recovery_ready_ms;
@@ -169,6 +185,18 @@ class FleetCoordinator {
 
   [[nodiscard]] int shards() const noexcept { return config_.shards; }
   [[nodiscard]] FleetStats stats() const;
+
+  /// Merge the coordinator's span recorder with every shard's shm flight
+  /// recorder into one Chrome/Perfetto trace_event JSON file — one
+  /// timeline, one pid lane per process (steady_clock is shared across
+  /// fork, so shard spans land on the coordinator's clock).
+  bool dump_trace(const std::string& path) const;
+
+  /// Register registry views over the fleet's live stats: admission and
+  /// completion counters, per-shard shm status gauges (heartbeat, CPU,
+  /// context switches, ring depth, RSS), and the merged end-to-end
+  /// latency histogram. `this` must outlive exports from `registry`.
+  void register_metrics(obs::MetricsRegistry& registry);
 
   /// Stop admissions, close the request rings, drain every shard, reap
   /// the children, resolve all outstanding futures (exceptionally for

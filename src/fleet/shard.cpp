@@ -33,6 +33,7 @@ double status_double(const std::atomic<std::uint64_t>& bits) {
 std::size_t ShardChannel::bytes_for(std::size_t request_slots,
                                     std::size_t response_slots) {
   return sizeof(ShardStatus) +
+         obs::TraceRecorder::bytes_for(kShardTraceRings, kShardTraceSpans) +
          SpscRing<RequestSlot>::bytes_for(request_slots) +
          SpscRing<ResponseSlot>::bytes_for(response_slots);
 }
@@ -44,7 +45,12 @@ ShardChannel ShardChannel::attach(void* memory, std::size_t request_slots,
   ShardChannel channel;
   channel.status = reinterpret_cast<ShardStatus*>(base);
   if (initialize) new (channel.status) ShardStatus();
-  char* request_base = base + sizeof(ShardStatus);
+  char* trace_base = base + sizeof(ShardStatus);
+  channel.trace = obs::TraceRecorder::attach(trace_base, kShardTraceRings,
+                                             kShardTraceSpans, initialize);
+  char* request_base =
+      trace_base +
+      obs::TraceRecorder::bytes_for(kShardTraceRings, kShardTraceSpans);
   char* response_base =
       request_base + SpscRing<RequestSlot>::bytes_for(request_slots);
   channel.requests =
@@ -54,8 +60,33 @@ ShardChannel ShardChannel::attach(void* memory, std::size_t request_slots,
   return channel;
 }
 
+namespace {
+
+void publish_usage(ShardStatus& status) {
+  const runtime::ProcessUsage usage = runtime::process_usage();
+  status.peak_rss_bytes.store(usage.peak_rss_bytes,
+                              std::memory_order_relaxed);
+  status.cpu_utime_us.store(
+      static_cast<std::uint64_t>(usage.utime_s * 1e6),
+      std::memory_order_relaxed);
+  status.cpu_stime_us.store(
+      static_cast<std::uint64_t>(usage.stime_s * 1e6),
+      std::memory_order_relaxed);
+  status.vol_ctx_switches.store(usage.voluntary_ctx_switches,
+                                std::memory_order_relaxed);
+  status.invol_ctx_switches.store(usage.involuntary_ctx_switches,
+                                  std::memory_order_relaxed);
+}
+
+}  // namespace
+
 int shard_main(const ShardChannel& channel, const ShardSpec& spec) {
   ShardStatus& status = *channel.status;
+  // Route this process's spans into the shm flight recorder: after a
+  // kill -9 the supervisor reads them back from the segment. The channel
+  // reference outlives the loop (shard processes _exit after returning).
+  obs::TraceRecorder flight = channel.trace;
+  obs::install_recorder(&flight);
   SpscRing<RequestSlot> requests = channel.requests;
   SpscRing<ResponseSlot> responses = channel.responses;
 
@@ -84,9 +115,9 @@ int shard_main(const ShardChannel& channel, const ShardSpec& spec) {
       status.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   bool first_response_of_epoch = epoch > 1;
   // The model is the bulk of a shard's footprint — publish the high-water
-  // mark as soon as it is loaded, then refresh periodically below.
-  status.peak_rss_bytes.store(runtime::peak_rss_bytes(),
-                              std::memory_order_relaxed);
+  // mark (and the CPU/context-switch counters) as soon as it is loaded,
+  // then refresh periodically below.
+  publish_usage(status);
   status.ready.store(1, std::memory_order_release);
 
   const auto max_batch = static_cast<std::size_t>(spec.max_batch);
@@ -113,8 +144,12 @@ int shard_main(const ShardChannel& channel, const ShardSpec& spec) {
             .count();
     live.clear();
     int cap = runtime::Servable::kUncappedRung;
+    std::uint64_t batch_trace_id = 0;  // representative id for batch spans
     for (std::size_t i = 0; i < batch; ++i) {
       const RequestSlot& slot = requests.peek(i);
+      if (batch_trace_id == 0 && obs::trace_sampled(slot.trace_id)) {
+        batch_trace_id = slot.trace_id;
+      }
       if (slot.slo == SloClass::kHardDeadline && slot.deadline_ns != 0 &&
           now_ns > slot.deadline_ns) {
         continue;  // stale: respond without compute
@@ -125,8 +160,19 @@ int shard_main(const ShardChannel& channel, const ShardSpec& spec) {
       live.push_back(i);
     }
 
+    // Flight-recorder key record: written whenever tracing is on at all
+    // (not just for sampled ids), so a kill -9 post-mortem always shows
+    // the batch that was in flight.
+    obs::trace_instant_always(obs::SpanName::kShardBatchBegin,
+                              batch_trace_id, requests.peek(0).sequence,
+                              batch, live.size());
+
     runtime::ServeStats stats;
     if (!live.empty()) {
+      obs::SpanScope batch_span(obs::SpanName::kShardBatch, batch_trace_id,
+                                requests.peek(0).sequence, batch,
+                                live.size());
+      obs::AmbientTrace ambient(batch_trace_id);
       backend->set_max_rung(cap);
       stats = backend->classify(staged.data(),
                                 static_cast<int>(live.size()), preds.data());
@@ -143,6 +189,7 @@ int shard_main(const ShardChannel& channel, const ShardSpec& spec) {
       const RequestSlot& slot = requests.peek(i);
       ResponseSlot out;
       out.sequence = slot.sequence;
+      out.trace_id = slot.trace_id;
       out.batch_size = static_cast<std::int32_t>(live.size());
       if (next_live < live.size() && live[next_live] == i) {
         const runtime::Prediction& p = preds[next_live];
@@ -174,15 +221,14 @@ int shard_main(const ShardChannel& channel, const ShardSpec& spec) {
     add_status_double(status.energy_j_bits, stats.energy_j);
     add_status_double(status.compute_ms_bits, stats.latency_ms);
     if ((++iterations & 63u) == 0) {
-      status.peak_rss_bytes.store(runtime::peak_rss_bytes(),
-                                  std::memory_order_relaxed);
+      publish_usage(status);
     }
   }
 
-  status.peak_rss_bytes.store(runtime::peak_rss_bytes(),
-                              std::memory_order_relaxed);
+  publish_usage(status);
   status.ready.store(0, std::memory_order_release);
   responses.close();
+  obs::install_recorder(nullptr);
   return 0;
 }
 

@@ -23,6 +23,7 @@
 
 #include "fleet/shm_ring.h"
 #include "fleet/wire.h"
+#include "obs/trace.h"
 
 namespace scbnn::fleet {
 
@@ -42,12 +43,25 @@ struct alignas(64) ShardStatus {
   std::atomic<std::uint64_t> energy_j_bits{0};     ///< double as bits
   std::atomic<std::uint64_t> compute_ms_bits{0};   ///< double as bits
   std::atomic<std::uint64_t> peak_rss_bytes{0};
+  /// getrusage(RUSAGE_SELF) of the shard, refreshed with peak RSS:
+  /// CPU split and scheduler pressure, per process.
+  std::atomic<std::uint64_t> cpu_utime_us{0};
+  std::atomic<std::uint64_t> cpu_stime_us{0};
+  std::atomic<std::uint64_t> vol_ctx_switches{0};
+  std::atomic<std::uint64_t> invol_ctx_switches{0};
 };
 
+/// Flight-recorder geometry: each shard's trace rings live in its shm
+/// segment, so the supervisor can read the dead shard's last spans after a
+/// kill -9 (the spans are plain atomic words — no heap, no locks).
+inline constexpr unsigned kShardTraceRings = 4;
+inline constexpr std::size_t kShardTraceSpans = 256;  ///< slots per ring
+
 /// Addresses of one shard's channel, valid in every process that maps the
-/// segment: [ShardStatus][request ring][response ring].
+/// segment: [ShardStatus][flight recorder][request ring][response ring].
 struct ShardChannel {
   ShardStatus* status = nullptr;
+  obs::TraceRecorder trace;  ///< shard-side spans, readable post-mortem
   SpscRing<RequestSlot> requests;
   SpscRing<ResponseSlot> responses;
 

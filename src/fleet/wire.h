@@ -52,6 +52,10 @@ struct alignas(64) RequestSlot {
   /// Hard deadline on the serving steady clock (ns since epoch of
   /// ServeClock), 0 = none. Only meaningful for kHardDeadline.
   std::int64_t deadline_ns = 0;
+  /// Trace id minted at FleetCoordinator::submit; the shard echoes it in
+  /// the response and uses it as the ambient id for its compute spans, so
+  /// one frame's spans connect across the fork boundary.
+  std::uint64_t trace_id = 0;
   /// Escalation ceiling the shard must apply for this request's batch
   /// (Servable::set_max_rung). Admission fills kUncappedRung when the
   /// shard is keeping up.
@@ -71,6 +75,7 @@ inline constexpr std::uint32_t kFlagFirstAfterRespawn = 1u << 1;
 /// cache line.
 struct alignas(64) ResponseSlot {
   std::uint64_t sequence = 0;  ///< echoes RequestSlot::sequence
+  std::uint64_t trace_id = 0;  ///< echoes RequestSlot::trace_id
   double margin = 0.0;
   double energy_j = 0.0;      ///< per-frame split of the batch energy
   double compute_ms = 0.0;    ///< shard-side batch latency

@@ -1,0 +1,365 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace.h"  // escape_json
+
+namespace scbnn::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += MetricsRegistry::escape_label_value(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, but with one extra label appended (used for histogram `le`).
+std::string render_labels_plus(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return render_labels(extended);
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::vector<double> MetricsRegistry::histogram_bounds_ms() {
+  std::vector<double> bounds;
+  using H = runtime::LatencyHistogram;
+  // One bound per octave of the fixed grid: the upper edge of each octave
+  // is the lower edge of the first bucket of the next one, so cumulative
+  // counts at these bounds are exact sums of whole buckets.
+  for (int b = H::kBucketsPerOctave; b <= H::kBuckets;
+       b += H::kBucketsPerOctave) {
+    bounds.push_back(H::bucket_floor_ms(b));
+  }
+  return bounds;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(const std::string& name,
+                                                     const std::string& help,
+                                                     Kind kind) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("MetricsRegistry: bad metric name '" + name +
+                                "'");
+  }
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.help = help;
+    family.kind = kind;
+  } else if (family.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: metric '" + name +
+                                "' re-registered with a different type");
+  }
+  return family;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_for(Family& family,
+                                                     Labels labels) {
+  for (const auto& [key, value] : labels) {
+    if (!valid_label_name(key)) {
+      throw std::invalid_argument("MetricsRegistry: bad label name '" + key +
+                                  "'");
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  const std::string label_key = render_labels(labels);
+  for (Series& series : family.series) {
+    if (series.label_key == label_key) return series;
+  }
+  Series& series = family.series.emplace_back();
+  series.labels = std::move(labels);
+  series.label_key = label_key;
+  return series;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  std::lock_guard lock(mutex_);
+  Series& series =
+      series_for(family_for(name, help, Kind::kCounter), std::move(labels));
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  std::lock_guard lock(mutex_);
+  Series& series =
+      series_for(family_for(name, help, Kind::kGauge), std::move(labels));
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+void MetricsRegistry::counter_fn(const std::string& name,
+                                 const std::string& help, Labels labels,
+                                 std::function<std::uint64_t()> fn) {
+  std::lock_guard lock(mutex_);
+  Series& series =
+      series_for(family_for(name, help, Kind::kCounter), std::move(labels));
+  series.counter_fn = std::move(fn);
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name,
+                               const std::string& help, Labels labels,
+                               std::function<double()> fn) {
+  std::lock_guard lock(mutex_);
+  Series& series =
+      series_for(family_for(name, help, Kind::kGauge), std::move(labels));
+  series.gauge_fn = std::move(fn);
+}
+
+void MetricsRegistry::histogram_fn(
+    const std::string& name, const std::string& help, Labels labels,
+    std::function<runtime::LatencyHistogram()> fn) {
+  std::lock_guard lock(mutex_);
+  Series& series =
+      series_for(family_for(name, help, Kind::kHistogram), std::move(labels));
+  series.histogram_fn = std::move(fn);
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + escape_help(family.help) + "\n";
+    out += "# TYPE " + name + " ";
+    out += kind_name(static_cast<int>(family.kind));
+    out += "\n";
+
+    std::vector<const Series*> ordered;
+    ordered.reserve(family.series.size());
+    for (const Series& series : family.series) ordered.push_back(&series);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Series* a, const Series* b) {
+                return a->label_key < b->label_key;
+              });
+
+    for (const Series* series : ordered) {
+      switch (family.kind) {
+        case Kind::kCounter: {
+          std::uint64_t value = 0;
+          if (series->counter_fn) value = series->counter_fn();
+          else if (series->counter) value = series->counter->value();
+          out += name + series->label_key + " " +
+                 std::to_string(value) + "\n";
+          break;
+        }
+        case Kind::kGauge: {
+          double value = 0.0;
+          if (series->gauge_fn) value = series->gauge_fn();
+          else if (series->gauge) value = series->gauge->value();
+          out += name + series->label_key + " " + format_double(value) + "\n";
+          break;
+        }
+        case Kind::kHistogram: {
+          if (!series->histogram_fn) break;
+          const runtime::LatencyHistogram h = series->histogram_fn();
+          const std::vector<double> bounds = histogram_bounds_ms();
+          std::uint64_t cumulative = 0;
+          int bucket = 0;
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            const int upto =
+                static_cast<int>(i + 1) *
+                runtime::LatencyHistogram::kBucketsPerOctave;
+            for (; bucket < upto; ++bucket) {
+              cumulative += h.bucket_count(bucket);
+            }
+            out += name + "_bucket" +
+                   render_labels_plus(series->labels, "le",
+                                      format_double(bounds[i])) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += name + "_bucket" +
+                 render_labels_plus(series->labels, "le", "+Inf") + " " +
+                 std::to_string(h.count()) + "\n";
+          out += name + "_sum" + series->label_key + " " +
+                 format_double(h.sum_ms()) + "\n";
+          out += name + "_count" + series->label_key + " " +
+                 std::to_string(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::lock_guard lock(mutex_);
+  std::string counters = "[";
+  std::string gauges = "[";
+  std::string histograms = "[";
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+
+  auto labels_json = [](const Labels& labels) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + escape_json(key) + "\":\"" + escape_json(value) + "\"";
+    }
+    out += "}";
+    return out;
+  };
+
+  for (const auto& [name, family] : families_) {
+    std::vector<const Series*> ordered;
+    for (const Series& series : family.series) ordered.push_back(&series);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Series* a, const Series* b) {
+                return a->label_key < b->label_key;
+              });
+    for (const Series* series : ordered) {
+      const std::string prefix = "{\"name\":\"" + escape_json(name) +
+                                 "\",\"labels\":" + labels_json(series->labels);
+      switch (family.kind) {
+        case Kind::kCounter: {
+          std::uint64_t value = 0;
+          if (series->counter_fn) value = series->counter_fn();
+          else if (series->counter) value = series->counter->value();
+          if (!first_counter) counters += ",";
+          first_counter = false;
+          counters += prefix + ",\"value\":" + std::to_string(value) + "}";
+          break;
+        }
+        case Kind::kGauge: {
+          double value = 0.0;
+          if (series->gauge_fn) value = series->gauge_fn();
+          else if (series->gauge) value = series->gauge->value();
+          if (!first_gauge) gauges += ",";
+          first_gauge = false;
+          gauges += prefix + ",\"value\":" + format_double(value) + "}";
+          break;
+        }
+        case Kind::kHistogram: {
+          if (!series->histogram_fn) break;
+          const runtime::LatencyHistogram h = series->histogram_fn();
+          if (!first_histogram) histograms += ",";
+          first_histogram = false;
+          histograms += prefix +
+                        ",\"count\":" + std::to_string(h.count()) +
+                        ",\"sum_ms\":" + format_double(h.sum_ms()) +
+                        ",\"p50_ms\":" + format_double(h.percentile(50)) +
+                        ",\"p95_ms\":" + format_double(h.percentile(95)) +
+                        ",\"p99_ms\":" + format_double(h.percentile(99)) +
+                        ",\"max_ms\":" + format_double(h.max_ms()) + "}";
+          break;
+        }
+      }
+    }
+  }
+  return "{\"counters\":" + counters + "],\"gauges\":" + gauges +
+         "],\"histograms\":" + histograms + "]}\n";
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << prometheus();
+  return static_cast<bool>(file);
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << json();
+  return static_cast<bool>(file);
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  families_.clear();
+}
+
+std::size_t MetricsRegistry::families() const {
+  std::lock_guard lock(mutex_);
+  return families_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace scbnn::obs

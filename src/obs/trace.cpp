@@ -1,0 +1,522 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <stdexcept>
+
+namespace scbnn::obs {
+
+namespace detail {
+std::atomic<std::uint32_t> g_mode{
+    static_cast<std::uint32_t>(TraceMode::kOff)};
+std::atomic<std::uint64_t> g_sample_every{64};
+}  // namespace detail
+
+namespace {
+
+struct SpanInfo {
+  const char* name;
+  const char* category;
+  const char* args[3];
+};
+
+constexpr SpanInfo kSpanInfo[static_cast<std::size_t>(SpanName::kCount)] = {
+    {"none", "none", {nullptr, nullptr, nullptr}},
+    {"coord.submit", "fleet", {"shard", "tenant", "depth"}},
+    {"ring.push", "fleet", {"shard", "seq", "depth"}},
+    {"shard.batch.begin", "shard", {"seq", "n", "live"}},
+    {"shard.batch", "shard", {"seq", "n", "live"}},
+    {"pipeline.rung", "pipeline", {"rung", "n", "bits"}},
+    {"engine.first_layer", "engine", {"n", nullptr, nullptr}},
+    {"engine.tail", "engine", {"n", nullptr, nullptr}},
+    {"executor.parallel_for", "executor", {"jobs", "workers", nullptr}},
+    {"server.submit", "server", {"depth", nullptr, nullptr}},
+    {"server.batch", "server", {"n", nullptr, nullptr}},
+    {"coord.complete", "fleet", {"shard", "seq", "e2e_us"}},
+};
+
+const SpanInfo& span_info(SpanName name) noexcept {
+  auto index = static_cast<std::size_t>(name);
+  if (index >= static_cast<std::size_t>(SpanName::kCount)) index = 0;
+  return kSpanInfo[index];
+}
+
+// The in-process default recorder, created on first use. Leaked on purpose:
+// instrumented code may record during static destruction.
+TraceRecorder& process_recorder() {
+  static OwnedTraceRecorder* owned = new OwnedTraceRecorder(8, 1024);
+  return owned->recorder();
+}
+
+std::atomic<TraceRecorder*> g_installed{nullptr};
+
+thread_local std::uint64_t t_ambient_trace_id = 0;
+
+std::atomic<std::uint32_t> g_next_tid{1};
+thread_local std::uint32_t t_tid = 0;
+
+// Parse SCBNN_TRACE before main so the branch-only fast path is already
+// settled when instrumented static initializers run.
+const bool g_env_parsed = [] {
+  set_trace_mode_from_env();
+  return true;
+}();
+
+}  // namespace
+
+const char* to_string(SpanName name) noexcept { return span_info(name).name; }
+
+const char* span_category(SpanName name) noexcept {
+  return span_info(name).category;
+}
+
+const char* const* span_arg_names(SpanName name) noexcept {
+  return span_info(name).args;
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+
+std::size_t TraceRecorder::bytes_for(unsigned rings, std::size_t capacity) {
+  return sizeof(TraceBufferHeader) +
+         static_cast<std::size_t>(rings) *
+             (sizeof(TraceRingHeader) +
+              capacity * kSpanWords * sizeof(std::atomic<std::uint64_t>));
+}
+
+TraceRecorder TraceRecorder::attach(void* memory, unsigned rings,
+                                    std::size_t capacity, bool initialize) {
+  if (rings == 0 || capacity < 2 || (capacity & (capacity - 1)) != 0) {
+    throw std::invalid_argument(
+        "TraceRecorder: rings >= 1 and capacity a power of two >= 2");
+  }
+  TraceRecorder recorder;
+  recorder.header_ = static_cast<TraceBufferHeader*>(memory);
+  if (initialize) {
+    auto* base = static_cast<char*>(memory);
+    std::memset(base, 0, bytes_for(rings, capacity));
+    auto* header = new (base) TraceBufferHeader();
+    header->rings = rings;
+    header->capacity = static_cast<std::uint32_t>(capacity);
+    char* cursor = base + sizeof(TraceBufferHeader);
+    for (unsigned r = 0; r < rings; ++r) {
+      new (cursor) TraceRingHeader();
+      cursor += sizeof(TraceRingHeader) +
+                capacity * kSpanWords * sizeof(std::atomic<std::uint64_t>);
+    }
+    header->magic = TraceBufferHeader::kMagic;
+  } else if (recorder.header_->magic != TraceBufferHeader::kMagic ||
+             recorder.header_->rings != rings ||
+             recorder.header_->capacity != capacity) {
+    throw std::runtime_error("TraceRecorder: attach geometry mismatch");
+  }
+  return recorder;
+}
+
+unsigned TraceRecorder::rings() const noexcept {
+  return header_ ? header_->rings : 0;
+}
+
+std::size_t TraceRecorder::capacity() const noexcept {
+  return header_ ? header_->capacity : 0;
+}
+
+TraceRingHeader* TraceRecorder::ring_header(unsigned ring) const noexcept {
+  auto* base = reinterpret_cast<char*>(header_) + sizeof(TraceBufferHeader);
+  const std::size_t stride =
+      sizeof(TraceRingHeader) +
+      header_->capacity * kSpanWords * sizeof(std::atomic<std::uint64_t>);
+  return reinterpret_cast<TraceRingHeader*>(base + ring * stride);
+}
+
+std::atomic<std::uint64_t>* TraceRecorder::ring_words(
+    unsigned ring) const noexcept {
+  return reinterpret_cast<std::atomic<std::uint64_t>*>(
+      reinterpret_cast<char*>(ring_header(ring)) + sizeof(TraceRingHeader));
+}
+
+void TraceRecorder::record(const TraceSpan& span) noexcept {
+  if (!header_) return;
+  // Ring assignment: round-robin per (thread, buffer), cached thread-
+  // locally. Claiming a slot is a fetch_add, so even if more threads than
+  // rings share one ring the writes never collide on a slot.
+  thread_local const TraceBufferHeader* cached_buffer = nullptr;
+  thread_local unsigned cached_ring = 0;
+  if (cached_buffer != header_) {
+    cached_buffer = header_;
+    cached_ring = header_->next_ring.fetch_add(1, std::memory_order_relaxed) %
+                  header_->rings;
+  }
+
+  // Re-mod at use: a buffer freed and re-allocated at the same address
+  // with fewer rings would otherwise read a stale out-of-range cache.
+  const unsigned ring_index = cached_ring % header_->rings;
+  TraceRingHeader* ring = ring_header(ring_index);
+  const std::uint64_t index =
+      ring->cursor.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t mask = header_->capacity - 1;
+  std::atomic<std::uint64_t>* words =
+      ring_words(ring_index) + (index & mask) * kSpanWords;
+
+  // Seqlock-style publish: invalidate the generation word, write the
+  // payload, publish generation = index + 1 (release). Readers that catch
+  // a slot mid-write see generation 0 or a mismatched index and skip it.
+  words[7].store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  words[0].store(span.trace_id, std::memory_order_relaxed);
+  words[1].store(static_cast<std::uint64_t>(span.start_ns),
+                 std::memory_order_relaxed);
+  words[2].store(static_cast<std::uint64_t>(span.dur_ns),
+                 std::memory_order_relaxed);
+  words[3].store(static_cast<std::uint64_t>(span.name) |
+                     (static_cast<std::uint64_t>(span.tid) << 32),
+                 std::memory_order_relaxed);
+  words[4].store(span.arg0, std::memory_order_relaxed);
+  words[5].store(span.arg1, std::memory_order_relaxed);
+  words[6].store(span.arg2, std::memory_order_relaxed);
+  words[7].store(index + 1, std::memory_order_release);
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot() const {
+  std::vector<TraceSpan> spans;
+  if (!header_ || header_->magic != TraceBufferHeader::kMagic) return spans;
+  const std::uint64_t capacity = header_->capacity;
+  const std::uint64_t mask = capacity - 1;
+  for (unsigned r = 0; r < header_->rings; ++r) {
+    const TraceRingHeader* ring = ring_header(r);
+    const std::atomic<std::uint64_t>* words = ring_words(r);
+    const std::uint64_t cursor =
+        ring->cursor.load(std::memory_order_acquire);
+    const std::uint64_t first = cursor > capacity ? cursor - capacity : 0;
+    for (std::uint64_t index = first; index < cursor; ++index) {
+      const std::atomic<std::uint64_t>* slot = words + (index & mask) * kSpanWords;
+      const std::uint64_t gen1 = slot[7].load(std::memory_order_acquire);
+      if (gen1 != index + 1) continue;  // unpublished, torn, or overwritten
+      TraceSpan span;
+      span.trace_id = slot[0].load(std::memory_order_relaxed);
+      span.start_ns =
+          static_cast<std::int64_t>(slot[1].load(std::memory_order_relaxed));
+      span.dur_ns =
+          static_cast<std::int64_t>(slot[2].load(std::memory_order_relaxed));
+      const std::uint64_t packed = slot[3].load(std::memory_order_relaxed);
+      span.name = static_cast<SpanName>(packed & 0xffffffffu);
+      span.tid = static_cast<std::uint32_t>(packed >> 32);
+      span.arg0 = slot[4].load(std::memory_order_relaxed);
+      span.arg1 = slot[5].load(std::memory_order_relaxed);
+      span.arg2 = slot[6].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t gen2 = slot[7].load(std::memory_order_relaxed);
+      if (gen2 != gen1) continue;  // overwritten while we read it
+      if (span.name == SpanName::kNone ||
+          static_cast<std::uint32_t>(span.name) >=
+              static_cast<std::uint32_t>(SpanName::kCount)) {
+        continue;
+      }
+      spans.push_back(span);
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return spans;
+}
+
+std::uint64_t TraceRecorder::recorded() const noexcept {
+  if (!header_) return 0;
+  std::uint64_t total = 0;
+  for (unsigned r = 0; r < header_->rings; ++r) {
+    total += ring_header(r)->cursor.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::overwritten() const noexcept {
+  if (!header_) return 0;
+  std::uint64_t total = 0;
+  for (unsigned r = 0; r < header_->rings; ++r) {
+    const std::uint64_t cursor =
+        ring_header(r)->cursor.load(std::memory_order_relaxed);
+    if (cursor > header_->capacity) total += cursor - header_->capacity;
+  }
+  return total;
+}
+
+OwnedTraceRecorder::OwnedTraceRecorder(unsigned rings, std::size_t capacity) {
+  const std::size_t bytes = TraceRecorder::bytes_for(rings, capacity);
+  storage_ = std::make_unique<unsigned char[]>(bytes + 64);
+  void* aligned = storage_.get();
+  std::size_t space = bytes + 64;
+  aligned = std::align(64, bytes, aligned, space);
+  recorder_ = TraceRecorder::attach(aligned, rings, capacity, true);
+}
+
+// ---------------------------------------------------------------------------
+// Mode, ambient context, recording
+
+void set_trace_mode(TraceMode mode, std::uint64_t sample_every) {
+  detail::g_sample_every.store(sample_every == 0 ? 1 : sample_every,
+                               std::memory_order_relaxed);
+  detail::g_mode.store(static_cast<std::uint32_t>(mode),
+                       std::memory_order_relaxed);
+}
+
+void set_trace_mode_from_env() {
+  const char* env = std::getenv("SCBNN_TRACE");
+  if (env == nullptr || std::strcmp(env, "") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    set_trace_mode(TraceMode::kOff);
+    return;
+  }
+  if (std::strcmp(env, "all") == 0) {
+    set_trace_mode(TraceMode::kAll);
+    return;
+  }
+  if (std::strncmp(env, "sampled", 7) == 0) {
+    std::uint64_t every = 64;
+    if (env[7] == ':') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env + 8, &end, 10);
+      if (end != env + 8 && *end == '\0' && parsed > 0) every = parsed;
+    }
+    set_trace_mode(TraceMode::kSampled, every);
+    return;
+  }
+  std::fprintf(stderr, "obs: unrecognized SCBNN_TRACE='%s', tracing off\n",
+               env);
+  set_trace_mode(TraceMode::kOff);
+}
+
+TraceMode trace_mode() noexcept {
+  return static_cast<TraceMode>(detail::g_mode.load(std::memory_order_relaxed));
+}
+
+std::uint64_t trace_sample_every() noexcept {
+  return detail::g_sample_every.load(std::memory_order_relaxed);
+}
+
+std::int64_t monotonic_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t trace_tid() noexcept {
+  if (t_tid == 0) {
+    t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_tid;
+}
+
+void install_recorder(TraceRecorder* recorder) noexcept {
+  g_installed.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder& active_recorder() {
+  TraceRecorder* installed = g_installed.load(std::memory_order_acquire);
+  return installed != nullptr ? *installed : process_recorder();
+}
+
+void record_span(const TraceSpan& span) noexcept {
+  TraceSpan stamped = span;
+  if (stamped.tid == 0) stamped.tid = trace_tid();
+  active_recorder().record(stamped);
+}
+
+std::uint64_t ambient_trace_id() noexcept { return t_ambient_trace_id; }
+
+AmbientTrace::AmbientTrace(std::uint64_t trace_id) noexcept
+    : previous_(t_ambient_trace_id) {
+  t_ambient_trace_id = trace_id;
+}
+
+AmbientTrace::~AmbientTrace() { t_ambient_trace_id = previous_; }
+
+void trace_instant(SpanName name, std::uint64_t trace_id, std::uint64_t arg0,
+                   std::uint64_t arg1, std::uint64_t arg2) noexcept {
+  if (!trace_sampled(trace_id)) return;
+  TraceSpan span;
+  span.name = name;
+  span.trace_id = trace_id;
+  span.arg0 = arg0;
+  span.arg1 = arg1;
+  span.arg2 = arg2;
+  span.start_ns = monotonic_ns();
+  record_span(span);
+}
+
+void trace_instant_always(SpanName name, std::uint64_t trace_id,
+                          std::uint64_t arg0, std::uint64_t arg1,
+                          std::uint64_t arg2) noexcept {
+  if (!tracing_enabled()) return;
+  TraceSpan span;
+  span.name = name;
+  span.trace_id = trace_id;
+  span.arg0 = arg0;
+  span.arg1 = arg1;
+  span.arg2 = arg2;
+  span.start_ns = monotonic_ns();
+  record_span(span);
+}
+
+// ---------------------------------------------------------------------------
+// Export
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_event(std::string& out, const TraceSpan& span, std::uint32_t pid,
+                  std::int64_t epoch_ns, bool& first) {
+  const SpanInfo& info = span_info(span.name);
+  char buf[256];
+  if (!first) out += ",\n";
+  first = false;
+  const double ts_us =
+      static_cast<double>(span.start_ns - epoch_ns) / 1000.0;
+  out += "{\"name\":\"";
+  out += info.name;
+  out += "\",\"cat\":\"";
+  out += info.category;
+  out += "\",";
+  if (span.dur_ns > 0) {
+    std::snprintf(buf, sizeof(buf), "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,",
+                  ts_us, static_cast<double>(span.dur_ns) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,",
+                  ts_us);
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"pid\":%u,\"tid\":%u,\"args\":{",
+                pid, span.tid);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"trace_id\":%llu",
+                static_cast<unsigned long long>(span.trace_id));
+  out += buf;
+  const std::uint64_t args[3] = {span.arg0, span.arg1, span.arg2};
+  for (int i = 0; i < 3; ++i) {
+    if (info.args[i] == nullptr) continue;
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", info.args[i],
+                  static_cast<unsigned long long>(args[i]));
+    out += buf;
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceProcessDump>& processes) {
+  // Normalize timestamps to the earliest span so Perfetto's timeline
+  // starts near zero instead of at machine uptime.
+  std::int64_t epoch_ns = 0;
+  bool have_epoch = false;
+  for (const TraceProcessDump& process : processes) {
+    for (const TraceSpan& span : process.spans) {
+      if (!have_epoch || span.start_ns < epoch_ns) {
+        epoch_ns = span.start_ns;
+        have_epoch = true;
+      }
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[256];
+  for (const TraceProcessDump& process : processes) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  process.pid, escape_json(process.name).c_str());
+    out += buf;
+    for (const TraceSpan& span : process.spans) {
+      append_event(out, span, process.pid, epoch_ns, first);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceProcessDump>& processes) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << chrome_trace_json(processes);
+  return static_cast<bool>(file);
+}
+
+bool dump_trace(const std::string& path) {
+  std::vector<TraceProcessDump> processes(1);
+  processes[0].name = "process";
+  processes[0].pid = 1;
+  processes[0].spans = active_recorder().snapshot();
+  return write_chrome_trace(path, processes);
+}
+
+std::string format_postmortem(std::vector<TraceSpan> spans,
+                              std::size_t last_n) {
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.start_ns < b.start_ns;
+            });
+  if (spans.size() > last_n) {
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<std::ptrdiff_t>(last_n));
+  }
+  if (spans.empty()) return "  (flight recorder empty)\n";
+  std::string out;
+  char buf[256];
+  const std::int64_t epoch_ns = spans.front().start_ns;
+  for (const TraceSpan& span : spans) {
+    const SpanInfo& info = span_info(span.name);
+    std::snprintf(buf, sizeof(buf), "  [+%9.3fms] %-20s trace=%llu",
+                  static_cast<double>(span.start_ns - epoch_ns) / 1e6,
+                  info.name,
+                  static_cast<unsigned long long>(span.trace_id));
+    out += buf;
+    const std::uint64_t args[3] = {span.arg0, span.arg1, span.arg2};
+    for (int i = 0; i < 3; ++i) {
+      if (info.args[i] == nullptr) continue;
+      std::snprintf(buf, sizeof(buf), " %s=%llu", info.args[i],
+                    static_cast<unsigned long long>(args[i]));
+      out += buf;
+    }
+    if (span.dur_ns > 0) {
+      std::snprintf(buf, sizeof(buf), " dur=%.3fms",
+                    static_cast<double>(span.dur_ns) / 1e6);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scbnn::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+// Stale-heartbeat watchdog for fleet shards.
+//
+// The supervisor's waitpid() only sees *death*; a shard that is alive but
+// wedged (stuck in compute, deadlocked, livelocked on a ring) keeps its
+// pid and never trips it. Each shard bumps ShardStatus::heartbeat once per
+// batch loop iteration; the watchdog tracks, per shard, the last time the
+// counter moved and reports a wedge transition once the counter has been
+// flat longer than the threshold (and the recovery transition when it
+// moves again). Pure logic over (heartbeat, now_ns) pairs so a unit test
+// can drive it with a fake clock.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace scbnn::obs {
+
+class HeartbeatWatchdog {
+ public:
+  explicit HeartbeatWatchdog(std::int64_t stale_ns) : stale_ns_(stale_ns) {}
+
+  enum class Event {
+    kNone,       // healthy, or already-reported wedge still in progress
+    kWedged,     // heartbeat flat for > threshold: report once
+    kRecovered,  // heartbeat moved after a reported wedge
+  };
+
+  // Feed one observation for shard `id`. The first observation of a shard
+  // (or after forget()) only seeds the baseline and never reports.
+  Event observe(std::uint32_t id, std::uint64_t heartbeat,
+                std::int64_t now_ns) {
+    auto [it, inserted] = shards_.try_emplace(id);
+    State& state = it->second;
+    if (inserted || heartbeat != state.heartbeat) {
+      state.heartbeat = heartbeat;
+      state.last_progress_ns = now_ns;
+      if (!inserted && state.wedged) {
+        state.wedged = false;
+        return Event::kRecovered;
+      }
+      return Event::kNone;
+    }
+    if (!state.wedged && stale_ns_ > 0 &&
+        now_ns - state.last_progress_ns > stale_ns_) {
+      state.wedged = true;
+      ++wedged_events_;
+      return Event::kWedged;
+    }
+    return Event::kNone;
+  }
+
+  // Drop a shard's state (on death/respawn, so the replacement's first
+  // heartbeat re-seeds the baseline instead of comparing across epochs).
+  void forget(std::uint32_t id) { shards_.erase(id); }
+
+  [[nodiscard]] bool wedged(std::uint32_t id) const {
+    const auto it = shards_.find(id);
+    return it != shards_.end() && it->second.wedged;
+  }
+  [[nodiscard]] std::uint64_t wedged_events() const noexcept {
+    return wedged_events_;
+  }
+  [[nodiscard]] std::int64_t stale_ns() const noexcept { return stale_ns_; }
+
+ private:
+  struct State {
+    std::uint64_t heartbeat = 0;
+    std::int64_t last_progress_ns = 0;
+    bool wedged = false;
+  };
+
+  std::unordered_map<std::uint32_t, State> shards_;
+  std::uint64_t wedged_events_ = 0;
+  std::int64_t stale_ns_;
+};
+
+}  // namespace scbnn::obs

@@ -8,6 +8,7 @@
 
 #include "hw/report.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "sc/simd.h"
 
 namespace scbnn::runtime {
@@ -135,6 +136,9 @@ std::vector<AdaptiveOutcome> AdaptivePipeline::run_ladder(const float* images,
     RungStats& rs = stats_.rungs[r];
     const auto rung_start = Clock::now();
     const int m = static_cast<int>(active.size());
+    obs::SpanScope rung_span(obs::SpanName::kPipelineRung,
+                             obs::ambient_trace_id(), r,
+                             static_cast<std::uint64_t>(m), rung.bits);
 
     // Rung 0 sees the full batch in place; later rungs compact the
     // unconfident survivors into a dense sub-batch so the chunked first

@@ -1,10 +1,12 @@
 #include "runtime/inference_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "hw/report.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "runtime/backend_registry.h"
 #include "runtime/work_stealing_executor.h"
 #include "sc/simd.h"
@@ -258,6 +260,29 @@ ServeStats InferenceEngine::classify(const float* images, int n,
   refresh_stats(n, ms_between(start, end));
   stats_.first_layer_ms = ms_between(start, first_layer_done);
   stats_.tail_ms = ms_between(first_layer_done, end);
+
+  // Stage spans reuse the stage boundaries measured above (ServeClock and
+  // the trace clock are both steady_clock), keyed to the ambient id the
+  // batch owner (Server batch loop or fleet shard) set around classify.
+  if (const std::uint64_t trace_id = obs::ambient_trace_id();
+      obs::trace_sampled(trace_id)) {
+    auto to_ns = [](ServeClock::time_point t) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 t.time_since_epoch())
+          .count();
+    };
+    obs::TraceSpan span;
+    span.trace_id = trace_id;
+    span.arg0 = static_cast<std::uint64_t>(n);
+    span.name = obs::SpanName::kFirstLayer;
+    span.start_ns = to_ns(start);
+    span.dur_ns = std::max<std::int64_t>(to_ns(first_layer_done) - to_ns(start), 1);
+    obs::record_span(span);
+    span.name = obs::SpanName::kTail;
+    span.start_ns = to_ns(first_layer_done);
+    span.dur_ns = std::max<std::int64_t>(to_ns(end) - to_ns(first_layer_done), 1);
+    obs::record_span(span);
+  }
   return stats_;
 }
 

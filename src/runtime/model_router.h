@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/servable.h"
 #include "runtime/server.h"
 
@@ -84,6 +85,13 @@ class ModelRouter {
   /// Requests waiting in model `id`'s admission queue right now — the
   /// queue-depth signal overload monitoring watches.
   [[nodiscard]] std::size_t queue_depth(const std::string& id) const;
+
+  /// Register registry views for every currently-registered model (the
+  /// scbnn_server_*/scbnn_executor_* families, labeled model=<id>).
+  /// Callbacks hold weak references, so a model deregistered later simply
+  /// exports zeros instead of dangling. The router must outlive exports
+  /// from `registry`.
+  void register_metrics(obs::MetricsRegistry& registry);
 
   /// Drain and remove every model. Idempotent; after shutdown every
   /// submit/register throws.

@@ -76,6 +76,13 @@ class LatencyHistogram {
     return count_ > 0 ? sum_ms_ / static_cast<double>(count_) : 0.0;
   }
 
+  /// Raw count in bucket `b` (0 outside the grid) — the Prometheus
+  /// exporter folds these into cumulative le-buckets.
+  [[nodiscard]] std::uint64_t bucket_count(int b) const noexcept {
+    return (b >= 0 && b < kBuckets) ? counts_[static_cast<std::size_t>(b)]
+                                    : 0;
+  }
+
   /// Bucket index a sample falls into (exposed for the bucket-width bound
   /// in tests).
   [[nodiscard]] static int bucket_of(double ms) noexcept;

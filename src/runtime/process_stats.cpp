@@ -14,6 +14,20 @@ std::uint64_t peak_rss_bytes() {
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
 }
 
+ProcessUsage process_usage() {
+  ProcessUsage out;
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return out;
+  out.peak_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+  out.utime_s = static_cast<double>(usage.ru_utime.tv_sec) +
+                static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+  out.stime_s = static_cast<double>(usage.ru_stime.tv_sec) +
+                static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  out.voluntary_ctx_switches = static_cast<std::uint64_t>(usage.ru_nvcsw);
+  out.involuntary_ctx_switches = static_cast<std::uint64_t>(usage.ru_nivcsw);
+  return out;
+}
+
 std::uint64_t peak_rss_bytes(pid_t pid) {
   char path[64];
   std::snprintf(path, sizeof(path), "/proc/%ld/status",

@@ -21,4 +21,19 @@ namespace scbnn::runtime {
 /// unavailable (non-Linux).
 [[nodiscard]] std::uint64_t peak_rss_bytes(pid_t pid);
 
+/// One getrusage(RUSAGE_SELF) snapshot: the per-process cost axes the
+/// fleet benches report per shard (CPU split user/system, scheduler
+/// pressure via context switches) next to the memory high-water mark.
+struct ProcessUsage {
+  std::uint64_t peak_rss_bytes = 0;
+  double utime_s = 0.0;  ///< user CPU seconds
+  double stime_s = 0.0;  ///< system CPU seconds
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+};
+
+/// Resource usage of the calling process; all-zero if the kernel refuses
+/// the query.
+[[nodiscard]] ProcessUsage process_usage();
+
 }  // namespace scbnn::runtime

@@ -49,6 +49,7 @@ struct Request {
   std::vector<float> image;  ///< one 28x28 frame, copied at enqueue
   std::promise<Prediction> result;
   ServeClock::time_point enqueued_at{};
+  std::uint64_t trace_id = 0;  ///< minted by Server::submit
 };
 
 class RequestQueue {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,10 @@ using ServeClock = std::chrono::steady_clock;
 /// timing fields are filled by runtime::Server and stay zero on direct
 /// Servable::classify calls.
 struct Prediction {
+  /// Trace id minted at submit (Server or FleetCoordinator); 0 on direct
+  /// Servable::classify calls. Connects this prediction to its spans in a
+  /// Chrome trace dump.
+  std::uint64_t trace_id = 0;
   int label = -1;          ///< argmax class
   double margin = 0.0;     ///< softmax top1-top2 gap at acceptance
   int rung = 0;            ///< accepting rung (0 for single-rung backends)

@@ -1,12 +1,14 @@
 #include "runtime/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "hybrid/first_layer.h"
+#include "obs/trace.h"
 
 namespace scbnn::runtime {
 
@@ -14,6 +16,10 @@ namespace {
 
 constexpr std::size_t kPixels =
     static_cast<std::size_t>(hybrid::kImageSize) * hybrid::kImageSize;
+
+// Server-minted trace ids: one process-wide counter shared by all Servers
+// (ids are only used for span correlation, so sharing the space is fine).
+std::atomic<std::uint64_t> g_next_trace_id{1};
 
 }  // namespace
 
@@ -58,6 +64,12 @@ Request Server::make_request(const float* image) const {
   Request request;
   request.image.assign(image, image + kPixels);
   request.enqueued_at = ServeClock::now();
+  if (obs::tracing_enabled()) {
+    request.trace_id =
+        g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+    obs::trace_instant(obs::SpanName::kServerSubmit, request.trace_id,
+                       queue_.size());
+  }
   return request;
 }
 
@@ -136,10 +148,25 @@ void Server::serve_loop() {
                 packed.begin() + static_cast<std::size_t>(i) * kPixels);
     }
 
+    // Representative trace id for the batch spans: the first sampled id in
+    // the batch (a batch of one is exactly that request's trace).
+    std::uint64_t batch_trace_id = 0;
+    if (obs::tracing_enabled()) {
+      for (const Request& request : batch) {
+        if (obs::trace_sampled(request.trace_id)) {
+          batch_trace_id = request.trace_id;
+          break;
+        }
+      }
+    }
+
     predictions.assign(static_cast<std::size_t>(m), Prediction{});
     ServeStats batch_stats{};
     std::exception_ptr failure;
     try {
+      obs::SpanScope batch_span(obs::SpanName::kServerBatch, batch_trace_id,
+                                static_cast<std::uint64_t>(m));
+      obs::AmbientTrace ambient(batch_trace_id);
       batch_stats = backend_.classify(packed.data(), m, predictions.data());
     } catch (...) {
       failure = std::current_exception();
@@ -151,6 +178,7 @@ void Server::serve_loop() {
     if (!failure) {
       for (int i = 0; i < m; ++i) {
         Prediction& p = predictions[static_cast<std::size_t>(i)];
+        p.trace_id = batch[static_cast<std::size_t>(i)].trace_id;
         p.queue_wait_ms = ms_between(
             batch[static_cast<std::size_t>(i)].enqueued_at, dispatched_at);
         p.compute_ms = compute_ms;
@@ -199,6 +227,55 @@ void Server::shutdown() {
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+void Server::register_metrics(obs::MetricsRegistry& registry,
+                              const std::string& model) {
+  const obs::Labels labels{{"model", model}};
+  auto counter = [&](const char* name, const char* help,
+                     long ServerStats::* field) {
+    registry.counter_fn(name, help, labels, [this, field] {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      return static_cast<std::uint64_t>(std::max(0L, stats_.*field));
+    });
+  };
+  counter("scbnn_server_accepted_total", "Requests admitted to the queue",
+          &ServerStats::accepted);
+  counter("scbnn_server_rejected_total",
+          "Requests refused by admission control", &ServerStats::rejected);
+  counter("scbnn_server_completed_total",
+          "Futures resolved with a Prediction", &ServerStats::completed);
+  counter("scbnn_server_failed_total", "Futures resolved with an exception",
+          &ServerStats::failed);
+  counter("scbnn_server_batches_total", "Dispatches to the backend",
+          &ServerStats::batches);
+
+  registry.gauge_fn("scbnn_server_queue_depth",
+                    "Requests waiting for dispatch", labels,
+                    [this] { return static_cast<double>(queue_.size()); });
+  registry.gauge_fn("scbnn_server_mean_batch_size",
+                    "Mean coalesced batch size", labels,
+                    [this] { return stats().mean_batch_size(); });
+  registry.gauge_fn("scbnn_server_energy_joules",
+                    "Summed backend energy estimate", labels,
+                    [this] { return stats().energy_j; });
+  registry.gauge_fn(
+      "scbnn_server_mean_queue_wait_ms", "Mean request queue wait", labels,
+      [this] {
+        const ServerStats s = stats();
+        return s.completed > 0 ? s.queue_wait_ms_sum / s.completed : 0.0;
+      });
+
+  registry.gauge_fn("scbnn_executor_workers", "Compute executor threads",
+                    labels, [this] {
+                      return static_cast<double>(executor_stats().workers);
+                    });
+  registry.counter_fn("scbnn_executor_steals_total",
+                      "Work-stealing executor steals", labels,
+                      [this] { return executor_stats().steals; });
+  registry.counter_fn("scbnn_executor_parallel_for_total",
+                      "parallel_for fan-outs dispatched", labels,
+                      [this] { return executor_stats().parallel_fors; });
 }
 
 }  // namespace scbnn::runtime

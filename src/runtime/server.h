@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/request_queue.h"
 #include "runtime/servable.h"
 
@@ -103,6 +104,14 @@ class Server {
   void shutdown();
 
   [[nodiscard]] ServerStats stats() const;
+
+  /// Register registry views over this server's live stats (admission
+  /// counters, queue depth, batching, energy) and its backend's executor
+  /// counters, labeled model=`model`. The Server must outlive exports
+  /// from `registry`; re-registration with the same label is idempotent.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& model);
+
   /// The backend's compute-executor counters (fleet-wide totals when the
   /// backend shares its executor with other models).
   [[nodiscard]] ExecutorStats executor_stats() const {

@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace scbnn::runtime {
 
 namespace {
@@ -439,6 +441,10 @@ void WorkStealingExecutor::note_queue_depth(unsigned slot) {
 
 void WorkStealingExecutor::parallel_for_impl(int jobs, ForFn fn, void* ctx) {
   if (jobs <= 0) return;
+  // One span per fan-out on the calling thread, keyed to the ambient trace
+  // id set by the batch owner; unsampled calls pay two relaxed loads.
+  obs::SpanScope span(obs::SpanName::kParallelFor, obs::ambient_trace_id(),
+                      static_cast<std::uint64_t>(jobs), size());
 
   const int self = current_worker_slot();
   if (size() == 1 || self >= 0) {

@@ -247,6 +247,43 @@ StreamStats SensorSession::stats() const {
   return snapshot;
 }
 
+void SensorSession::register_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& label) {
+  const obs::Labels labels{{"model", model_}, {"session", label}};
+  auto counter = [&](const char* name, const char* help,
+                     long StreamStats::* field) {
+    registry.counter_fn(name, help, labels, [this, field] {
+      return static_cast<std::uint64_t>(std::max(0L, stats().*field));
+    });
+  };
+  counter("scbnn_session_produced_total", "Frames pulled from the source",
+          &StreamStats::produced);
+  counter("scbnn_session_submitted_total", "Frames admitted to the router",
+          &StreamStats::submitted);
+  counter("scbnn_session_delivered_total",
+          "Frames whose Prediction resolved", &StreamStats::delivered);
+  counter("scbnn_session_failed_total",
+          "Frames whose future resolved with an exception",
+          &StreamStats::failed);
+  counter("scbnn_session_dropped_total",
+          "Frames shed by drop-oldest backpressure", &StreamStats::dropped);
+  counter("scbnn_session_degraded_total",
+          "Frames served under a lowered rung cap", &StreamStats::degraded);
+
+  registry.gauge_fn("scbnn_session_accuracy",
+                    "Accuracy over labeled delivered frames", labels,
+                    [this] { return stats().accuracy(); });
+  registry.gauge_fn("scbnn_session_energy_joules",
+                    "Summed per-frame first-layer energy", labels,
+                    [this] { return stats().energy_j; });
+  registry.gauge_fn("scbnn_session_inflight",
+                    "Admitted frames awaiting their Prediction", labels,
+                    [this] { return static_cast<double>(inflight()); });
+  registry.gauge_fn("scbnn_session_recent_p99_ms",
+                    "Sliding-window end-to-end p99 (the LoadSignal)",
+                    labels, [this] { return recent_p99_ms(); });
+}
+
 long SensorSession::inflight() const {
   std::lock_guard<std::mutex> lock(mutex_);
   // Only admitted frames can be in flight: stats_.failed also counts

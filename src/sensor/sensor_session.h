@@ -148,6 +148,13 @@ class SensorSession : public LoadSignal {
     return router_.executor_stats(model_);
   }
 
+  /// Register registry views over this session's live StreamStats (frame
+  /// flow, drops, degradation, accuracy, recent p99), labeled
+  /// session=`label`, model=<model>. The session must outlive exports
+  /// from `registry`.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& label);
+
   // ------------------------------------------------------------ LoadSignal
   [[nodiscard]] long inflight() const override;
   [[nodiscard]] double recent_p99_ms() const override;

@@ -12,15 +12,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hybrid/bundle.h"
+#include "obs/trace.h"
 #include "hybrid/hybrid_network.h"
 #include "nn/init.h"
 #include "nn/quantize.h"
@@ -72,6 +76,48 @@ std::string frozen_bundle_path() {
     hybrid::copy_tail_params(base, rung.tail);
     bundle.rungs.push_back(std::move(rung));
     const std::string p = "test_fleet_frozen.bundle";
+    hybrid::save_bundle(bundle, p);
+    return p;
+  }();
+  return path;
+}
+
+/// Restores process-global trace state however the test exits. Mode must
+/// be set BEFORE constructing the coordinator: shards inherit it at fork.
+struct TraceModeGuard {
+  explicit TraceModeGuard(obs::TraceMode mode, std::uint64_t every = 64) {
+    obs::set_trace_mode(mode, every);
+  }
+  ~TraceModeGuard() { obs::set_trace_mode(obs::TraceMode::kOff); }
+};
+
+/// Like frozen_bundle_path(), but with a two-rung escalation ladder (2 then
+/// 4 bits) so the shards instantiate an AdaptivePipeline and the connected-
+/// trace test sees per-rung spans.
+std::string ladder_bundle_path() {
+  static const std::string path = [] {
+    const hybrid::LeNetConfig lenet{32, 8, 32, 0.0f};
+    nn::Rng base_rng(kSeed);
+    nn::Network base = hybrid::build_lenet(lenet, base_rng);
+    hybrid::ModelBundle bundle;
+    bundle.backend = "sc-proposed-fast";
+    bundle.lenet = lenet;
+    bundle.confidence_margin = 0.5;
+    bundle.trained_seed = kSeed;
+    for (const unsigned bits : {2u, 4u}) {
+      hybrid::BundleRung rung;
+      rung.bits = bits;
+      rung.qw =
+          nn::quantize_conv_weights(hybrid::base_conv1_weights(base), bits);
+      rung.flc.bits = bits;
+      rung.flc.soft_threshold = 0.30;
+      rung.flc.seed = static_cast<std::uint32_t>(kSeed | 1u);
+      nn::Rng tail_rng(kSeed + 1);
+      rung.tail = hybrid::build_tail(lenet, tail_rng);
+      hybrid::copy_tail_params(base, rung.tail);
+      bundle.rungs.push_back(std::move(rung));
+    }
+    const std::string p = "test_fleet_ladder.bundle";
     hybrid::save_bundle(bundle, p);
     return p;
   }();
@@ -182,6 +228,10 @@ TEST(Fleet, KillDashNineRecoversWithinBudgetAndLosesNothing) {
   const std::vector<runtime::Prediction> reference =
       reference_predictions(work);
 
+  // CI's sampling mode: the flight recorder's batch-begin events bypass
+  // per-id sampling, so the post-mortem must reconstruct the dead shard's
+  // batches even though most trace ids are not sampled.
+  TraceModeGuard trace(obs::TraceMode::kSampled, 16);
   FleetCoordinator fleet(small_config(2));
   // Let both shards finish cold-starting before injecting the fault, so
   // the kill hits a serving incarnation (epoch 1) and the respawn is
@@ -193,11 +243,26 @@ TEST(Fleet, KillDashNineRecoversWithinBudgetAndLosesNothing) {
     }
     if (!serving) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  // Kill only after at least one frame was routed to shard 0 AND shard 0
+  // served something, so its flight recorder provably holds the batches
+  // the post-mortem must reconstruct.
+  std::size_t first_on_shard0 = 0;
+  while (first_on_shard0 < work.keys.size() &&
+         fleet.shard_of(work.keys[first_on_shard0]) != 0) {
+    ++first_on_shard0;
+  }
+  ASSERT_LT(first_on_shard0, work.keys.size());
+  const std::size_t kill_at =
+      std::max(work.keys.size() / 4, first_on_shard0 + 1);
+
   std::vector<std::future<FleetResult>> futures;
   for (std::size_t i = 0; i < work.keys.size(); ++i) {
     futures.push_back(
         fleet.submit(work.keys[i], /*tenant=*/0, work.frames[i].data()));
-    if (i == work.keys.size() / 4) {
+    if (i == kill_at) {
+      while (fleet.stats().shards[0].served == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       fleet.kill_shard(0);  // SIGKILL mid-stream
     }
   }
@@ -220,7 +285,75 @@ TEST(Fleet, KillDashNineRecoversWithinBudgetAndLosesNothing) {
     respawned_epoch |= shard.epoch > 1;
   }
   EXPECT_TRUE(respawned_epoch);
+
+  // The supervisor extracted the dead incarnation's flight recorder
+  // before the respawn overwrote the shm rings: the post-mortem must
+  // name the killed shard and reconstruct its in-flight batches.
+  ASSERT_FALSE(stats.postmortems.empty());
+  const std::string& postmortem = stats.postmortems.front();
+  EXPECT_NE(postmortem.find("fleet: shard 0"), std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("shard.batch.begin"), std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("seq="), std::string::npos) << postmortem;
   fleet.shutdown();
+}
+
+// One frame through a 2-shard fleet with a 2-rung ladder must yield a
+// single connected trace: the same trace id on the coordinator's submit
+// span, the ring-push instant, the shard's batch span, the pipeline's
+// per-rung span, and the completion instant — across the fork boundary,
+// merged into one Chrome trace by dump_trace().
+TEST(Fleet, OneFrameYieldsOneConnectedTraceAcrossTheForkBoundary) {
+  SKIP_UNDER_TSAN();
+  TraceModeGuard trace(obs::TraceMode::kAll);
+  FleetConfig cfg = small_config(2);
+  cfg.bundle_path = ladder_bundle_path();
+  FleetCoordinator fleet(cfg);
+  const Workload work = make_workload(1, 1);
+
+  const FleetResult r =
+      fleet.submit(work.keys[0], /*tenant=*/2, work.frames[0].data()).get();
+  EXPECT_FALSE(r.deadline_dropped);
+  ASSERT_NE(r.prediction.trace_id, 0u);  // the minted id rode the wire back
+
+  const std::string path = "test_fleet_connected_trace.json";
+  ASSERT_TRUE(fleet.dump_trace(path));
+  fleet.shutdown();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  // Every event is one line of the dump; a span belongs to our trace iff
+  // its line carries our trace_id arg.
+  const std::string id_arg =
+      "\"trace_id\":" + std::to_string(r.prediction.trace_id);
+  const auto has_span_with_id = [&](const char* name) {
+    std::istringstream lines(json);
+    std::string line;
+    const std::string name_key = std::string("\"name\":\"") + name + "\"";
+    while (std::getline(lines, line)) {
+      if (line.find(name_key) != std::string::npos &&
+          line.find(id_arg) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_span_with_id("coord.submit")) << json;
+  EXPECT_TRUE(has_span_with_id("ring.push")) << json;
+  EXPECT_TRUE(has_span_with_id("shard.batch")) << json;
+  EXPECT_TRUE(has_span_with_id("pipeline.rung")) << json;
+  EXPECT_TRUE(has_span_with_id("coord.complete")) << json;
+
+  // The merged dump has a coordinator lane and shard lanes.
+  EXPECT_NE(json.find("\"name\":\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard 1\""), std::string::npos);
 }
 
 TEST(Fleet, TenantQuotaRejectsAtAdmission) {

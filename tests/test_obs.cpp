@@ -1,0 +1,556 @@
+// Observability layer tests: the lock-free TraceRecorder (round trip,
+// wrap-around accounting, multi-writer torture with concurrent snapshots —
+// the case the TSan CI leg covers), trace mode / sampling semantics and
+// SCBNN_TRACE parsing, the Chrome trace_event and Prometheus encoders
+// (escaping, label ordering, histogram bucket boundaries pinned against
+// LatencyHistogram's grid), the flight-recorder post-mortem formatter, and
+// the stale-heartbeat watchdog driven by a fake clock.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/percentile.h"
+
+namespace scbnn::obs {
+namespace {
+
+// Every test leaves the process-global trace state exactly as the suite
+// found it (mode off, default recorder), whatever path the test took.
+struct TraceStateGuard {
+  ~TraceStateGuard() {
+    install_recorder(nullptr);
+    set_trace_mode(TraceMode::kOff);
+  }
+};
+
+TraceSpan make_span(SpanName name, std::uint64_t trace_id,
+                    std::int64_t start_ns, std::int64_t dur_ns = 0,
+                    std::uint64_t arg0 = 0, std::uint64_t arg1 = 0,
+                    std::uint64_t arg2 = 0) {
+  TraceSpan span;
+  span.name = name;
+  span.trace_id = trace_id;
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns;
+  span.tid = 1;
+  span.arg0 = arg0;
+  span.arg1 = arg1;
+  span.arg2 = arg2;
+  return span;
+}
+
+// ---------------------------------------------------------------- recorder
+
+TEST(TraceRecorder, RoundTripPreservesFieldsAndSortsByStart) {
+  OwnedTraceRecorder owned(1, 8);
+  TraceRecorder& rec = owned.recorder();
+  rec.record(make_span(SpanName::kShardBatch, 42, 3000, 500, 7, 3, 2));
+  rec.record(make_span(SpanName::kRingPush, 41, 1000, 0, 1, 9, 8));
+
+  const std::vector<TraceSpan> spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start_ns, not record order.
+  EXPECT_EQ(spans[0].name, SpanName::kRingPush);
+  EXPECT_EQ(spans[0].trace_id, 41u);
+  EXPECT_EQ(spans[0].dur_ns, 0);
+  EXPECT_EQ(spans[1].name, SpanName::kShardBatch);
+  EXPECT_EQ(spans[1].trace_id, 42u);
+  EXPECT_EQ(spans[1].start_ns, 3000);
+  EXPECT_EQ(spans[1].dur_ns, 500);
+  EXPECT_EQ(spans[1].arg0, 7u);
+  EXPECT_EQ(spans[1].arg1, 3u);
+  EXPECT_EQ(spans[1].arg2, 2u);
+}
+
+TEST(TraceRecorder, WrapAroundKeepsNewestAndCountsOverwrites) {
+  OwnedTraceRecorder owned(1, 8);
+  TraceRecorder& rec = owned.recorder();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rec.record(make_span(SpanName::kServerSubmit, i + 1,
+                         static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.overwritten(), 12u);
+
+  const std::vector<TraceSpan> spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Only the newest `capacity` spans survive the wrap.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].trace_id, 13u + i);
+  }
+}
+
+TEST(TraceRecorder, RejectsBadGeometry) {
+  alignas(64) unsigned char buffer[4096];
+  EXPECT_THROW((void)TraceRecorder::attach(buffer, 0, 8, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)TraceRecorder::attach(buffer, 1, 6, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)TraceRecorder::attach(buffer, 1, 1, true),
+               std::invalid_argument);
+}
+
+// The TSan-covered torture: many writers racing one ring set, with readers
+// snapshotting concurrently through the wrap-around. Torn slots must be
+// skipped, never crashed on, and every surviving span must be well formed.
+TEST(TraceRecorder, ConcurrentWritersAndSnapshotsStayWellFormed) {
+  constexpr int kWriters = 8;
+  constexpr int kSpansPerWriter = 4000;
+  OwnedTraceRecorder owned(4, 256);
+  TraceRecorder& rec = owned.recorder();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<TraceSpan> spans = rec.snapshot();
+        for (const TraceSpan& span : spans) {
+          ASSERT_NE(span.name, SpanName::kNone);
+          ASSERT_LT(static_cast<std::uint32_t>(span.name),
+                    static_cast<std::uint32_t>(SpanName::kCount));
+          ASSERT_GE(span.trace_id, 1u);
+          ASSERT_LE(span.trace_id,
+                    static_cast<std::uint64_t>(kWriters) * kSpansPerWriter);
+        }
+        snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        const auto id = static_cast<std::uint64_t>(w) * kSpansPerWriter +
+                        static_cast<std::uint64_t>(i) + 1;
+        rec.record(make_span(SpanName::kShardBatch, id,
+                             static_cast<std::int64_t>(id), 1, id));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kSpansPerWriter);
+  EXPECT_GE(snapshots_taken.load(), 1u);
+  // Quiescent snapshot: nothing is torn anymore, so all slots are valid.
+  const std::vector<TraceSpan> final_spans = rec.snapshot();
+  EXPECT_LE(final_spans.size(), 4u * 256u);
+  EXPECT_GE(final_spans.size(), 1u);
+  for (const TraceSpan& span : final_spans) {
+    EXPECT_EQ(span.name, SpanName::kShardBatch);
+    EXPECT_EQ(span.arg0, span.trace_id);
+  }
+}
+
+// ------------------------------------------------------- mode and sampling
+
+TEST(TraceMode, SamplingSemantics) {
+  TraceStateGuard guard;
+  set_trace_mode(TraceMode::kOff);
+  EXPECT_FALSE(tracing_enabled());
+  EXPECT_FALSE(trace_sampled(64));
+
+  set_trace_mode(TraceMode::kAll);
+  EXPECT_TRUE(tracing_enabled());
+  EXPECT_TRUE(trace_sampled(1));
+  EXPECT_TRUE(trace_sampled(0));
+
+  set_trace_mode(TraceMode::kSampled, 8);
+  EXPECT_TRUE(tracing_enabled());
+  EXPECT_FALSE(trace_sampled(0));  // 0 is "no trace id", never sampled
+  EXPECT_FALSE(trace_sampled(7));
+  EXPECT_TRUE(trace_sampled(8));
+  EXPECT_TRUE(trace_sampled(16));
+  EXPECT_FALSE(trace_sampled(17));
+}
+
+TEST(TraceMode, EnvParsing) {
+  TraceStateGuard guard;
+  ::setenv("SCBNN_TRACE", "all", 1);
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kAll);
+
+  ::setenv("SCBNN_TRACE", "sampled:16", 1);
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kSampled);
+  EXPECT_EQ(trace_sample_every(), 16u);
+
+  ::setenv("SCBNN_TRACE", "sampled", 1);
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kSampled);
+  EXPECT_EQ(trace_sample_every(), 64u);  // default N
+
+  ::setenv("SCBNN_TRACE", "sampled:banana", 1);
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kSampled);
+  EXPECT_EQ(trace_sample_every(), 64u);  // unparsable N falls back
+
+  ::setenv("SCBNN_TRACE", "garbage", 1);
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kOff);
+
+  ::setenv("SCBNN_TRACE", "off", 1);
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kOff);
+
+  ::unsetenv("SCBNN_TRACE");
+  set_trace_mode_from_env();
+  EXPECT_EQ(trace_mode(), TraceMode::kOff);
+}
+
+TEST(TraceMode, SpanScopeArmsOnlyWhenSampled) {
+  TraceStateGuard guard;
+  OwnedTraceRecorder owned(1, 64);
+  install_recorder(&owned.recorder());
+  set_trace_mode(TraceMode::kSampled, 4);
+
+  { SpanScope unsampled(SpanName::kServerBatch, 3); }
+  EXPECT_EQ(owned.recorder().recorded(), 0u);
+
+  { SpanScope sampled(SpanName::kServerBatch, 4, 17); }
+  ASSERT_EQ(owned.recorder().recorded(), 1u);
+  const std::vector<TraceSpan> spans = owned.recorder().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, SpanName::kServerBatch);
+  EXPECT_EQ(spans[0].trace_id, 4u);
+  EXPECT_EQ(spans[0].arg0, 17u);
+  EXPECT_GE(spans[0].dur_ns, 1);  // a scope is never an instant
+
+  // The flight-recorder events bypass per-id sampling (but not "off"):
+  // a post-mortem must always have the in-flight batch.
+  trace_instant(SpanName::kShardBatchBegin, 3);
+  EXPECT_EQ(owned.recorder().recorded(), 1u);
+  trace_instant_always(SpanName::kShardBatchBegin, 3, 99, 5);
+  EXPECT_EQ(owned.recorder().recorded(), 2u);
+
+  set_trace_mode(TraceMode::kOff);
+  trace_instant_always(SpanName::kShardBatchBegin, 3);
+  EXPECT_EQ(owned.recorder().recorded(), 2u);
+}
+
+TEST(TraceMode, AmbientTraceIdNests) {
+  EXPECT_EQ(ambient_trace_id(), 0u);
+  {
+    AmbientTrace outer(5);
+    EXPECT_EQ(ambient_trace_id(), 5u);
+    {
+      AmbientTrace inner(7);
+      EXPECT_EQ(ambient_trace_id(), 7u);
+    }
+    EXPECT_EQ(ambient_trace_id(), 5u);
+  }
+  EXPECT_EQ(ambient_trace_id(), 0u);
+}
+
+// ---------------------------------------------------------- Chrome encoder
+
+TEST(ChromeEncoder, EmitsDurationsInstantsArgsAndEscapes) {
+  std::vector<TraceProcessDump> processes(1);
+  processes[0].name = "sh\"ard\\0";  // exercises the JSON escaper
+  processes[0].pid = 7;
+  processes[0].spans.push_back(
+      make_span(SpanName::kRingPush, 42, 1000, 0, 1, 9, 3));
+  processes[0].spans.push_back(
+      make_span(SpanName::kShardBatch, 42, 2000, 3000, 9, 4, 2));
+
+  const std::string json = chrome_trace_json(processes);
+  // Process lane metadata, with the name escaped.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("sh\\\"ard\\\\0"), std::string::npos);
+  // Instant event at the normalized epoch (earliest span -> ts 0).
+  EXPECT_NE(json.find("\"name\":\"ring.push\",\"cat\":\"fleet\","
+                      "\"ph\":\"i\",\"s\":\"t\",\"ts\":0.000,"),
+            std::string::npos);
+  // Duration event 1us later, 3us long, with named args after trace_id.
+  EXPECT_NE(json.find("\"name\":\"shard.batch\",\"cat\":\"shard\","
+                      "\"ph\":\"X\",\"ts\":1.000,\"dur\":3.000,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"trace_id\":42,\"seq\":9,\"n\":4,"
+                      "\"live\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\":7,\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeEncoder, DumpTraceWritesTheActiveRecorder) {
+  TraceStateGuard guard;
+  OwnedTraceRecorder owned(1, 64);
+  install_recorder(&owned.recorder());
+  set_trace_mode(TraceMode::kAll);
+  trace_instant(SpanName::kServerSubmit, 11, 5);
+
+  const std::string path = "test_obs_dump_trace.json";
+  ASSERT_TRUE(dump_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"server.submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":11"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- postmortem
+
+TEST(Postmortem, KeepsNewestLinesOldestFirst) {
+  std::vector<TraceSpan> spans;
+  spans.push_back(make_span(SpanName::kShardBatchBegin, 1, 1'000'000, 0, 10));
+  spans.push_back(make_span(SpanName::kShardBatchBegin, 2, 3'000'000, 0, 20));
+  spans.push_back(make_span(SpanName::kShardBatchBegin, 3, 2'000'000, 0, 15));
+
+  const std::string text = format_postmortem(spans, 2);
+  // The oldest span (seq=10) fell off; the survivors are time-ordered.
+  EXPECT_EQ(text.find("seq=10"), std::string::npos);
+  const auto pos15 = text.find("seq=15");
+  const auto pos20 = text.find("seq=20");
+  ASSERT_NE(pos15, std::string::npos);
+  ASSERT_NE(pos20, std::string::npos);
+  EXPECT_LT(pos15, pos20);
+  EXPECT_NE(text.find("shard.batch.begin"), std::string::npos);
+  EXPECT_NE(text.find("trace=3"), std::string::npos);
+
+  EXPECT_NE(format_postmortem({}, 8).find("flight recorder empty"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(MetricsRegistry, OwnedInstrumentsInternByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("scbnn_test_total", "help",
+                                {{"model", "m0"}});
+  Counter& b = registry.counter("scbnn_test_total", "help",
+                                {{"model", "m0"}});
+  Counter& c = registry.counter("scbnn_test_total", "help",
+                                {{"model", "m1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  c.inc();
+  Gauge& g = registry.gauge("scbnn_test_depth", "queue depth");
+  g.set(2.5);
+
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("# HELP scbnn_test_total help"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scbnn_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("scbnn_test_total{model=\"m0\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("scbnn_test_total{model=\"m1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scbnn_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("scbnn_test_depth 2.5"), std::string::npos);
+  EXPECT_EQ(registry.families(), 2u);
+}
+
+TEST(MetricsRegistry, LabelsSortByKeyAndValuesEscape) {
+  MetricsRegistry registry;
+  // Registered in reverse key order, with a value needing all three
+  // escapes; the exporter must emit sorted keys and escaped bytes.
+  registry.gauge("scbnn_test_gauge", "g",
+                 {{"zeta", "z"}, {"alpha", "a\"b\\c\nd"}})
+      .set(1.0);
+  const std::string text = registry.prometheus();
+  EXPECT_NE(
+      text.find("scbnn_test_gauge{alpha=\"a\\\"b\\\\c\\nd\",zeta=\"z\"} 1"),
+      std::string::npos);
+}
+
+TEST(MetricsRegistry, ValidatesNamesAndKinds) {
+  MetricsRegistry registry;
+  (void)registry.counter("scbnn_ok_total", "h");
+  EXPECT_THROW((void)registry.gauge("scbnn_ok_total", "h"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("1bad", "h"), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("has space", "h"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.gauge("scbnn_g", "h", {{"bad-label", "v"}}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CallbackReRegistrationReplaces) {
+  MetricsRegistry registry;
+  registry.counter_fn("scbnn_cb_total", "h", {},
+                      [] { return std::uint64_t{3}; });
+  registry.counter_fn("scbnn_cb_total", "h", {},
+                      [] { return std::uint64_t{7}; });
+  registry.gauge_fn("scbnn_cb_gauge", "h", {}, [] { return 1.25; });
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("scbnn_cb_total 7"), std::string::npos);
+  EXPECT_NE(text.find("scbnn_cb_gauge 1.25"), std::string::npos);
+  EXPECT_EQ(text.find("scbnn_cb_total 3"), std::string::npos);
+}
+
+// The histogram exporter's `le` bounds are one per octave of the
+// LatencyHistogram grid, and the cumulative counts at those bounds must be
+// exact sums of whole buckets — pin both against the histogram itself.
+TEST(MetricsRegistry, HistogramBucketsMatchLatencyHistogramGrid) {
+  using H = runtime::LatencyHistogram;
+  H h;
+  const double samples[] = {0.0005, 0.5, 0.5, 10.0, 250.0, 1e9};
+  for (const double ms : samples) h.record(ms);
+
+  MetricsRegistry registry;
+  registry.histogram_fn("scbnn_test_latency_ms", "h", {{"model", "m0"}},
+                        [&h] { return h; });
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("# TYPE scbnn_test_latency_ms histogram"),
+            std::string::npos);
+
+  const std::vector<double> bounds = MetricsRegistry::histogram_bounds_ms();
+  ASSERT_EQ(bounds.size(),
+            static_cast<std::size_t>(H::kBuckets / H::kBucketsPerOctave));
+
+  // Parse every _bucket line: le bound + cumulative count.
+  std::vector<std::pair<double, std::uint64_t>> parsed;
+  std::uint64_t inf_count = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto bucket_pos = line.find("scbnn_test_latency_ms_bucket{");
+    if (bucket_pos != 0) continue;
+    const auto le_pos = line.find("le=\"");
+    ASSERT_NE(le_pos, std::string::npos);
+    const std::string le = line.substr(le_pos + 4, line.find('"', le_pos + 4) -
+                                                       (le_pos + 4));
+    const auto space = line.rfind(' ');
+    const std::uint64_t count = std::strtoull(line.c_str() + space + 1,
+                                              nullptr, 10);
+    if (le == "+Inf") {
+      inf_count = count;
+    } else {
+      parsed.emplace_back(std::strtod(le.c_str(), nullptr), count);
+    }
+    // Sorted keys: the le label lands after model in each bucket line.
+    EXPECT_NE(line.find("model=\"m0\""), std::string::npos);
+  }
+  ASSERT_EQ(parsed.size(), bounds.size());
+  EXPECT_EQ(inf_count, h.count());
+
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed[i].first, bounds[i], bounds[i] * 1e-9);
+    // Cumulative count at an octave bound == exact sum of whole buckets.
+    std::uint64_t expected = 0;
+    const int upto = static_cast<int>(i + 1) * H::kBucketsPerOctave;
+    for (int b = 0; b < upto; ++b) expected += h.bucket_count(b);
+    EXPECT_EQ(parsed[i].second, expected) << "bound " << bounds[i];
+    EXPECT_GE(parsed[i].second, previous);  // monotone cumulative
+    previous = parsed[i].second;
+  }
+
+  // _sum and _count round-trip the histogram's exact accumulators.
+  const auto sum_pos = text.find("scbnn_test_latency_ms_sum{model=\"m0\"} ");
+  ASSERT_NE(sum_pos, std::string::npos);
+  const double sum =
+      std::strtod(text.c_str() + sum_pos + 38, nullptr);
+  EXPECT_NEAR(sum, h.sum_ms(), h.sum_ms() * 1e-9);
+  EXPECT_NE(text.find("scbnn_test_latency_ms_count{model=\"m0\"} " +
+                      std::to_string(h.count())),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotCoversAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("scbnn_j_total", "h", {{"model", "m\"0"}}).inc(4);
+  registry.gauge("scbnn_j_gauge", "h").set(0.5);
+  runtime::LatencyHistogram h;
+  h.record(2.0);
+  h.record(8.0);
+  registry.histogram_fn("scbnn_j_latency_ms", "h", {},
+                        [&h] { return h; });
+
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"counters\":[{\"name\":\"scbnn_j_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"model\":\"m\\\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"scbnn_j_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"scbnn_j_latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteFilesRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("scbnn_file_total", "h").inc(9);
+  const std::string prom_path = "test_obs_metrics.prom";
+  const std::string json_path = "test_obs_metrics.json";
+  ASSERT_TRUE(registry.write_prometheus(prom_path));
+  ASSERT_TRUE(registry.write_json(json_path));
+  std::ifstream prom(prom_path);
+  std::stringstream buffer;
+  buffer << prom.rdbuf();
+  EXPECT_NE(buffer.str().find("scbnn_file_total 9"), std::string::npos);
+  std::remove(prom_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+// ----------------------------------------------------------------- watchdog
+
+TEST(HeartbeatWatchdog, FakeClockWedgeReportRecoverForget) {
+  using Event = HeartbeatWatchdog::Event;
+  constexpr std::int64_t kStale = 100'000'000;  // 100 ms
+  HeartbeatWatchdog watchdog(kStale);
+
+  // First observation seeds the baseline and never reports.
+  EXPECT_EQ(watchdog.observe(0, 1, 0), Event::kNone);
+  // Flat but within threshold: healthy.
+  EXPECT_EQ(watchdog.observe(0, 1, kStale / 2), Event::kNone);
+  // Flat past threshold: one wedge report...
+  EXPECT_EQ(watchdog.observe(0, 1, kStale + kStale / 2), Event::kWedged);
+  EXPECT_TRUE(watchdog.wedged(0));
+  EXPECT_EQ(watchdog.wedged_events(), 1u);
+  // ...and only one, however long it stays flat.
+  EXPECT_EQ(watchdog.observe(0, 1, 10 * kStale), Event::kNone);
+  EXPECT_EQ(watchdog.wedged_events(), 1u);
+  // Heartbeat moves again: recovery transition.
+  EXPECT_EQ(watchdog.observe(0, 2, 11 * kStale), Event::kRecovered);
+  EXPECT_FALSE(watchdog.wedged(0));
+  // A second wedge reports again.
+  EXPECT_EQ(watchdog.observe(0, 2, 13 * kStale), Event::kWedged);
+  EXPECT_EQ(watchdog.wedged_events(), 2u);
+
+  // forget() re-seeds: the same flat heartbeat after a respawn (or an idle
+  // ring) must not be judged against the dead incarnation's baseline.
+  watchdog.forget(0);
+  EXPECT_FALSE(watchdog.wedged(0));
+  EXPECT_EQ(watchdog.observe(0, 2, 20 * kStale), Event::kNone);
+  EXPECT_EQ(watchdog.observe(0, 2, 20 * kStale + kStale / 2), Event::kNone);
+
+  // Shards are tracked independently.
+  EXPECT_EQ(watchdog.observe(1, 5, 0), Event::kNone);
+  EXPECT_EQ(watchdog.observe(1, 5, 2 * kStale), Event::kWedged);
+  EXPECT_FALSE(watchdog.wedged(0));
+  EXPECT_TRUE(watchdog.wedged(1));
+}
+
+TEST(HeartbeatWatchdog, ZeroThresholdDisables) {
+  using Event = HeartbeatWatchdog::Event;
+  HeartbeatWatchdog watchdog(0);
+  EXPECT_EQ(watchdog.observe(0, 1, 0), Event::kNone);
+  EXPECT_EQ(watchdog.observe(0, 1, 1'000'000'000'000), Event::kNone);
+  EXPECT_FALSE(watchdog.wedged(0));
+  EXPECT_EQ(watchdog.wedged_events(), 0u);
+}
+
+}  // namespace
+}  // namespace scbnn::obs
